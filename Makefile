@@ -1,0 +1,28 @@
+# Convenience targets; plain pytest works too.
+
+.PHONY: install test bench experiments quick-experiments examples clean
+
+install:
+	pip install -e .
+
+test:
+	pytest tests/ -q
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+experiments:
+	python -m repro.experiments
+
+quick-experiments:
+	python -m repro.experiments --quick
+
+examples:
+	@for f in examples/*.py; do \
+		echo "== $$f =="; \
+		python $$f || exit 1; \
+	done
+
+clean:
+	rm -rf build dist src/repro.egg-info .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

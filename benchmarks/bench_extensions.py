@@ -1,0 +1,25 @@
+"""Extension experiments beyond the paper (DESIGN.md §4, EXT rows)."""
+
+import pytest
+
+from repro.experiments import extension_smp
+from repro.units import SECOND
+
+from benchmarks.conftest import run_once
+
+
+def test_ext_smp_weight_regimes(benchmark):
+    result = run_once(benchmark, extension_smp.run, duration=10 * SECOND)
+    print()
+    print(result.render())
+    rows = {(row[0], row[1]): row[3] for row in result.rows}
+    # feasible weights: exact thirds of the 2-CPU capacity
+    for name in ("t0", "t1", "t2"):
+        assert rows[("feasible 1:1:1", name)] == pytest.approx(2 / 3,
+                                                               abs=0.01)
+    # infeasible weight: the heavy thread saturates at one CPU and the
+    # light threads split the other (the SMP-SFQ anomaly)
+    assert rows[("infeasible 10:1:1", "t0")] == pytest.approx(1.0,
+                                                              abs=0.01)
+    assert rows[("infeasible 10:1:1", "t1")] == pytest.approx(0.5,
+                                                              abs=0.05)

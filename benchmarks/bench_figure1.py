@@ -1,0 +1,17 @@
+"""EXP-F1 — regenerate Figure 1 (MPEG decode-time variability)."""
+
+from repro.experiments import figure1
+
+from benchmarks.conftest import run_once
+
+
+def test_figure1_mpeg_variability(benchmark):
+    result = run_once(benchmark, figure1.run, frames=3000)
+    print()
+    print(result.render())
+    cov = dict(zip(result.column("group"), result.column("CoV")))
+    means = dict(zip(result.column("group"), result.column("mean ms")))
+    # paper shape: strong frame-level and visible scene-level variability
+    assert cov["all frames"] > 0.3
+    assert cov["per-second means"] > 0.05
+    assert means["I frames"] > means["P frames"] > means["B frames"]

@@ -1,0 +1,18 @@
+"""EXP-F10 — regenerate Figure 10 (SFQ as a leaf scheduler, MPEG 1:2)."""
+
+import pytest
+
+from repro.experiments import figure10
+from repro.units import SECOND
+
+from benchmarks.conftest import run_once
+
+
+def test_figure10_frame_ratio(benchmark):
+    result = run_once(benchmark, figure10.run, duration=20 * SECOND)
+    print()
+    print(result.render())
+    # paper: the weight-10 player decodes twice the frames of weight-5,
+    # in every interval
+    for ratio in result.series["ratio"]:
+        assert ratio == pytest.approx(2.0, rel=0.12)

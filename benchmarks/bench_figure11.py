@@ -1,0 +1,22 @@
+"""EXP-F11 — regenerate Figure 11 (dynamic bandwidth allocation)."""
+
+import pytest
+
+from repro.experiments import figure11
+from repro.units import SECOND
+
+from benchmarks.conftest import run_once
+
+
+def test_figure11_dynamic_weights(benchmark):
+    result = run_once(benchmark, figure11.run, time_scale=SECOND)
+    print()
+    print(result.render())
+    # paper: throughput ratio tracks the weight script 4:4 -> 4:2 -> 0:2
+    # -> 4:2 -> 8:2 -> 8:4 -> 4:4
+    for row in result.rows:
+        expected, measured = row[3], row[4]
+        if expected == 0:
+            assert measured < 0.1
+        else:
+            assert measured == pytest.approx(expected, rel=0.1)

@@ -1,0 +1,17 @@
+"""EXP-F3 — regenerate Figure 3 (SFQ tag evolution, worked example)."""
+
+from repro.experiments import figure3
+
+from benchmarks.conftest import run_once
+
+
+def test_figure3_tag_evolution(benchmark):
+    result = run_once(benchmark, figure3.run)
+    print()
+    print(result.render())
+    head = [(row[0], row[1], row[2]) for row in result.rows[:6]]
+    # the paper's exact quantum order and virtual-time values
+    assert head == [
+        (10, "A", 0.0), (20, "B", 0.0), (30, "B", 5.0),
+        (40, "A", 10.0), (50, "B", 10.0), (60, "B", 15.0),
+    ]

@@ -1,0 +1,18 @@
+"""EXP-F5 — regenerate Figure 5 (time-sharing vs SFQ predictability)."""
+
+from repro.experiments import figure5
+from repro.units import SECOND
+
+from benchmarks.conftest import run_once
+
+
+def test_figure5_ts_vs_sfq(benchmark):
+    result = run_once(benchmark, figure5.run, duration=30 * SECOND)
+    print()
+    print(result.render())
+    rows = {row[0]: row for row in result.rows}
+    ts_cov = rows["CoV (windowed)"][1]
+    sfq_cov = rows["CoV (windowed)"][2]
+    # paper shape: TS throughput varies significantly, SFQ is uniform
+    assert ts_cov > 2 * sfq_cov
+    assert rows["CoV (final loops)"][2] <= 0.01

@@ -1,0 +1,26 @@
+"""EXP-F7 — regenerate Figure 7 (hierarchical scheduling overhead)."""
+
+from repro.experiments import figure7
+from repro.units import SECOND
+
+from benchmarks.conftest import run_once
+
+
+def test_figure7a_thread_sweep(benchmark):
+    result = run_once(benchmark, figure7.run_thread_sweep,
+                      max_threads=20, duration=5 * SECOND)
+    print()
+    print(result.render())
+    # paper: throughput within 1% of the unmodified kernel
+    assert min(result.series["ratio"]) > 0.99
+
+
+def test_figure7b_depth_sweep(benchmark):
+    result = run_once(benchmark, figure7.run_depth_sweep,
+                      max_depth=30, step=5, duration=5 * SECOND)
+    print()
+    print(result.render())
+    ratios = result.series["ratio"]
+    # paper: within 0.2% across 0..30 interposed levels, monotone cost
+    assert min(ratios) > 0.997
+    assert ratios == sorted(ratios, reverse=True)

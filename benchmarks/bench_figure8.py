@@ -1,0 +1,31 @@
+"""EXP-F8 — regenerate Figure 8 (hierarchical partitioning & isolation)."""
+
+import pytest
+
+from repro.experiments import figure8
+from repro.units import SECOND
+
+from benchmarks.conftest import run_once
+
+
+def test_figure8a_partitioning(benchmark):
+    result = run_once(benchmark, figure8.run_partitioning,
+                      duration=20 * SECOND)
+    print()
+    print(result.render())
+    from repro.analysis.stats import mean
+    ratios = result.series["ratio"]
+    # paper: SFQ-1 : SFQ-2 aggregate throughput 1:3 per interval, despite
+    # the fluctuating SVR4 background
+    assert mean(ratios) == pytest.approx(3.0, rel=0.05)
+    assert all(r == pytest.approx(3.0, rel=0.25) for r in ratios)
+
+
+def test_figure8b_isolation(benchmark):
+    result = run_once(benchmark, figure8.run_isolation,
+                      duration=20 * SECOND)
+    print()
+    print(result.render())
+    # paper: equal weights, heterogeneous leaves -> equal node throughput
+    assert all(r == pytest.approx(1.0, rel=0.05)
+               for r in result.series["ratio"])

@@ -1,0 +1,19 @@
+"""EXP-F9 — regenerate Figure 9 (hard real-time latency and slack)."""
+
+from repro.experiments import figure9
+from repro.units import SECOND
+
+from benchmarks.conftest import run_once
+
+
+def test_figure9_latency_and_slack(benchmark):
+    result = run_once(benchmark, figure9.run, duration=20 * SECOND)
+    print()
+    print(result.name)
+    for note in result.notes:
+        print("note:", note)
+    # paper shape: latency bounded by ~the scheduling quantum (we allow
+    # two quanta: a competing class's quantum plus a short decode), and
+    # the slack is always positive (no deadline missed)
+    assert max(result.series["latency_ms"]) <= 50.0
+    assert min(result.series["slack_ms"]) > 0

@@ -1,0 +1,16 @@
+"""Benchmark helpers.
+
+Every paper figure has one bench module that regenerates it at full scale
+(``pytest benchmarks/ --benchmark-only``).  The pytest-benchmark timing
+measures the cost of regenerating the figure; each bench also asserts the
+paper's *shape* so a regression in behaviour — not just speed — fails the
+run.  Rendered tables are printed (visible with ``-s``).
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run a heavy experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)

@@ -1,0 +1,99 @@
+"""Fairness lab: compare scheduling algorithms on one fluctuating CPU.
+
+Runs the same two-thread workload (weights 1:2, one thread bursty) under
+SFQ, WFQ, SCFQ, FQS, stride, and lottery while interrupts steal a quarter
+of the CPU — then prints each algorithm's throughput split and its exact
+worst-case normalized fairness gap, with an ASCII chart of the cumulative
+service ratio over time.
+
+This is the paper's §6 comparison as a runnable script.
+
+Run:  python examples/fairness_lab.py
+"""
+
+from repro import (
+    DhrystoneWorkload,
+    FlatScheduler,
+    FqsScheduler,
+    LotteryScheduler,
+    Machine,
+    PeriodicInterruptSource,
+    Recorder,
+    ScfqScheduler,
+    MS,
+    SECOND,
+    SfqScheduler,
+    SimThread,
+    Simulator,
+    StrideScheduler,
+    WfqScheduler,
+    make_rng,
+)
+from repro.analysis.fairness import max_normalized_service_gap, sfq_fairness_bound
+from repro import PhasedWorkload
+from repro.viz.ascii_chart import line_chart
+from repro.viz.table import format_table
+
+CAPACITY = 10_000_000
+QUANTUM = 10 * MS
+QUANTUM_WORK = CAPACITY * QUANTUM // SECOND
+DURATION = 20 * SECOND
+
+
+def run_one(name, scheduler):
+    engine = Simulator()
+    recorder = Recorder()
+    machine = Machine(engine, FlatScheduler(scheduler),
+                      capacity_ips=CAPACITY, default_quantum=QUANTUM,
+                      tracer=recorder)
+    steady = SimThread("steady", DhrystoneWorkload(), weight=1)
+    bursty = SimThread("bursty",
+                       PhasedWorkload(on=700 * MS, cycle=SECOND,
+                                      batch=QUANTUM_WORK), weight=2)
+    machine.spawn(steady)
+    machine.spawn(bursty)
+    machine.add_interrupt_source(
+        PeriodicInterruptSource(period=100 * MS, service=25 * MS))
+    machine.run_until(DURATION)
+    gap = max_normalized_service_gap(recorder, steady, bursty, DURATION)
+    ratio_series = []
+    ts = recorder.trace_of(steady)
+    tb = recorder.trace_of(bursty)
+    for t in range(1, 21):
+        ws = ts.service_at(t * SECOND)
+        wb = tb.service_at(t * SECOND)
+        ratio_series.append(wb / ws if ws else 0.0)
+    return gap, ratio_series
+
+
+def main() -> None:
+    algorithms = {
+        "SFQ": SfqScheduler(),
+        "WFQ": WfqScheduler(QUANTUM_WORK, CAPACITY),
+        "FQS": FqsScheduler(QUANTUM_WORK, CAPACITY),
+        "SCFQ": ScfqScheduler(QUANTUM_WORK),
+        "stride": StrideScheduler(),
+        "lottery": LotteryScheduler(rng=make_rng(4, "lab")),
+    }
+    bound = sfq_fairness_bound(QUANTUM_WORK, 1, QUANTUM_WORK, 2)
+    rows = []
+    charts = {}
+    for name, scheduler in algorithms.items():
+        gap, series = run_one(name, scheduler)
+        rows.append([name, gap, gap / bound])
+        charts[name] = series
+    print(format_table(
+        ["algorithm", "max normalized gap", "gap / SFQ bound"], rows,
+        title="Fairness under a fluctuating CPU (25% stolen in 25 ms chunks)"))
+    print()
+    print(line_chart({"S": charts["SFQ"], "W": charts["WFQ"],
+                      "L": charts["lottery"]},
+                     title="cumulative bursty/steady service ratio over time "
+                           "(S=SFQ, W=WFQ, L=lottery)"))
+    print()
+    print("SFQ stays within its theoretical bound; the constant-rate")
+    print("virtual clocks (WFQ/FQS) and the randomized lottery drift.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+"""Priority inversion and the paper's weight-transfer remedy (§4).
+
+A low-weight thread takes a lock that a high-weight thread needs, while a
+heavy CPU hog (that uses no locks) dominates the CPU.  Without help, the
+low thread crawls, so the high thread — blocked behind it — crawls too:
+classic priority inversion.  The paper's remedy for SFQ leaves is to
+*transfer the weight* of the blocked thread to the thread blocking it;
+``SimMutex(donate_weight=True)`` implements exactly that.
+
+The script runs the same scenario with donation off and on and prints how
+long the high-weight thread took to get through its critical section.
+
+Run:  python examples/priority_inversion.py
+"""
+
+from repro import (
+    Acquire,
+    Compute,
+    DhrystoneWorkload,
+    HierarchicalScheduler,
+    Machine,
+    MS,
+    Recorder,
+    Release,
+    SchedulingStructure,
+    SECOND,
+    SfqScheduler,
+    SimMutex,
+    SimThread,
+    SleepFor,
+    Simulator,
+)
+from repro.threads.segments import SegmentListWorkload
+from repro.viz.table import format_table
+
+CAPACITY = 1_000_000  # 1 MIPS: numbers stay small and readable
+KILO = 1000
+
+
+def run_scenario(donate: bool) -> dict:
+    structure = SchedulingStructure()
+    leaf = structure.mknod("/apps", 1, scheduler=SfqScheduler())
+    engine = Simulator()
+    recorder = Recorder()
+    machine = Machine(engine, HierarchicalScheduler(structure),
+                      capacity_ips=CAPACITY, default_quantum=10 * MS,
+                      tracer=recorder)
+    lock = SimMutex("shared-buffer", donate_weight=donate)
+
+    # low: grabs the lock, then needs 50 ms of CPU inside it.
+    low = SimThread("low", SegmentListWorkload(
+        [Acquire(lock), Compute(50 * KILO), Release(lock)]), weight=1)
+    # hog: lock-free CPU burner with a big share.
+    hog = SimThread("hog", DhrystoneWorkload(loop_cost=100, batch=10),
+                    weight=8)
+    # high: wakes shortly after, needs the lock for a short update.
+    high = SimThread("high", SegmentListWorkload(
+        [SleepFor(1 * MS), Acquire(lock), Compute(1 * KILO),
+         Release(lock)]), weight=8)
+
+    for thread in (low, hog, high):
+        leaf.attach_thread(thread)
+        machine.spawn(thread)
+    machine.run_until(2 * SECOND)
+    return {
+        "high finished at": "%.0f ms" % (high.stats.exited_at / MS),
+        "low finished at": "%.0f ms" % (low.stats.exited_at / MS),
+        "low weight after": low.weight,
+    }
+
+
+def main() -> None:
+    plain = run_scenario(donate=False)
+    donated = run_scenario(donate=True)
+    rows = [
+        [key, plain[key], donated[key]]
+        for key in ("high finished at", "low finished at",
+                    "low weight after")
+    ]
+    print(format_table(["metric", "no donation", "weight donation"], rows,
+                       title="Priority inversion through a shared lock"))
+    print()
+    print("Without donation the lock holder runs at weight 1 against the")
+    print("hog's 8, so the high-weight thread is inverted for hundreds of")
+    print("milliseconds.  With the paper's weight transfer the holder")
+    print("temporarily runs at weight 1+8 and the inversion collapses.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+"""Trace analysis tour: record a run, then inspect it every way we can.
+
+Runs a short mixed scenario and demonstrates the measurement surface:
+Gantt chart of who held the CPU, service curves, windowed throughput,
+wait-time distribution, FC-server fitting of the effective bandwidth, and
+JSON/CSV export for outside tools.
+
+Run:  python examples/trace_analysis.py
+"""
+
+from repro import (
+    Compute,
+    DhrystoneWorkload,
+    HierarchicalScheduler,
+    InteractiveWorkload,
+    Machine,
+    MS,
+    PeriodicInterruptSource,
+    Recorder,
+    SECOND,
+    SchedulingStructure,
+    SfqScheduler,
+    SimThread,
+    Simulator,
+    make_rng,
+)
+from repro.analysis.fc_server import fc_params_for_periodic_interrupts, fit_fc_params
+from repro.analysis.stats import mean, percentile
+from repro.trace.export import slices_to_csv, trace_to_json
+from repro.trace.metrics import throughput_series, wait_times
+from repro.viz.ascii_chart import sparkline
+from repro.viz.gantt import gantt_chart
+
+CAPACITY = 1_000_000
+KILO = 1000
+
+
+def main() -> None:
+    structure = SchedulingStructure()
+    leaf = structure.mknod("/apps", 1, scheduler=SfqScheduler())
+    engine = Simulator()
+    recorder = Recorder()
+    machine = Machine(engine, HierarchicalScheduler(structure),
+                      capacity_ips=CAPACITY, default_quantum=10 * MS,
+                      tracer=recorder)
+    machine.add_interrupt_source(
+        PeriodicInterruptSource(period=20 * MS, service=2 * MS))
+
+    cruncher = SimThread("cruncher", DhrystoneWorkload(loop_cost=100,
+                                                       batch=10), weight=2)
+    editor = SimThread("editor", InteractiveWorkload(
+        burst_work=2 * KILO, think_time=60 * MS, rng=make_rng(8, "ta")))
+    leaf.attach_thread(cruncher)
+    leaf.attach_thread(editor)
+    machine.spawn(cruncher)
+    machine.spawn(editor)
+    machine.run_until(2 * SECOND)
+
+    # 1. who held the CPU (first 200 ms)
+    print(gantt_chart(recorder, [cruncher, editor], start=0,
+                      end=200 * MS, width=60,
+                      title="CPU occupancy, first 200 ms (# = running)"))
+    print()
+
+    # 2. windowed throughput of the cruncher
+    series = throughput_series(recorder, cruncher, 100 * MS, 2 * SECOND)
+    print("cruncher work per 100 ms:", sparkline(series))
+
+    # 3. the editor's scheduling waits
+    waits = [w / MS for w in wait_times(recorder, editor)]
+    print("editor waits: mean %.2f ms, p95 %.2f ms over %d wakeups"
+          % (mean(waits), percentile(waits, 95), len(waits)))
+
+    # 4. fit the effective CPU's FC parameters and compare to theory
+    analytic = fc_params_for_periodic_interrupts(CAPACITY, 20 * MS, 2 * MS)
+    points = []
+    for t in range(0, 2001, 10):
+        ts = t * MS
+        total = (recorder.trace_of(cruncher).service_at(ts)
+                 + recorder.trace_of(editor).service_at(ts))
+        points.append((ts, total))
+    fitted = fit_fc_params(points, analytic.rate_ips)
+    print("effective CPU: rate %.0f inst/s; burstiness fitted %.0f "
+          "(analytic bound %.0f + one quantum)"
+          % (analytic.rate_ips, fitted.burstiness, analytic.burstiness))
+
+    # 5. export
+    json_text = trace_to_json(recorder, [cruncher, editor])
+    csv_text = slices_to_csv(recorder, [cruncher, editor])
+    print("exports: %d bytes of JSON, %d CSV rows"
+          % (len(json_text), csv_text.count("\n") - 1))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Legacy setup shim.
+
+Kept so ``pip install -e .`` works offline with older setuptools (no wheel
+package available); all metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,138 @@
+"""repro — Hierarchical CPU scheduling with Start-time Fair Queuing.
+
+A from-scratch reproduction of Goyal, Guo & Vin, "A Hierarchical CPU
+Scheduler for Multimedia Operating Systems" (OSDI 1996) on a discrete-event
+CPU simulator.
+
+Quickstart::
+
+    from repro import (
+        HierarchicalScheduler, Machine, SchedulingStructure, SfqScheduler,
+        SimThread, Simulator, DhrystoneWorkload, MS, SECOND,
+    )
+
+    structure = SchedulingStructure()
+    leaf = structure.mknod("/apps", weight=1, scheduler=SfqScheduler())
+    engine = Simulator()
+    machine = Machine(engine, HierarchicalScheduler(structure))
+    thread = SimThread("worker", DhrystoneWorkload(), weight=2)
+    leaf.attach_thread(thread)
+    machine.spawn(thread)
+    machine.run_until(1 * SECOND)
+    print(thread.stats.work_done)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record of every figure.
+"""
+
+from repro.core.hierarchy import PREEMPT_LEAF, PREEMPT_NONE, HierarchicalScheduler
+from repro.core.node import InternalNode, LeafNode, Node
+from repro.core.sfq import SfqQueue
+from repro.core.structure import (
+    ADMIN_GET_WEIGHT,
+    ADMIN_INFO,
+    ADMIN_SET_WEIGHT,
+    SchedulingStructure,
+)
+from repro.core.tags import TagMath
+from repro.cpu.costs import LinearCostModel, SchedulingCostModel
+from repro.cpu.flat import FlatScheduler
+from repro.cpu.interrupts import PeriodicInterruptSource, PoissonInterruptSource
+from repro.cpu.machine import Machine, MachineStats
+from repro.errors import (
+    AdmissionError,
+    NodeBusyError,
+    NodeExistsError,
+    NodeNotFoundError,
+    NotALeafError,
+    ReproError,
+    SchedulingError,
+    SimulationError,
+    StructureError,
+    WorkloadError,
+)
+from repro.schedulers import (
+    EdfScheduler,
+    EevdfScheduler,
+    FifoScheduler,
+    FqsScheduler,
+    LeafScheduler,
+    LotteryScheduler,
+    ReservesScheduler,
+    RmaScheduler,
+    RoundRobinScheduler,
+    ScfqScheduler,
+    SfqScheduler,
+    StrideScheduler,
+    Svr4TimeSharing,
+    WfqScheduler,
+)
+from repro.sim.engine import Simulator
+from repro.sim.rng import make_rng
+from repro.smp.machine import SmpMachine
+from repro.sync import (
+    Acquire,
+    Down,
+    Notify,
+    PriorityInheritanceMutex,
+    Release,
+    SimMutex,
+    SimSemaphore,
+    Up,
+    WaitOn,
+    WaitQueue,
+)
+from repro.threads.segments import Compute, Exit, SleepFor, SleepUntil, Workload
+from repro.threads.states import ThreadState
+from repro.threads.thread import SimThread
+from repro.trace.recorder import Recorder
+from repro.units import MS, NS, SECOND, US
+from repro.workloads import (
+    BurstyWorkload,
+    DhrystoneWorkload,
+    InteractiveWorkload,
+    MpegDecodeWorkload,
+    MpegVbrModel,
+    PeriodicWorkload,
+    PhasedWorkload,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "SfqQueue", "TagMath", "SchedulingStructure", "HierarchicalScheduler",
+    "Node", "InternalNode", "LeafNode",
+    "PREEMPT_NONE", "PREEMPT_LEAF",
+    "ADMIN_GET_WEIGHT", "ADMIN_SET_WEIGHT", "ADMIN_INFO",
+    # cpu
+    "Machine", "MachineStats", "FlatScheduler", "SmpMachine",
+    "SchedulingCostModel", "LinearCostModel",
+    "PeriodicInterruptSource", "PoissonInterruptSource",
+    # sim
+    "Simulator", "make_rng",
+    # threads
+    "SimThread", "ThreadState", "Workload",
+    "Compute", "SleepFor", "SleepUntil", "Exit",
+    # synchronization
+    "SimMutex", "Acquire", "Release", "PriorityInheritanceMutex",
+    "SimSemaphore", "Down", "Up", "WaitQueue", "WaitOn", "Notify",
+    # schedulers
+    "LeafScheduler", "SfqScheduler", "FifoScheduler", "RoundRobinScheduler",
+    "Svr4TimeSharing", "EdfScheduler", "EevdfScheduler", "RmaScheduler",
+    "LotteryScheduler", "ReservesScheduler",
+    "StrideScheduler", "WfqScheduler", "ScfqScheduler", "FqsScheduler",
+    # workloads
+    "DhrystoneWorkload", "MpegVbrModel", "MpegDecodeWorkload",
+    "PeriodicWorkload", "PhasedWorkload", "InteractiveWorkload",
+    "BurstyWorkload",
+    # tracing
+    "Recorder",
+    # units
+    "NS", "US", "MS", "SECOND",
+    # errors
+    "ReproError", "SimulationError", "SchedulingError", "StructureError",
+    "NodeExistsError", "NodeNotFoundError", "NodeBusyError", "NotALeafError",
+    "AdmissionError", "WorkloadError",
+]

@@ -1,0 +1,35 @@
+"""Analysis: fairness metrics and the paper's analytical bounds.
+
+* :mod:`repro.analysis.fairness` — normalized service gaps (the quantity
+  the SFQ fairness theorem bounds), Jain's index, dispersion metrics;
+* :mod:`repro.analysis.fc_server` — Fluctuation-Constrained and
+  Exponentially-Bounded-Fluctuation server models, parameter fitting from
+  traces, and SFQ's throughput guarantee (paper eq. 6);
+* :mod:`repro.analysis.bounds` — SFQ's delay guarantee (paper eq. 8) and
+  the WFQ/SCFQ delay comparisons of §6;
+* :mod:`repro.analysis.stats` — small statistics helpers.
+"""
+
+from repro.analysis.bounds import expected_arrival_times, sfq_completion_bounds
+from repro.analysis.fairness import (
+    max_normalized_service_gap,
+    normalized_gap_series,
+    sfq_fairness_bound,
+)
+from repro.analysis.fc_server import FCParams, fit_fc_params, sfq_throughput_params
+from repro.analysis.stats import coefficient_of_variation, jain_index, mean, stdev
+
+__all__ = [
+    "max_normalized_service_gap",
+    "normalized_gap_series",
+    "sfq_fairness_bound",
+    "FCParams",
+    "fit_fc_params",
+    "sfq_throughput_params",
+    "expected_arrival_times",
+    "sfq_completion_bounds",
+    "jain_index",
+    "coefficient_of_variation",
+    "mean",
+    "stdev",
+]

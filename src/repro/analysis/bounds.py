@@ -1,0 +1,87 @@
+"""SFQ's delay guarantee and the §6 delay comparisons.
+
+Paper eq. (8): on an FC(C, δ) CPU, SFQ guarantees that quantum j of thread
+f completes by::
+
+    EAT(q_f^j) + (sum over other threads m of l̂_m) / C + δ/C + l_f^j / C
+
+where EAT is the *expected arrival time* — when the quantum would start if
+thread f had the CPU to itself at its own reserved rate ``r_f``::
+
+    EAT(q_f^1) = arrival_1
+    EAT(q_f^j) = max(arrival_j, EAT(q_f^{j-1}) + l_f^{j-1} / r_f)
+
+§6 additionally derives WFQ's bound (which pays ``Q * l̂max / C`` — one
+maximum quantum per *every* competing thread, plus the largest quantum ever
+scheduled) and SCFQ's (which inflates SFQ's by ``l̂max * (Q - 1) / C``
+relative terms); :func:`wfq_delay_penalty` and :func:`scfq_delay_penalty`
+express the differences used by the EXP-AB ablations.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.units import SECOND
+
+
+def expected_arrival_times(arrivals: Sequence[int], lengths: Sequence[int],
+                           rate_ips: float) -> List[float]:
+    """EAT recursion (ns).  ``lengths`` in instructions, ``rate`` in inst/s."""
+    if len(arrivals) != len(lengths):
+        raise ValueError("arrivals and lengths must align")
+    if rate_ips <= 0:
+        raise ValueError("rate must be positive")
+    eats: List[float] = []
+    for index, arrival in enumerate(arrivals):
+        if index == 0:
+            eats.append(float(arrival))
+        else:
+            prev = eats[-1] + lengths[index - 1] * SECOND / rate_ips
+            eats.append(max(float(arrival), prev))
+    return eats
+
+
+def sfq_completion_bounds(arrivals: Sequence[int], lengths: Sequence[int],
+                          rate_ips: float, other_max_quanta: Sequence[int],
+                          capacity_ips: float, burstiness: float = 0.0
+                          ) -> List[float]:
+    """Per-quantum completion deadlines guaranteed by SFQ (paper eq. 8).
+
+    Parameters
+    ----------
+    arrivals / lengths:
+        Quantum request times (ns) and lengths (instructions) of thread f.
+    rate_ips:
+        Thread f's reserved rate (its weight interpreted as a rate).
+    other_max_quanta:
+        Maximum quantum length (instructions) of every *other* thread.
+    capacity_ips / burstiness:
+        FC parameters of the CPU (burstiness in instructions).
+    """
+    if capacity_ips <= 0:
+        raise ValueError("capacity must be positive")
+    eats = expected_arrival_times(arrivals, lengths, rate_ips)
+    cross = (sum(other_max_quanta) + burstiness) * SECOND / capacity_ips
+    return [
+        eat + cross + length * SECOND / capacity_ips
+        for eat, length in zip(eats, lengths)
+    ]
+
+
+def wfq_delay_penalty(num_threads: int, max_quantum: int,
+                      capacity_ips: float) -> float:
+    """Extra delay (ns) WFQ's bound carries over SFQ's for equal quanta.
+
+    §6: with all quanta equal, SFQ's bound beats WFQ's whenever
+    ``Q > C / r_f``; the gap grows with the number of competing threads.
+    This helper returns ``num_threads * max_quantum / C`` — the
+    per-competitor term in WFQ's bound.
+    """
+    return num_threads * max_quantum * SECOND / capacity_ips
+
+
+def scfq_delay_penalty(num_threads: int, max_quantum: int,
+                       capacity_ips: float) -> float:
+    """SCFQ's extra delay versus SFQ: ``(Q - 1) * l̂ / C`` (§6)."""
+    return max(0, num_threads - 1) * max_quantum * SECOND / capacity_ips

@@ -1,0 +1,107 @@
+"""Fairness metrics.
+
+The SFQ fairness theorem (paper §3.1) states that for any interval
+[t1, t2] in which threads ``f`` and ``m`` are both runnable::
+
+    | W_f(t1,t2)/w_f  -  W_m(t1,t2)/w_m |  <=  l̂_f/w_f + l̂_m/w_m
+
+where ``l̂`` is the maximum quantum length.  The functions here compute the
+left-hand side exactly from a recorded trace — taking the maximum over
+*all* subintervals of every maximal interval in which both threads are
+runnable — so tests can assert the inequality with no slack.
+
+The trick: within one both-runnable interval, define
+``D(t) = W_f(t)/w_f - W_m(t)/w_m``.  The gap over subinterval [t1, t2] is
+``D(t2) - D(t1)``, so the maximum absolute gap over all subintervals is
+``max D - min D``.  ``D`` is piecewise linear with breakpoints only at
+slice boundaries, so evaluating it at those breakpoints is exact.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Tuple
+
+from repro.trace.metrics import common_runnable_intervals
+from repro.trace.recorder import Recorder
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.threads.thread import SimThread
+
+
+def sfq_fairness_bound(max_quantum_f: int, weight_f: int,
+                       max_quantum_m: int, weight_m: int) -> float:
+    """The theorem's right-hand side: ``l̂_f/w_f + l̂_m/w_m``."""
+    return max_quantum_f / weight_f + max_quantum_m / weight_m
+
+
+def _breakpoints(recorder: Recorder, thread: "SimThread",
+                 lo: int, hi: int) -> List[int]:
+    trace = recorder.trace_of(thread)
+    points = []
+    for t0, t1, __ in trace.slices:
+        if t1 < lo or t0 > hi:
+            continue
+        if lo <= t0 <= hi:
+            points.append(t0)
+        if lo <= t1 <= hi:
+            points.append(t1)
+    return points
+
+
+def normalized_gap_series(recorder: Recorder, thread_f: "SimThread",
+                          thread_m: "SimThread", horizon: int,
+                          weight_f: int = 0, weight_m: int = 0
+                          ) -> List[Tuple[int, float]]:
+    """``(t, D(t))`` samples at every breakpoint of both-runnable intervals.
+
+    Weights default to the threads' current weights; pass them explicitly
+    when analysing a run with dynamic weight changes.
+    """
+    wf = weight_f or thread_f.weight
+    wm = weight_m or thread_m.weight
+    tf = recorder.trace_of(thread_f)
+    tm = recorder.trace_of(thread_m)
+    series: List[Tuple[int, float]] = []
+    for lo, hi in common_runnable_intervals(tf, tm, horizon):
+        points = set(_breakpoints(recorder, thread_f, lo, hi))
+        points.update(_breakpoints(recorder, thread_m, lo, hi))
+        points.add(lo)
+        points.add(hi)
+        for t in sorted(points):
+            gap = tf.service_at(t) / wf - tm.service_at(t) / wm
+            series.append((t, gap))
+    return series
+
+
+def max_normalized_service_gap(recorder: Recorder, thread_f: "SimThread",
+                               thread_m: "SimThread", horizon: int,
+                               weight_f: int = 0, weight_m: int = 0) -> float:
+    """Exact maximum of |W_f/w_f - W_m/w_m| over all both-runnable subintervals."""
+    wf = weight_f or thread_f.weight
+    wm = weight_m or thread_m.weight
+    tf = recorder.trace_of(thread_f)
+    tm = recorder.trace_of(thread_m)
+    worst = 0.0
+    for lo, hi in common_runnable_intervals(tf, tm, horizon):
+        points = set(_breakpoints(recorder, thread_f, lo, hi))
+        points.update(_breakpoints(recorder, thread_m, lo, hi))
+        points.add(lo)
+        points.add(hi)
+        lo_gap = float("inf")
+        hi_gap = float("-inf")
+        for t in points:
+            gap = tf.service_at(t) / wf - tm.service_at(t) / wm
+            lo_gap = min(lo_gap, gap)
+            hi_gap = max(hi_gap, gap)
+        worst = max(worst, hi_gap - lo_gap)
+    return worst
+
+
+def throughput_ratio(recorder: Recorder, thread_a: "SimThread",
+                     thread_b: "SimThread", t1: int, t2: int) -> float:
+    """W_a / W_b over [t1, t2]; ``inf`` when b received no service."""
+    wa = recorder.trace_of(thread_a).work_in(t1, t2)
+    wb = recorder.trace_of(thread_b).work_in(t1, t2)
+    if wb == 0:
+        return float("inf") if wa > 0 else 1.0
+    return wa / wb

@@ -1,0 +1,124 @@
+"""Fluctuation-Constrained (FC) and Exponentially-Bounded-Fluctuation (EBF)
+server models (paper §3.1, after Lee '95).
+
+A server is FC(C, δ) if in any interval [t1, t2] inside a busy period it
+does at least ``C * (t2 - t1) - δ`` work: it never falls more than the
+burstiness δ behind an ideal constant-rate-C server.  A CPU whose
+interrupts steal at most ``s`` out of every ``P`` nanoseconds is FC with
+rate ``C * (1 - s/P)`` and burstiness about ``C * s``.
+
+This module can
+
+* state FC parameters analytically for periodic interrupt configurations
+  (:func:`fc_params_for_periodic_interrupts`),
+* fit the minimal empirical burstiness of a recorded service curve for a
+  *given* rate (:func:`fit_fc_params`), and
+* propagate FC parameters through SFQ (paper eq. 6): if the CPU is FC,
+  each thread's/node's received service is FC with parameters given by
+  :func:`sfq_throughput_params` — applied recursively down the hierarchy.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, NamedTuple, Sequence, Tuple
+
+from repro.units import SECOND
+
+
+class FCParams(NamedTuple):
+    """FC server parameters: average rate (inst/s) and burstiness (inst)."""
+
+    rate_ips: float
+    burstiness: float
+
+
+def fc_params_for_periodic_interrupts(capacity_ips: int, period: int,
+                                      service: int) -> FCParams:
+    """Analytical FC parameters of a CPU with one periodic interrupt source.
+
+    Over any window the source steals at most ``ceil(window/period)``
+    services, so the effective rate is ``C * (1 - s/P)`` with burstiness
+    one full service's worth of work, ``C * s`` (in instructions).
+    """
+    if not 0 <= service < period:
+        raise ValueError("need 0 <= service < period")
+    rate = capacity_ips * (1.0 - service / period)
+    burstiness = capacity_ips * (service / SECOND)
+    return FCParams(rate, burstiness)
+
+
+def fit_fc_params(points: Sequence[Tuple[int, float]], rate_ips: float
+                  ) -> FCParams:
+    """Minimal burstiness making a service curve FC at ``rate_ips``.
+
+    ``points`` are cumulative-service samples ``(t, W(t))`` within one busy
+    period, time-sorted.  The minimal δ is::
+
+        max over t1 <= t2 of  rate * (t2 - t1) - (W(t2) - W(t1))
+
+    computed in O(n) by tracking the running maximum of
+    ``rate * t1 - W(t1)`` (a classic prefix trick).
+    """
+    if not points:
+        return FCParams(rate_ips, 0.0)
+    # delta = max over t1 <= t2 of (rate*t2 - W2) + (W1 - rate*t1);
+    # sweep t2 while tracking the best earlier (W1 - rate*t1).
+    best_earlier = -math.inf
+    delta = 0.0
+    for t, w in points:
+        deficit_here = rate_ips * (t / SECOND) - w
+        if best_earlier > -math.inf:
+            delta = max(delta, deficit_here + best_earlier)
+        best_earlier = max(best_earlier, -deficit_here)
+    return FCParams(rate_ips, max(0.0, delta))
+
+
+def sfq_throughput_params(cpu: FCParams, weight: int, all_weights: Sequence[int],
+                          max_quanta: Sequence[int], own_max_quantum: int
+                          ) -> FCParams:
+    """SFQ's throughput guarantee (paper eq. 6).
+
+    With weights interpreted as rates (``sum(all_weights) <= C``), a thread
+    of weight ``w`` served by SFQ on an FC(C, δ) CPU receives FC service
+    with rate ``w`` and burstiness::
+
+        (w / C) * (δ + sum of other threads' max quanta) + own max quantum
+
+    ``all_weights``/``max_quanta`` describe the *competing* threads
+    (excluding this one).
+    """
+    if weight <= 0:
+        raise ValueError("weight must be positive")
+    if len(all_weights) != len(max_quanta):
+        raise ValueError("all_weights and max_quanta must align")
+    others = sum(max_quanta)
+    burstiness = (weight / cpu.rate_ips) * (cpu.burstiness + others) + own_max_quantum
+    return FCParams(float(weight), burstiness)
+
+
+def check_fc(points: Sequence[Tuple[int, float]], params: FCParams) -> bool:
+    """True when the service curve satisfies FC(rate, burstiness)."""
+    fitted = fit_fc_params(points, params.rate_ips)
+    return fitted.burstiness <= params.burstiness + 1e-6
+
+
+def ebf_tail(points: Sequence[Tuple[int, float]], rate_ips: float,
+             gammas: Sequence[float]) -> List[Tuple[float, float]]:
+    """Empirical EBF tail: fraction of interval deficits exceeding each γ.
+
+    For every pair of consecutive samples the deficit
+    ``rate * dt - dW`` is computed; the result gives, for each γ, the
+    fraction of sampled intervals whose deficit exceeds γ — an empirical
+    counterpart of the EBF probability bound ``A * B**γ``.
+    """
+    deficits = []
+    for (t1, w1), (t2, w2) in zip(points, points[1:]):
+        deficits.append(rate_ips * ((t2 - t1) / SECOND) - (w2 - w1))
+    if not deficits:
+        return [(g, 0.0) for g in gammas]
+    result = []
+    for gamma in gammas:
+        exceed = sum(1 for d in deficits if d > gamma)
+        result.append((gamma, exceed / len(deficits)))
+    return result

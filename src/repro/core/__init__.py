@@ -1,0 +1,27 @@
+"""Core contribution: Start-time Fair Queuing and the hierarchical scheduler.
+
+* :mod:`repro.core.tags` — start/finish tag arithmetic (exact or float);
+* :mod:`repro.core.sfq` — the SFQ queue over weighted entities;
+* :mod:`repro.core.node` — scheduling-structure tree nodes;
+* :mod:`repro.core.structure` — the pathname tree API mirroring the paper's
+  ``hsfq_mknod`` / ``hsfq_parse`` / ``hsfq_rmnod`` / ``hsfq_move`` /
+  ``hsfq_admin`` system calls;
+* :mod:`repro.core.hierarchy` — the hierarchical scheduler driving
+  ``hsfq_schedule`` / ``hsfq_update`` / ``hsfq_setrun`` / ``hsfq_sleep``.
+"""
+
+from repro.core.hierarchy import HierarchicalScheduler
+from repro.core.node import InternalNode, LeafNode, Node
+from repro.core.sfq import SfqQueue
+from repro.core.structure import SchedulingStructure
+from repro.core.tags import TagMath
+
+__all__ = [
+    "TagMath",
+    "SfqQueue",
+    "Node",
+    "InternalNode",
+    "LeafNode",
+    "SchedulingStructure",
+    "HierarchicalScheduler",
+]

@@ -1,0 +1,208 @@
+"""The Start-time Fair Queuing queue.
+
+An :class:`SfqQueue` schedules *entities* — anything with a positive
+``weight`` attribute (scheduling-structure nodes, threads).  It implements
+the three rules of the paper's Section 3:
+
+1. when an entity requests service (becomes runnable), stamp it with a start
+   tag ``S = max(v, F)`` where ``F`` is its finish tag (initially 0);
+2. when a service quantum of length ``l`` completes, advance the finish tag
+   ``F = S + l / w`` (and restamp ``S = F`` if the entity stays runnable —
+   at completion ``v`` equals the entity's own start tag, so
+   ``max(v, F) = F``);
+3. dispatch in increasing start-tag order, breaking ties by arrival
+   sequence (deterministic; the paper allows arbitrary tie-breaks).
+
+Virtual time ``v`` follows the paper exactly: while the queue is busy it is
+the start tag of the entity in service; when the queue goes idle it jumps to
+the maximum finish tag ever assigned.
+
+The queue never needs quantum lengths in advance — lengths are supplied at
+:meth:`charge` time, which is the property that makes SFQ usable for CPU
+scheduling (threads may block before exhausting their quantum).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.tags import EXACT, Tag, TagMath
+from repro.errors import SchedulingError
+
+_arrival_seq = itertools.count()
+
+
+class _Record:
+    """Internal per-entity scheduling state."""
+
+    __slots__ = ("entity", "start", "finish", "runnable", "heap_version", "seq")
+
+    def __init__(self, entity: Any, zero: Tag) -> None:
+        self.entity = entity
+        self.start: Tag = zero
+        self.finish: Tag = zero
+        self.runnable = False
+        self.heap_version = 0
+        self.seq = next(_arrival_seq)
+
+
+class SfqQueue:
+    """A single SFQ scheduling queue over weighted entities."""
+
+    def __init__(self, tag_math: Optional[TagMath] = None) -> None:
+        self.tags = tag_math if tag_math is not None else EXACT
+        self._records: Dict[int, _Record] = {}
+        self._heap: List[Tuple[Tag, int, int, _Record]] = []
+        self._virtual_time: Tag = self.tags.zero()
+        self._max_finish: Tag = self.tags.zero()
+        self._in_service: Optional[_Record] = None
+        self._runnable_count = 0
+
+    # --- membership ---------------------------------------------------
+
+    def add(self, entity: Any) -> None:
+        """Register ``entity`` (initially not runnable, finish tag 0).
+
+        New entities start with ``F = 0``; their first stamping takes
+        ``max(v, 0) = v``, so a late joiner does not receive catch-up credit
+        for the time before it arrived.
+        """
+        key = id(entity)
+        if key in self._records:
+            raise SchedulingError("entity %r already in SFQ queue" % (entity,))
+        self._records[key] = _Record(entity, self.tags.zero())
+
+    def remove(self, entity: Any) -> None:
+        """Deregister ``entity``; it must not be runnable."""
+        record = self._lookup(entity)
+        if record.runnable:
+            raise SchedulingError(
+                "cannot remove runnable entity %r from SFQ queue" % (entity,))
+        record.heap_version += 1  # invalidate any stale heap entries
+        del self._records[id(entity)]
+
+    def __contains__(self, entity: Any) -> bool:
+        return id(entity) in self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    # --- introspection --------------------------------------------------
+
+    @property
+    def virtual_time(self) -> Tag:
+        """Current virtual time ``v`` of this queue."""
+        return self._virtual_time
+
+    @property
+    def runnable_count(self) -> int:
+        """Number of entities currently eligible for service."""
+        return self._runnable_count
+
+    def has_runnable(self) -> bool:
+        """True when at least one entity is eligible for service."""
+        return self._runnable_count > 0
+
+    def start_tag(self, entity: Any) -> Tag:
+        """Current start tag of ``entity`` (for tests and tracing)."""
+        return self._lookup(entity).start
+
+    def finish_tag(self, entity: Any) -> Tag:
+        """Current finish tag of ``entity`` (for tests and tracing)."""
+        return self._lookup(entity).finish
+
+    def is_runnable(self, entity: Any) -> bool:
+        """True if ``entity`` is currently marked runnable in this queue."""
+        return self._lookup(entity).runnable
+
+    # --- the three SFQ rules ---------------------------------------------
+
+    def set_runnable(self, entity: Any) -> None:
+        """Rule 1: stamp a newly eligible entity with ``S = max(v, F)``."""
+        record = self._lookup(entity)
+        if record.runnable:
+            return
+        record.runnable = True
+        self._runnable_count += 1
+        start = record.finish
+        if start < self._virtual_time:
+            start = self._virtual_time
+        record.start = start
+        self._push(record)
+
+    def set_blocked(self, entity: Any) -> None:
+        """Mark an entity ineligible; updates idle virtual time if needed."""
+        record = self._lookup(entity)
+        if not record.runnable:
+            return
+        record.runnable = False
+        record.heap_version += 1  # lazy-remove from heap
+        self._runnable_count -= 1
+        if record is self._in_service:
+            self._in_service = None
+        if self._runnable_count == 0:
+            # Paper rule: when the server goes idle, v jumps to the maximum
+            # finish tag assigned to any entity.
+            if self._max_finish > self._virtual_time:
+                self._virtual_time = self._max_finish
+
+    def pick(self) -> Optional[Any]:
+        """Rule 3: return the runnable entity with the smallest start tag.
+
+        The entity stays queued; it is "in service" until the next
+        :meth:`charge`.  Returns ``None`` when nothing is runnable.
+        """
+        record = self._peek_record()
+        if record is None:
+            return None
+        self._in_service = record
+        if record.start > self._virtual_time:
+            self._virtual_time = record.start
+        return record.entity
+
+    def charge(self, entity: Any, length: int, weight: Optional[int] = None) -> None:
+        """Rule 2: account ``length`` units of completed service.
+
+        ``weight`` defaults to ``entity.weight`` read *now*, so dynamic
+        weight changes (Figure 11) take effect at the next charge.
+        """
+        if length < 0:
+            raise SchedulingError("negative charge length %d" % length)
+        record = self._lookup(entity)
+        if weight is None:
+            weight = entity.weight
+        record.finish = self.tags.advance(record.start, length, weight)
+        if record.finish > self._max_finish:
+            self._max_finish = record.finish
+        if record is self._in_service:
+            self._in_service = None
+        if record.runnable:
+            # Still hungry: the next quantum is requested immediately, and
+            # at this instant v equals this entity's start tag, so the new
+            # start tag is simply the finish tag.
+            record.start = record.finish
+            self._push(record)
+
+    # --- internals -----------------------------------------------------
+
+    def _lookup(self, entity: Any) -> _Record:
+        try:
+            return self._records[id(entity)]
+        except KeyError:
+            raise SchedulingError("entity %r not in SFQ queue" % (entity,)) from None
+
+    def _push(self, record: _Record) -> None:
+        record.heap_version += 1
+        heapq.heappush(
+            self._heap, (record.start, record.seq, record.heap_version, record))
+
+    def _peek_record(self) -> Optional[_Record]:
+        heap = self._heap
+        while heap:
+            __, __, version, record = heap[0]
+            if record.runnable and version == record.heap_version:
+                return record
+            heapq.heappop(heap)
+        return None

@@ -1,0 +1,60 @@
+"""Tag arithmetic for start-time fair queuing.
+
+SFQ tags are sums of ``length / weight`` terms.  Two arithmetic modes are
+provided:
+
+* **exact** (default): tags are :class:`fractions.Fraction`.  The fairness
+  theorem of the paper then holds *exactly* in tests, with no epsilon.
+* **float**: tags are machine floats.  Faster, and what a kernel would use;
+  the drift it introduces is quantified by the EXP-AB4 ablation.
+
+Both modes share the same interface so queues are generic over it.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Union
+
+Tag = Union[Fraction, float]
+
+
+class TagMath:
+    """Strategy object for tag arithmetic.
+
+    Parameters
+    ----------
+    exact:
+        When True, tags are :class:`~fractions.Fraction`; otherwise floats.
+    """
+
+    __slots__ = ("exact",)
+
+    def __init__(self, exact: bool = True) -> None:
+        self.exact = exact
+
+    def zero(self) -> Tag:
+        """The initial value of every tag and of virtual time."""
+        return Fraction(0) if self.exact else 0.0
+
+    def ratio(self, length: int, weight: int) -> Tag:
+        """``length / weight`` in this mode's representation."""
+        if weight <= 0:
+            raise ValueError("weight must be positive, got %r" % (weight,))
+        if self.exact:
+            return Fraction(length, weight)
+        return length / weight
+
+    def advance(self, tag: Tag, length: int, weight: int) -> Tag:
+        """Return ``tag + length / weight`` — the finish-tag update rule."""
+        return tag + self.ratio(length, weight)
+
+    def __repr__(self) -> str:
+        return "TagMath(exact=%r)" % self.exact
+
+
+#: Shared default instance (exact arithmetic).
+EXACT = TagMath(exact=True)
+
+#: Shared float-mode instance.
+FLOAT = TagMath(exact=False)

@@ -1,0 +1,29 @@
+"""The simulated CPU.
+
+* :mod:`repro.cpu.machine` — the single-CPU machine: dispatching, quantum
+  accounting, blocking/wakeup, interrupt pauses, overhead models;
+* :mod:`repro.cpu.interrupts` — top-priority interrupt sources (the cause
+  of bandwidth fluctuation, modelled as in the paper's FC/EBF discussion);
+* :mod:`repro.cpu.costs` — scheduling-decision and context-switch cost
+  models (the Figure 7 overhead experiments);
+* :mod:`repro.cpu.flat` — a flat adapter running one leaf scheduler as the
+  whole machine ("unmodified kernel" baseline);
+* :mod:`repro.cpu.interface` — the machine/scheduler contract.
+"""
+
+from repro.cpu.costs import LinearCostModel, SchedulingCostModel
+from repro.cpu.flat import FlatScheduler
+from repro.cpu.interface import TopScheduler
+from repro.cpu.interrupts import PeriodicInterruptSource, PoissonInterruptSource
+from repro.cpu.machine import Machine, MachineStats
+
+__all__ = [
+    "Machine",
+    "MachineStats",
+    "TopScheduler",
+    "FlatScheduler",
+    "SchedulingCostModel",
+    "LinearCostModel",
+    "PeriodicInterruptSource",
+    "PoissonInterruptSource",
+]

@@ -1,0 +1,49 @@
+"""Scheduling overhead models.
+
+The paper's Figure 7 measures how much throughput the hierarchical
+scheduler costs relative to the unmodified kernel.  On a simulator that
+cost must be modelled explicitly: every dispatch consumes
+``dispatch_cost(depth, switched)`` nanoseconds of CPU before the thread
+starts executing.  ``depth`` is the number of tree levels the scheduling
+decision traversed (1 for a flat scheduler) and ``switched`` is whether the
+CPU switched to a different thread than it last ran.
+
+The default :class:`LinearCostModel` parameters are loosely calibrated to
+the mid-1990s hardware of the paper (a SPARCstation 10): a few microseconds
+per decision, ~10 microseconds per context switch.  The Figure 7 benchmarks
+also measure the *actual* wall-clock cost of this Python implementation's
+pick/charge path with pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+from repro.units import US
+
+
+class SchedulingCostModel:
+    """Base cost model: scheduling is free."""
+
+    def dispatch_cost(self, depth: int, switched: bool) -> int:
+        """Nanoseconds of CPU consumed by one scheduling decision."""
+        return 0
+
+
+class LinearCostModel(SchedulingCostModel):
+    """Cost linear in the depth of the scheduling decision.
+
+    ``cost = base + per_level * depth (+ context_switch when switching)``
+    """
+
+    def __init__(self, base_ns: int = 2 * US, per_level_ns: int = 1 * US,
+                 context_switch_ns: int = 10 * US) -> None:
+        if min(base_ns, per_level_ns, context_switch_ns) < 0:
+            raise ValueError("cost model parameters must be non-negative")
+        self.base_ns = base_ns
+        self.per_level_ns = per_level_ns
+        self.context_switch_ns = context_switch_ns
+
+    def dispatch_cost(self, depth: int, switched: bool) -> int:
+        cost = self.base_ns + self.per_level_ns * depth
+        if switched:
+            cost += self.context_switch_ns
+        return cost

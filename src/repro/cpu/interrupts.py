@@ -1,0 +1,120 @@
+"""Interrupt sources: the cause of CPU bandwidth fluctuation.
+
+"In most operating systems processing of hardware interrupts occurs at the
+highest priority.  Consequently, the effective bandwidth of CPU fluctuates
+over time." (paper §3.1).  An interrupt source injects service demands that
+pause whatever thread is running; the machine accounts the stolen time,
+which lets :mod:`repro.analysis.fc_server` fit the Fluctuation-Constrained
+parameters the paper's throughput/delay bounds are stated in.
+
+* :class:`PeriodicInterruptSource` — e.g. a 100 Hz clock tick with a fixed
+  handler cost; yields a deterministic FC server.
+* :class:`PoissonInterruptSource` — e.g. network interrupts; exponential
+  interarrivals with fixed or exponential service, yielding an EBF server.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cpu.machine import Machine
+
+
+class InterruptSource:
+    """Base class; subclasses schedule arrivals against the machine's engine."""
+
+    def start(self, machine: "Machine") -> None:
+        """Begin generating interrupts; called by ``Machine.add_interrupt_source``."""
+        raise NotImplementedError
+
+    def stop(self) -> None:
+        """Stop generating further interrupts (pending service completes)."""
+        raise NotImplementedError
+
+
+class PeriodicInterruptSource(InterruptSource):
+    """Fixed-period interrupts with a fixed service time.
+
+    With period ``P`` and service ``s`` the effective CPU is an FC server
+    with rate ``C * (1 - s/P)`` and burstiness ``<= C * s`` instructions.
+    """
+
+    def __init__(self, period: int, service: int, phase: int = 0) -> None:
+        if period <= 0:
+            raise SimulationError("interrupt period must be positive")
+        if not 0 <= service < period:
+            raise SimulationError(
+                "service time must satisfy 0 <= service < period "
+                "(got service=%d, period=%d)" % (service, period))
+        self.period = period
+        self.service = service
+        self.phase = phase
+        self._machine: Optional["Machine"] = None
+        self._handle = None
+        self._stopped = False
+
+    def start(self, machine: "Machine") -> None:
+        self._machine = machine
+        first = machine.engine.now + self.phase + self.period
+        self._handle = machine.engine.at(first, self._fire,
+                                         priority=machine.PRIORITY_INTERRUPT)
+
+    def stop(self) -> None:
+        self._stopped = True
+        if self._machine is not None:
+            self._machine.engine.cancel(self._handle)
+
+    def _fire(self) -> None:
+        assert self._machine is not None
+        if self._stopped:
+            return
+        self._machine.interrupt(self.service)
+        self._handle = self._machine.engine.after(
+            self.period, self._fire, priority=self._machine.PRIORITY_INTERRUPT)
+
+
+class PoissonInterruptSource(InterruptSource):
+    """Poisson arrivals with fixed or exponentially distributed service."""
+
+    def __init__(self, mean_interarrival: int, mean_service: int,
+                 rng: Optional[random.Random] = None,
+                 exponential_service: bool = False) -> None:
+        if mean_interarrival <= 0 or mean_service <= 0:
+            raise SimulationError("interarrival and service means must be positive")
+        self.mean_interarrival = mean_interarrival
+        self.mean_service = mean_service
+        self.exponential_service = exponential_service
+        self.rng = rng if rng is not None else random.Random(0)
+        self._machine: Optional["Machine"] = None
+        self._handle = None
+        self._stopped = False
+
+    def start(self, machine: "Machine") -> None:
+        self._machine = machine
+        self._schedule_next()
+
+    def stop(self) -> None:
+        self._stopped = True
+        if self._machine is not None:
+            self._machine.engine.cancel(self._handle)
+
+    def _schedule_next(self) -> None:
+        assert self._machine is not None
+        gap = max(1, round(self.rng.expovariate(1.0 / self.mean_interarrival)))
+        self._handle = self._machine.engine.after(
+            gap, self._fire, priority=self._machine.PRIORITY_INTERRUPT)
+
+    def _fire(self) -> None:
+        assert self._machine is not None
+        if self._stopped:
+            return
+        if self.exponential_service:
+            service = max(1, round(self.rng.expovariate(1.0 / self.mean_service)))
+        else:
+            service = self.mean_service
+        self._machine.interrupt(service)
+        self._schedule_next()

@@ -1,0 +1,509 @@
+"""The single-CPU machine.
+
+The machine owns every thread state transition.  Its execution model:
+
+* Threads are dispatched for **quanta measured in work** (instructions):
+  a quantum of ``q`` nanoseconds grants ``q * capacity / 1s`` instructions.
+  Interrupts pause the running thread without consuming its quantum, which
+  is exactly the paper's model of quantum lengths "measured in units of
+  instructions" on a fluctuating-bandwidth CPU.
+* A dispatched thread runs in **bursts**: a burst ends at segment
+  completion, quantum exhaustion, an interrupt arrival (pause/resume), or a
+  preemption.  At the end of the *dispatch* (not of each burst) the
+  scheduler is charged once with the total executed work — SFQ's
+  "quantum length known only at completion" property.
+* Interrupt service occupies the CPU at top priority; service times queue
+  FIFO.  Stolen time is tracked so analysis code can fit FC/EBF parameters.
+* Scheduling decisions and context switches consume CPU according to a
+  pluggable :class:`~repro.cpu.costs.SchedulingCostModel` (Figure 7).
+
+Event priorities at equal timestamps: interrupts fire first, then wakeups,
+then burst completions, then deferred dispatch attempts.  This ordering is
+deterministic and makes a thread waking exactly at a quantum boundary
+eligible for that boundary's scheduling decision.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.cpu.costs import SchedulingCostModel
+from repro.cpu.interface import TopScheduler
+from repro.cpu.interrupts import InterruptSource
+from repro.errors import SchedulingError, SimulationError, WorkloadError
+from repro.sim.engine import Simulator
+from repro.sync.mutex import Acquire, Release
+from repro.sync.semaphore import Down, Notify, Up, WaitOn
+from repro.threads.segments import Compute, Exit, SleepFor, SleepUntil
+from repro.threads.states import ThreadState
+from repro.threads.thread import SimThread
+from repro.units import MS, time_from_work, work_from_time
+
+_OUTCOME_RUN = "run"
+_OUTCOME_SLEEP = "sleep"
+_OUTCOME_WAIT = "wait"  # blocked on a mutex; woken by the holder's release
+_OUTCOME_EXIT = "exit"
+
+#: safety bound on consecutive zero-length segments from one workload
+_MAX_SEGMENT_PULLS = 1000
+
+
+class MachineStats:
+    """Aggregate machine counters."""
+
+    __slots__ = ("busy_time", "interrupt_time", "overhead_time", "dispatches",
+                 "context_switches", "interrupts", "pauses", "preemptions")
+
+    def __init__(self) -> None:
+        self.busy_time = 0
+        self.interrupt_time = 0
+        self.overhead_time = 0
+        self.dispatches = 0
+        self.context_switches = 0
+        self.interrupts = 0
+        self.pauses = 0
+        self.preemptions = 0
+
+    def idle_time(self, now: int) -> int:
+        """Time the CPU spent doing nothing up to ``now``."""
+        return now - self.busy_time - self.interrupt_time - self.overhead_time
+
+
+class Machine:
+    """A single simulated CPU driven by a :class:`TopScheduler`."""
+
+    PRIORITY_INTERRUPT = -10
+    PRIORITY_WAKEUP = 0
+    PRIORITY_COMPLETION = 10
+    PRIORITY_DISPATCH = 20
+
+    def __init__(self, engine: Simulator, scheduler: TopScheduler,
+                 capacity_ips: int = 100_000_000, default_quantum: int = 20 * MS,
+                 cost_model: Optional[SchedulingCostModel] = None,
+                 tracer=None) -> None:
+        if capacity_ips <= 0:
+            raise SimulationError("capacity must be positive")
+        if default_quantum <= 0:
+            raise SimulationError("default quantum must be positive")
+        self.engine = engine
+        self.scheduler = scheduler
+        self.capacity_ips = capacity_ips
+        self.default_quantum = default_quantum
+        self.cost_model = cost_model if cost_model is not None else SchedulingCostModel()
+        self.tracer = tracer
+        self.stats = MachineStats()
+        self.threads: List[SimThread] = []
+
+        # Hierarchical schedulers want a clock for hsfq_move bookkeeping.
+        if hasattr(scheduler, "clock"):
+            scheduler.clock = lambda: self.engine.now
+
+        # --- dispatch state ------------------------------------------------
+        self.current: Optional[SimThread] = None
+        self._last_ran: Optional[SimThread] = None
+        self._quantum_work_left = 0
+        self._quantum_work_done = 0
+        self._burst_planned = 0
+        self._burst_compute_start = 0
+        self._burst_handle = None
+        self._paused = False
+        self._pending_dispatch = None
+
+        # --- interrupt state ------------------------------------------------
+        self._intr_busy_until = 0
+        self._resume_handle = None
+        self._sources: List[InterruptSource] = []
+
+    # --- public API ------------------------------------------------------
+
+    @property
+    def now(self) -> int:
+        """Current simulation time (ns)."""
+        return self.engine.now
+
+    def add_interrupt_source(self, source: InterruptSource) -> None:
+        """Attach and start an interrupt source."""
+        self._sources.append(source)
+        source.start(self)
+
+    def spawn(self, thread: SimThread, at: Optional[int] = None) -> SimThread:
+        """Create ``thread`` now (or at absolute time ``at``) and return it.
+
+        For a hierarchical scheduler, attach the thread to its leaf node
+        *before* spawning.
+        """
+        self.threads.append(thread)
+        if at is None or at <= self.engine.now:
+            self._do_spawn(thread)
+        else:
+            self.engine.at(at, self._do_spawn, thread)
+        return thread
+
+    def run_until(self, time: int) -> None:
+        """Advance the simulation to absolute ``time``.
+
+        Accounting is settled at the horizon: a burst in flight at ``time``
+        has its work-so-far booked (and then continues), so statistics and
+        traces are exact as of ``time``.
+        """
+        self.engine.run_until(time)
+        self._flush_burst()
+
+    def run_for(self, duration: int) -> None:
+        """Advance the simulation by ``duration`` nanoseconds."""
+        self.run_until(self.engine.now + duration)
+
+    def utilization(self) -> float:
+        """Fraction of elapsed time the CPU spent executing threads."""
+        if self.engine.now == 0:
+            return 0.0
+        return self.stats.busy_time / self.engine.now
+
+    # --- spawning / workload advancement ----------------------------------
+
+    def _do_spawn(self, thread: SimThread) -> None:
+        now = self.engine.now
+        thread.stats.created_at = now
+        self.scheduler.admit(thread)
+        if self.tracer is not None:
+            self.tracer.on_spawn(thread, now)
+        self._settle(thread)
+
+    def _settle(self, thread: SimThread) -> None:
+        """Pull the next segment of an off-CPU thread and act on it.
+
+        Used at spawn and at wakeup; the thread is NEW or SLEEPING.
+        """
+        now = self.engine.now
+        outcome, wake_time = self._advance_workload(thread)
+        if outcome == _OUTCOME_RUN:
+            self._make_runnable(thread)
+        elif outcome == _OUTCOME_SLEEP:
+            if thread.state is not ThreadState.SLEEPING:
+                thread.transition(ThreadState.SLEEPING)
+            self._schedule_wakeup(thread, wake_time)
+        elif outcome == _OUTCOME_WAIT:
+            if thread.state is not ThreadState.SLEEPING:
+                thread.transition(ThreadState.SLEEPING)
+            if self.tracer is not None:
+                self.tracer.on_block(thread, now, -1)
+        else:
+            thread.transition(ThreadState.EXITED)
+            thread.stats.exited_at = now
+            self._release_held_mutexes(thread)
+            self.scheduler.retire(thread, now)
+            if self.tracer is not None:
+                self.tracer.on_exit(thread, now)
+
+    def _advance_workload(self, thread: SimThread):
+        """Pull segments until the thread has work, sleeps, or exits."""
+        now = self.engine.now
+        for __ in range(_MAX_SEGMENT_PULLS):
+            segment = thread.workload.next_segment(now, thread)
+            if segment is None or isinstance(segment, Exit):
+                return _OUTCOME_EXIT, None
+            if isinstance(segment, Compute):
+                thread.remaining_work = segment.work
+                return _OUTCOME_RUN, None
+            if isinstance(segment, SleepFor):
+                if segment.duration == 0:
+                    continue
+                return _OUTCOME_SLEEP, now + segment.duration
+            if isinstance(segment, SleepUntil):
+                if segment.wakeup <= now:
+                    continue
+                return _OUTCOME_SLEEP, segment.wakeup
+            if isinstance(segment, Acquire):
+                if segment.mutex.try_acquire(thread):
+                    thread.held_mutexes.append(segment.mutex)
+                    continue
+                segment.mutex.enqueue_waiter(thread)
+                return _OUTCOME_WAIT, None
+            if isinstance(segment, Release):
+                self._release_mutex(thread, segment.mutex)
+                continue
+            if isinstance(segment, Down):
+                if segment.semaphore.try_down(thread):
+                    continue
+                segment.semaphore.enqueue_waiter(thread)
+                return _OUTCOME_WAIT, None
+            if isinstance(segment, Up):
+                granted = segment.semaphore.up()
+                if granted is not None:
+                    self._defer_wake(granted)
+                continue
+            if isinstance(segment, WaitOn):
+                segment.queue.enqueue_waiter(thread)
+                return _OUTCOME_WAIT, None
+            if isinstance(segment, Notify):
+                for woken in segment.queue.notify(segment.count):
+                    self._defer_wake(woken)
+                continue
+            raise WorkloadError(
+                "workload %r produced unknown segment %r"
+                % (thread.workload, segment))
+        raise WorkloadError(
+            "workload for %r produced %d zero-length segments in a row"
+            % (thread, _MAX_SEGMENT_PULLS))
+
+    def _make_runnable(self, thread: SimThread) -> None:
+        now = self.engine.now
+        thread.transition(ThreadState.RUNNABLE)
+        thread.last_runnable_at = now
+        if self.tracer is not None:
+            self.tracer.on_runnable(thread, now)
+        self.scheduler.thread_runnable(thread, now)
+        if (self.current is not None
+                and not self._paused
+                and self.scheduler.should_preempt(self.current, thread, now)):
+            self._preempt_current()
+        self._maybe_dispatch()
+
+    # --- sleep / wakeup ----------------------------------------------------
+
+    def _schedule_wakeup(self, thread: SimThread, wake_time: int) -> None:
+        if self.tracer is not None:
+            self.tracer.on_block(thread, self.engine.now, wake_time)
+        thread.wakeup_handle = self.engine.at(
+            wake_time, self._on_wakeup, thread, priority=self.PRIORITY_WAKEUP)
+
+    def _on_wakeup(self, thread: SimThread) -> None:
+        thread.wakeup_handle = None
+        thread.stats.wakeups += 1
+        if self.tracer is not None:
+            self.tracer.on_wake(thread, self.engine.now)
+        if thread.remaining_work > 0:
+            # Woke with unfinished compute (blocked mid-segment cannot
+            # happen today, but a moved/suspended thread resumes here).
+            self._make_runnable(thread)
+        else:
+            self._settle(thread)
+
+    # --- dispatching ---------------------------------------------------------
+
+    def _maybe_dispatch(self) -> None:
+        if self.current is not None:
+            return
+        now = self.engine.now
+        if now < self._intr_busy_until:
+            self._defer_dispatch(self._intr_busy_until)
+            return
+        if not self.scheduler.has_runnable():
+            return
+        thread = self.scheduler.pick_next(now)
+        if thread is None:
+            raise SchedulingError("scheduler claimed runnable work but picked None")
+        if thread.state is not ThreadState.RUNNABLE:
+            raise SchedulingError(
+                "scheduler picked non-runnable thread %r" % (thread,))
+        switched = thread is not self._last_ran
+        overhead = self.cost_model.dispatch_cost(
+            self.scheduler.decision_depth, switched)
+        thread.transition(ThreadState.RUNNING)
+        self.current = thread
+        self._last_ran = thread
+        self.stats.dispatches += 1
+        thread.stats.dispatches += 1
+        if switched:
+            self.stats.context_switches += 1
+        self.stats.overhead_time += overhead
+        quantum_ns = self.scheduler.quantum_for(thread)
+        if quantum_ns is None:
+            quantum_ns = self.default_quantum
+        self._quantum_work_left = work_from_time(quantum_ns, self.capacity_ips)
+        if self._quantum_work_left <= 0:
+            raise SimulationError(
+                "quantum of %d ns yields zero instructions at %d ips"
+                % (quantum_ns, self.capacity_ips))
+        self._quantum_work_done = 0
+        if self.tracer is not None:
+            self.tracer.on_dispatch(thread, now)
+        self._begin_burst(overhead)
+
+    def _defer_dispatch(self, at_time: int) -> None:
+        if self._pending_dispatch is not None and not self._pending_dispatch.cancelled:
+            return
+        self._pending_dispatch = self.engine.at(
+            at_time, self._deferred_dispatch, priority=self.PRIORITY_DISPATCH)
+
+    def _deferred_dispatch(self) -> None:
+        self._pending_dispatch = None
+        self._maybe_dispatch()
+
+    # --- burst execution -------------------------------------------------------
+
+    def _begin_burst(self, overhead_ns: int = 0) -> None:
+        assert self.current is not None
+        thread = self.current
+        planned = min(thread.remaining_work, self._quantum_work_left)
+        if planned <= 0:
+            raise SimulationError("attempted to start an empty burst for %r" % (thread,))
+        self._burst_planned = planned
+        self._burst_compute_start = self.engine.now + overhead_ns
+        self._paused = False
+        duration = time_from_work(planned, self.capacity_ips)
+        self._burst_handle = self.engine.at(
+            self._burst_compute_start + duration, self._on_burst_complete,
+            priority=self.PRIORITY_COMPLETION)
+
+    def _account_burst(self, executed: int) -> None:
+        """Book ``executed`` instructions of the current burst."""
+        assert self.current is not None
+        thread = self.current
+        now = self.engine.now
+        if executed <= 0:
+            return
+        thread.remaining_work -= executed
+        if thread.remaining_work < 0:
+            raise SimulationError("burst executed more work than remained")
+        self._quantum_work_left -= executed
+        self._quantum_work_done += executed
+        elapsed = max(0, now - self._burst_compute_start)
+        thread.stats.work_done += executed
+        thread.stats.cpu_time += elapsed
+        self.stats.busy_time += elapsed
+        if self.tracer is not None:
+            self.tracer.on_slice(thread, self._burst_compute_start, now, executed)
+
+    def _on_burst_complete(self) -> None:
+        self._burst_handle = None
+        self._account_burst(self._burst_planned)
+        self._finish_dispatch()
+
+    def _executed_so_far(self) -> int:
+        """Work completed in the active burst, for pause/preempt accounting."""
+        elapsed = self.engine.now - self._burst_compute_start
+        if elapsed <= 0:
+            return 0
+        done = work_from_time(elapsed, self.capacity_ips)
+        return min(done, self._burst_planned)
+
+    def _stop_burst(self) -> None:
+        """Cancel the completion event and account partial work."""
+        self.engine.cancel(self._burst_handle)
+        self._burst_handle = None
+        self._account_burst(self._executed_so_far())
+
+    def _flush_burst(self) -> None:
+        """Settle the active burst's partial work without ending the dispatch."""
+        if self.current is None or self._paused or self._burst_handle is None:
+            return
+        self._stop_burst()
+        if self.current.remaining_work == 0 or self._quantum_work_left == 0:
+            self._finish_dispatch()
+        else:
+            self._begin_burst(0)
+
+    def _preempt_current(self) -> None:
+        assert self.current is not None
+        self.stats.preemptions += 1
+        self.current.stats.preemptions += 1
+        self._stop_burst()
+        self._finish_dispatch()
+
+    def _finish_dispatch(self) -> None:
+        """End the current dispatch: settle the workload, charge, reschedule."""
+        assert self.current is not None
+        thread = self.current
+        now = self.engine.now
+        self.current = None
+        self._paused = False
+
+        if thread.remaining_work > 0:
+            outcome, wake_time = _OUTCOME_RUN, None
+        else:
+            thread.stats.segments_completed += 1
+            if self.tracer is not None:
+                self.tracer.on_segment_complete(thread, now)
+            outcome, wake_time = self._advance_workload(thread)
+
+        # State first, then charge: schedulers observe the post-transition
+        # runnability (see LeafScheduler contract).
+        if outcome == _OUTCOME_RUN:
+            thread.transition(ThreadState.RUNNABLE)
+        elif outcome in (_OUTCOME_SLEEP, _OUTCOME_WAIT):
+            thread.transition(ThreadState.SLEEPING)
+            thread.stats.blocks += 1
+        else:
+            thread.transition(ThreadState.EXITED)
+            thread.stats.exited_at = now
+
+        if self._quantum_work_done > 0:
+            self.scheduler.charge(thread, self._quantum_work_done, now)
+            if self.tracer is not None:
+                self.tracer.on_charge(thread, now, self._quantum_work_done)
+        self._quantum_work_done = 0
+        self._quantum_work_left = 0
+
+        if outcome == _OUTCOME_SLEEP:
+            self.scheduler.thread_blocked(thread, now)
+            self._schedule_wakeup(thread, wake_time)
+        elif outcome == _OUTCOME_WAIT:
+            self.scheduler.thread_blocked(thread, now)
+            if self.tracer is not None:
+                self.tracer.on_block(thread, now, -1)
+        elif outcome == _OUTCOME_EXIT:
+            self._release_held_mutexes(thread)
+            self.scheduler.retire(thread, now)
+            if self.tracer is not None:
+                self.tracer.on_exit(thread, now)
+
+        self._maybe_dispatch()
+
+    # --- mutexes -----------------------------------------------------------
+
+    def _defer_wake(self, thread: SimThread) -> None:
+        """Wake a synchronization waiter via an immediate engine event.
+
+        Deferring ensures the waking thread's own dispatch is fully
+        settled (charged, requeued) before the waiter competes for the
+        CPU.
+        """
+        self.engine.at(self.engine.now, self._on_wakeup, thread,
+                       priority=self.PRIORITY_WAKEUP)
+
+    def _release_mutex(self, thread: SimThread, mutex) -> None:
+        """Release ``mutex``; the granted waiter (if any) wakes deferred."""
+        thread.held_mutexes.remove(mutex)
+        granted = mutex.release(thread)
+        if granted is not None:
+            granted.held_mutexes.append(mutex)
+            self._defer_wake(granted)
+
+    def _release_held_mutexes(self, thread: SimThread) -> None:
+        """An exiting thread implicitly releases everything it still holds."""
+        while thread.held_mutexes:
+            self._release_mutex(thread, thread.held_mutexes[-1])
+
+    # --- interrupts ----------------------------------------------------------
+
+    def interrupt(self, service: int) -> None:
+        """An interrupt arrived demanding ``service`` ns of CPU at top priority."""
+        if service <= 0:
+            return
+        now = self.engine.now
+        self.stats.interrupts += 1
+        self.stats.interrupt_time += service
+        busy_until = max(now, self._intr_busy_until) + service
+        self._intr_busy_until = busy_until
+        if self.tracer is not None:
+            self.tracer.on_interrupt(now, service)
+        if self.current is not None:
+            if not self._paused:
+                self.stats.pauses += 1
+                self._stop_burst()
+                self._paused = True
+            # (Re)schedule the resume for when interrupt service drains.
+            self.engine.cancel(self._resume_handle)
+            self._resume_handle = self.engine.at(
+                busy_until, self._resume_current, priority=self.PRIORITY_DISPATCH)
+
+    def _resume_current(self) -> None:
+        self._resume_handle = None
+        if self.current is None or not self._paused:
+            return
+        # The pause may have consumed the whole quantum or segment.
+        if self.current.remaining_work == 0 or self._quantum_work_left == 0:
+            self._finish_dispatch()
+        else:
+            self._begin_burst(0)

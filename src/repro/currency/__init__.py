@@ -1,0 +1,18 @@
+"""Ticket-and-currency lottery scheduling (Waldspurger & Weihl, OSDI '94).
+
+The hierarchical-partitioning alternative the paper's §6 compares against:
+threads hold tickets denominated in currencies, currencies are funded by
+tickets of other currencies, and every thread's tickets are exchanged into
+the base currency for a machine-wide lottery.  Hierarchical partitioning
+emerges because an idle thread's siblings inflate in value.
+
+Implemented as a :class:`~repro.cpu.interface.TopScheduler`
+(:class:`~repro.currency.lottery.CurrencyLottery`) so it can drive the
+same machine as the hierarchical SFQ scheduler.  The EXP-AB7 ablation
+measures the paper's two criticisms: randomized fairness (only over large
+intervals) and the ticket re-valuation cost on every block/unblock.
+"""
+
+from repro.currency.lottery import Currency, CurrencyLottery
+
+__all__ = ["Currency", "CurrencyLottery"]

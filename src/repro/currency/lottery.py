@@ -1,0 +1,170 @@
+"""The currency graph and the machine-wide lottery.
+
+Model (after Waldspurger & Weihl '94):
+
+* the **base** currency is the root; every other currency is *funded* by a
+  ticket issue denominated in its parent currency;
+* a thread holds tickets in exactly one currency;
+* a currency's value in base units is the base value of its funding,
+  divided among its *active* tickets (tickets of runnable threads plus
+  funding of currencies with active consumers);
+* each dispatch holds a lottery over runnable threads weighted by the base
+  value of their tickets.
+
+Hierarchical partitioning falls out: when a thread blocks, its tickets go
+inactive and the remaining tickets in the same currency gain value, so the
+currency's total allocation is preserved.  The paper's criticisms, which
+EXP-AB7 measures: the allocation is fair only in expectation (large
+intervals), re-valuation happens on every block/unblock, and there is no
+way to give different classes different *scheduling algorithms* — the
+lottery reaches through all currencies down to threads.
+
+Exact arithmetic (Fraction) is used for ticket valuation so the funding
+algebra is not perturbed by float error.
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.cpu.interface import TopScheduler
+from repro.errors import SchedulingError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.threads.thread import SimThread
+
+
+class Currency:
+    """A currency funded by tickets of its parent currency."""
+
+    def __init__(self, name: str, parent: Optional["Currency"],
+                 funding: int) -> None:
+        if parent is not None and funding <= 0:
+            raise SchedulingError("currency funding must be positive")
+        self.name = name
+        self.parent = parent
+        #: tickets of the parent currency backing this currency
+        self.funding = funding
+        self.children: List["Currency"] = []
+        if parent is not None:
+            parent.children.append(self)
+
+    def __repr__(self) -> str:
+        return "Currency(%r, funding=%d)" % (self.name, self.funding)
+
+
+class CurrencyLottery(TopScheduler):
+    """A top-level scheduler holding per-quantum base-currency lotteries."""
+
+    def __init__(self, rng: Optional[random.Random] = None,
+                 quantum: Optional[int] = None) -> None:
+        self.base = Currency("base", None, 0)
+        self.rng = rng if rng is not None else random.Random(0)
+        self._threads: Dict[int, "SimThread"] = {}
+        self._currency_of: Dict[int, Currency] = {}
+        self._runnable: List["SimThread"] = []
+        self._quantum = quantum
+        self._winner: Optional["SimThread"] = None
+        #: number of full re-valuations performed (the §6 overhead point)
+        self.revaluations = 0
+
+    # --- currency management ----------------------------------------------
+
+    def create_currency(self, name: str, parent: Optional[Currency] = None,
+                        funding: int = 100) -> Currency:
+        """Issue a new currency funded in ``parent`` (default: base)."""
+        return Currency(name, parent if parent is not None else self.base,
+                        funding)
+
+    def bind(self, thread: "SimThread", currency: Currency) -> None:
+        """Denominate ``thread``'s tickets (= its weight) in ``currency``."""
+        self._currency_of[id(thread)] = currency
+
+    # --- valuation -----------------------------------------------------------
+
+    def _active_tickets(self, currency: Currency) -> Fraction:
+        """Tickets of ``currency`` held by runnable threads or by funded
+        sub-currencies that have active consumers."""
+        total = Fraction(0)
+        for thread in self._runnable:
+            if self._currency_of.get(id(thread)) is currency:
+                total += thread.weight
+        for child in currency.children:
+            if self._active_tickets(child) > 0:
+                total += child.funding
+        return total
+
+    def _currency_value(self, currency: Currency) -> Fraction:
+        """Base-units value of ONE ticket of ``currency``."""
+        if currency.parent is None:
+            return Fraction(1)
+        active = self._active_tickets(currency)
+        if active == 0:
+            return Fraction(0)
+        parent_value = self._currency_value(currency.parent)
+        return parent_value * currency.funding / active
+
+    def base_value(self, thread: "SimThread") -> Fraction:
+        """Base-units value of ``thread``'s tickets right now."""
+        currency = self._currency_of.get(id(thread))
+        if currency is None:
+            raise SchedulingError("thread %r has no currency" % (thread,))
+        return self._currency_value(currency) * thread.weight
+
+    # --- TopScheduler -----------------------------------------------------
+
+    def admit(self, thread: "SimThread") -> None:
+        if id(thread) not in self._currency_of:
+            raise SchedulingError(
+                "bind %r to a currency before spawning" % (thread,))
+        self._threads[id(thread)] = thread
+
+    def retire(self, thread: "SimThread", now: int) -> None:
+        self.thread_blocked(thread, now)
+        self._threads.pop(id(thread), None)
+        self._currency_of.pop(id(thread), None)
+
+    def thread_runnable(self, thread: "SimThread", now: int) -> None:
+        if thread not in self._runnable:
+            self._runnable.append(thread)
+            self.revaluations += 1  # ticket values shift on every change
+
+    def thread_blocked(self, thread: "SimThread", now: int) -> None:
+        if thread in self._runnable:
+            self._runnable.remove(thread)
+            self.revaluations += 1
+        if self._winner is thread:
+            self._winner = None
+
+    def pick_next(self, now: int) -> Optional["SimThread"]:
+        if not self._runnable:
+            return None
+        if self._winner is None or self._winner not in self._runnable:
+            values = [(thread, self.base_value(thread))
+                      for thread in self._runnable]
+            total = sum(value for __, value in values)
+            if total <= 0:
+                self._winner = self._runnable[0]
+            else:
+                draw = Fraction(self.rng.random()) * total
+                acc = Fraction(0)
+                winner = values[-1][0]
+                for thread, value in values:
+                    acc += value
+                    if draw < acc:
+                        winner = thread
+                        break
+                self._winner = winner
+        return self._winner
+
+    def charge(self, thread: "SimThread", work: int, now: int) -> None:
+        if self._winner is thread:
+            self._winner = None  # fresh lottery next quantum
+
+    def quantum_for(self, thread: "SimThread") -> Optional[int]:
+        return self._quantum
+
+    def has_runnable(self) -> bool:
+        return bool(self._runnable)

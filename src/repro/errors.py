@@ -1,0 +1,47 @@
+"""Exception hierarchy for the repro package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still letting programming errors (``TypeError``, ``ValueError`` from user
+code, etc.) propagate normally.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class SimulationError(ReproError):
+    """An inconsistency was detected inside the discrete-event engine."""
+
+
+class SchedulingError(ReproError):
+    """An inconsistency was detected inside a scheduler."""
+
+
+class StructureError(ReproError):
+    """Invalid operation on the scheduling structure tree."""
+
+
+class NodeExistsError(StructureError):
+    """A node with the requested name already exists under the parent."""
+
+
+class NodeNotFoundError(StructureError):
+    """A pathname did not resolve to a node in the scheduling structure."""
+
+
+class NodeBusyError(StructureError):
+    """The node cannot be removed (it has children or attached threads)."""
+
+
+class NotALeafError(StructureError):
+    """A thread operation was attempted on a non-leaf node."""
+
+
+class AdmissionError(ReproError):
+    """The QoS manager rejected a request during admission control."""
+
+
+class WorkloadError(ReproError):
+    """A workload produced an invalid segment sequence."""

@@ -1,0 +1,16 @@
+"""Experiment harnesses — one module per paper figure, plus ablations.
+
+Every module exposes
+
+* ``run(...)`` returning an :class:`~repro.experiments.common.ExperimentResult`
+  (parameters default to paper scale; tests pass smaller ones), and
+* ``main()`` printing the result, so each experiment can be regenerated
+  standalone: ``python -m repro.experiments.figure8``.
+
+The index mapping figure -> module -> bench target is in DESIGN.md §4;
+measured-versus-paper outcomes are recorded in EXPERIMENTS.md.
+"""
+
+from repro.experiments.common import ExperimentResult, figure6_structure
+
+__all__ = ["ExperimentResult", "figure6_structure"]

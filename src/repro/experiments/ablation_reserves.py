@@ -1,0 +1,111 @@
+"""EXP-AB8 — ablation: SFQ vs capacity reserves as a VBR leaf scheduler.
+
+Carries out the comparison the paper names as its "current research"
+(§6): SFQ against a reservation-based multimedia scheduler (processor
+capacity reserves [13]) for threads whose computation requirements are
+*not* precisely known — VBR video.
+
+Two identical VBR decoders plus a best-effort hog share one machine.
+Under SFQ the decoders get weights; under reserves they get a per-period
+budget sized to the *mean* frame cost (the natural choice when the true
+requirement is unknown — sizing to the worst case would waste most of the
+reservation).  Because VBR demand fluctuates at two timescales, a
+mean-sized reserve is regularly exhausted mid-scene and the decoder drops
+to background behind the hog; SFQ simply keeps allocating its share.
+
+Measured: per-second decoded-frame counts — their mean and CoV — for each
+policy.  Shape: similar means (same machine), but reserves jitter much
+more (the §6 criticism made quantitative).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.analysis.stats import coefficient_of_variation, mean
+from repro.experiments.common import ExperimentResult, FlatSetup
+from repro.schedulers.reserves import ReservesScheduler
+from repro.schedulers.sfq_leaf import SfqScheduler
+from repro.threads.thread import SimThread
+from repro.units import MS, SECOND
+from repro.workloads.dhrystone import DhrystoneWorkload
+from repro.workloads.mpeg import MpegDecodeWorkload, MpegVbrModel
+
+CAPACITY = 100_000_000
+QUANTUM = 10 * MS
+FRAME_PERIOD = SECOND // 30
+MEAN_COST = 1_200_000  # mean decode cost: 12 ms of CPU per 33 ms frame
+
+
+def _decoder_params(policy: str) -> dict:
+    if policy == "reserves":
+        # reserve sized to the mean demand (the paper's point: the true
+        # per-frame requirement is unknowable in advance)
+        return {"period": FRAME_PERIOD,
+                "reserve": round(FRAME_PERIOD * 0.4)}
+    return {}
+
+
+def _run(policy: str, duration: int, seed: int) -> Tuple[List[int], List[int]]:
+    if policy == "reserves":
+        scheduler = ReservesScheduler(CAPACITY,
+                                      background_quantum=QUANTUM)
+    else:
+        scheduler = SfqScheduler()
+    setup = FlatSetup(scheduler, capacity_ips=CAPACITY,
+                      default_quantum=QUANTUM)
+    decoders = []
+    for index in range(2):
+        model = MpegVbrModel(seed=seed + index, mean_cost=MEAN_COST)
+        thread = SimThread("dec-%d" % index,
+                           MpegDecodeWorkload(model, paced=True),
+                           weight=4, params=_decoder_params(policy))
+        setup.spawn(thread)
+        decoders.append(thread)
+    hog = SimThread("hog", DhrystoneWorkload(), weight=1,
+                    params={})
+    setup.spawn(hog)
+    setup.machine.run_until(duration)
+    counts = []
+    for thread in decoders:
+        trace = setup.recorder.trace_of(thread)
+        seconds = duration // SECOND
+        series = []
+        for t in range(seconds):
+            lo, hi = t * SECOND, (t + 1) * SECOND
+            series.append(sum(1 for c in trace.segment_completions
+                              if lo < c <= hi))
+        counts.append(series)
+    return counts[0], counts[1]
+
+
+def run(duration: int = 30 * SECOND, seed: int = 31) -> ExperimentResult:
+    """Frame-rate stability of VBR decoders: SFQ weights vs mean reserves."""
+    rows = []
+    covs = {}
+    for policy in ("SFQ", "reserves"):
+        series_a, series_b = _run(policy, duration, seed)
+        combined = series_a + series_b
+        covs[policy] = coefficient_of_variation(combined)
+        rows.append([policy, mean(series_a), mean(series_b),
+                     min(combined), covs[policy]])
+    notes = [
+        "per-second decoded frames of two VBR decoders (display rate 30)",
+        "reserves sized to mean demand (true requirement unknown for VBR)",
+        "frame-rate CoV: SFQ %.3f vs reserves %.3f — the cost of needing "
+        "a precise characterization (§6)" % (covs["SFQ"], covs["reserves"]),
+    ]
+    return ExperimentResult(
+        "Ablation AB8: SFQ vs capacity reserves for VBR video",
+        ["leaf policy", "dec-0 mean fps", "dec-1 mean fps", "worst second",
+         "fps CoV"],
+        rows, notes=notes)
+
+
+def main() -> None:
+    """Regenerate this experiment at full scale and print it."""
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

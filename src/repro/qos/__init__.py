@@ -1,0 +1,31 @@
+"""QoS management (paper §4, Figure 4).
+
+Applications specify requirements to a :class:`~repro.qos.manager.QosManager`
+which (1) determines the resources needed, (2) chooses/creates the
+scheduling class, (3) runs class-dependent admission control, and
+(4) places the thread.  Dynamic re-weighting of classes — the paper's
+"future research" — is provided by
+:class:`~repro.qos.manager.DemandDrivenRebalancer`.
+"""
+
+from repro.qos.admission import (
+    edf_admissible,
+    rma_admissible,
+    rma_utilization_bound,
+    statistical_admissible,
+)
+from repro.qos.manager import DemandDrivenRebalancer, QosManager
+from repro.qos.spec import BEST_EFFORT, HARD_RT, SOFT_RT, QosRequest
+
+__all__ = [
+    "QosRequest",
+    "HARD_RT",
+    "SOFT_RT",
+    "BEST_EFFORT",
+    "QosManager",
+    "DemandDrivenRebalancer",
+    "rma_admissible",
+    "rma_utilization_bound",
+    "edf_admissible",
+    "statistical_admissible",
+]

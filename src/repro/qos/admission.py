@@ -1,0 +1,73 @@
+"""Admission control tests.
+
+The paper's QoS-manager sketch (§1, §4) calls for a *deterministic*
+admission test for hard real-time classes and a *statistical* one for soft
+real-time classes (whose whole point is safe overbooking).  Both operate on
+the **fraction of the CPU allocated to the class** — the hierarchical
+partition makes per-class admission sound because SFQ guarantees the class
+its share regardless of what other classes do.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+
+def rma_utilization_bound(task_count: int) -> float:
+    """Liu & Layland's RMA schedulability bound ``n * (2^(1/n) - 1)``."""
+    if task_count <= 0:
+        return 1.0
+    return task_count * (2.0 ** (1.0 / task_count) - 1.0)
+
+
+def rma_admissible(tasks: Sequence[Tuple[int, int]],
+                   capacity_fraction: float) -> bool:
+    """Deterministic RMA admission for ``(period, wcet)`` tasks.
+
+    ``capacity_fraction`` is the share of the CPU the class owns; task
+    utilizations are measured against full capacity, so the test is
+    ``sum(wcet/period) <= bound(n) * fraction``.
+    """
+    if not 0.0 < capacity_fraction <= 1.0:
+        raise ValueError("capacity_fraction must be in (0, 1]")
+    total = 0.0
+    for period, wcet in tasks:
+        if period <= 0 or wcet <= 0:
+            raise ValueError("period and wcet must be positive")
+        total += wcet / period
+    return total <= rma_utilization_bound(len(tasks)) * capacity_fraction
+
+
+def edf_admissible(tasks: Sequence[Tuple[int, int]],
+                   capacity_fraction: float) -> bool:
+    """Deterministic EDF admission: total utilization within the share."""
+    if not 0.0 < capacity_fraction <= 1.0:
+        raise ValueError("capacity_fraction must be in (0, 1]")
+    total = 0.0
+    for period, wcet in tasks:
+        if period <= 0 or wcet <= 0:
+            raise ValueError("period and wcet must be positive")
+        total += wcet / period
+    return total <= capacity_fraction
+
+
+def statistical_admissible(mean_demands: Sequence[float],
+                           std_demands: Sequence[float],
+                           capacity_ips: float, overbooking_sigmas: float = 2.0
+                           ) -> bool:
+    """Statistical admission for VBR (soft real-time) demands.
+
+    Admits while ``sum(means) + k * sqrt(sum(variances)) <= capacity``:
+    aggregate demand stays within capacity except for tail events beyond
+    ``k`` standard deviations — the controlled overbooking the paper
+    motivates for VBR video (demands are assumed independent, so variances
+    add).
+    """
+    if len(mean_demands) != len(std_demands):
+        raise ValueError("mean_demands and std_demands must align")
+    if capacity_ips <= 0:
+        raise ValueError("capacity must be positive")
+    total_mean = sum(mean_demands)
+    total_var = sum(s * s for s in std_demands)
+    return total_mean + overbooking_sigmas * math.sqrt(total_var) <= capacity_ips

@@ -1,0 +1,226 @@
+"""The QoS manager (paper §4, Figure 4).
+
+``QosManager`` owns three top-level classes in the scheduling structure —
+``/hard-rt`` (RMA leaf), ``/soft-rt`` (SFQ leaf), and ``/best-effort`` (one
+SFQ leaf per user) — and implements the four steps the paper describes:
+determine resources, choose/create the class, admit, and place the thread.
+Hard real-time admission is deterministic (RMA bound against the class's
+CPU share), soft real-time admission is statistical (safe overbooking),
+and best effort is never denied.
+
+``DemandDrivenRebalancer`` implements the paper's future-work sketch:
+"initially soft real-time applications may be allocated a very small
+fraction of the CPU, but when many video decoders ... are started, the
+allocation of the soft real-time class may be increased significantly."
+It periodically resizes class weights in proportion to admitted demand,
+within configured floors.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.core.node import LeafNode
+from repro.core.structure import SchedulingStructure
+from repro.errors import AdmissionError
+from repro.qos.admission import rma_admissible, statistical_admissible
+from repro.qos.spec import HARD_RT, SOFT_RT, QosRequest
+from repro.schedulers.rma import RmaScheduler
+from repro.schedulers.sfq_leaf import SfqScheduler
+from repro.threads.thread import SimThread
+from repro.units import MS
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cpu.machine import Machine
+    from repro.threads.segments import Workload
+
+
+class QosManager:
+    """Creates and manages the QoS class hierarchy on a machine.
+
+    Parameters
+    ----------
+    machine:
+        The machine threads will run on (its scheduler must be the
+        hierarchical scheduler driving ``structure``).
+    structure:
+        The scheduling structure to build classes in.
+    class_weights:
+        Initial weights of (hard, soft, best-effort), e.g. the paper's
+        Figure 2 uses (1, 3, 6).
+    rt_quantum:
+        Quantum for the hard real-time leaf (Figure 9 uses 25 ms).
+    """
+
+    def __init__(self, machine: "Machine", structure: SchedulingStructure,
+                 class_weights=(1, 3, 6), rt_quantum: int = 25 * MS,
+                 overbooking_sigmas: float = 2.0,
+                 rt_scheduler: str = "rma") -> None:
+        hard_w, soft_w, best_w = class_weights
+        self.machine = machine
+        self.structure = structure
+        self.overbooking_sigmas = overbooking_sigmas
+        self.rt_scheduler = rt_scheduler
+        if rt_scheduler == "rma":
+            hard_sched = RmaScheduler(quantum=rt_quantum)
+        elif rt_scheduler == "edf":
+            from repro.schedulers.edf import EdfScheduler
+            hard_sched = EdfScheduler(quantum=rt_quantum)
+        else:
+            raise AdmissionError(
+                "rt_scheduler must be 'rma' or 'edf', got %r"
+                % (rt_scheduler,))
+        self.hard_leaf: LeafNode = structure.mknod(
+            "/hard-rt", hard_w, scheduler=hard_sched)
+        self.soft_leaf: LeafNode = structure.mknod(
+            "/soft-rt", soft_w, scheduler=SfqScheduler())
+        self.best_parent = structure.mknod("/best-effort", best_w)
+        self._user_leaves: Dict[str, LeafNode] = {}
+        self._hard_tasks: List[QosRequest] = []
+        self._soft_tasks: List[QosRequest] = []
+        self._placements: Dict[int, QosRequest] = {}
+
+    # --- placement ------------------------------------------------------
+
+    def submit(self, request: QosRequest, workload: "Workload",
+               weight: int = 1, at: Optional[int] = None) -> SimThread:
+        """Admit and start a thread for ``request`` running ``workload``.
+
+        Raises :class:`AdmissionError` when admission control denies the
+        request (best effort is never denied).
+        """
+        if request.service_class == HARD_RT:
+            leaf = self._admit_hard(request)
+            params = {"period": request.period, "wcet": request.wcet}
+        elif request.service_class == SOFT_RT:
+            leaf = self._admit_soft(request)
+            params = {}
+        else:
+            leaf = self.user_leaf(request.user)
+            params = {}
+        thread = SimThread(request.name, workload, weight=weight, params=params)
+        leaf.attach_thread(thread)
+        self.machine.spawn(thread, at=at)
+        self._placements[thread.tid] = request
+        return thread
+
+    def remove(self, thread: SimThread) -> None:
+        """Release a finished/cancelled thread's reservation."""
+        request = self._placements.pop(thread.tid, None)
+        if request is None:
+            return
+        if request.service_class == HARD_RT and request in self._hard_tasks:
+            self._hard_tasks.remove(request)
+        elif request.service_class == SOFT_RT and request in self._soft_tasks:
+            self._soft_tasks.remove(request)
+
+    def user_leaf(self, user: str) -> LeafNode:
+        """The best-effort leaf of ``user``, created on first use."""
+        leaf = self._user_leaves.get(user)
+        if leaf is None:
+            leaf = self.structure.mknod(
+                user, weight=1, parent=self.best_parent,
+                scheduler=SfqScheduler())
+            self._user_leaves[user] = leaf
+        return leaf
+
+    # --- admission -------------------------------------------------------
+
+    def _class_fraction(self, node) -> float:
+        """Fraction of the CPU a top-level class currently owns."""
+        siblings = self.structure.root.children.values()
+        total = sum(child.weight for child in siblings)
+        return node.weight / total
+
+    def _admit_hard(self, request: QosRequest) -> LeafNode:
+        tasks = [(r.period, r.wcet) for r in self._hard_tasks]
+        tasks.append((request.period, request.wcet))
+        share = self._class_fraction(self.hard_leaf)
+        if self.rt_scheduler == "edf":
+            from repro.qos.admission import edf_admissible
+            admissible = edf_admissible(tasks, share)
+        else:
+            admissible = rma_admissible(tasks, share)
+        if not admissible:
+            raise AdmissionError(
+                "hard real-time request %r rejected: %s bound exceeded "
+                "for the class's CPU share"
+                % (request.name, self.rt_scheduler.upper()))
+        self._hard_tasks.append(request)
+        return self.hard_leaf
+
+    def _admit_soft(self, request: QosRequest) -> LeafNode:
+        means = [r.mean_demand for r in self._soft_tasks] + [request.mean_demand]
+        stds = [r.std_demand for r in self._soft_tasks] + [request.std_demand]
+        share = self._class_fraction(self.soft_leaf) * self.machine.capacity_ips
+        if not statistical_admissible(means, stds, share,
+                                      self.overbooking_sigmas):
+            raise AdmissionError(
+                "soft real-time request %r rejected: statistical test failed "
+                "for the class's CPU share" % (request.name,))
+        self._soft_tasks.append(request)
+        return self.soft_leaf
+
+    # --- introspection -----------------------------------------------------
+
+    def admitted_hard_utilization(self) -> float:
+        """Total wcet/period utilization of admitted hard RT tasks."""
+        return sum(r.utilization for r in self._hard_tasks)
+
+    def admitted_soft_demand(self) -> float:
+        """Total mean demand (inst/s) of admitted soft RT tasks."""
+        return sum(r.mean_demand or 0.0 for r in self._soft_tasks)
+
+
+class DemandDrivenRebalancer:
+    """Periodically resizes class weights in proportion to admitted demand.
+
+    The paper's dynamic-partitioning sketch: each rebalance sets the soft
+    real-time class weight so its CPU share tracks its admitted mean demand
+    (plus headroom), and the hard real-time class so its share covers the
+    admitted utilization, leaving the rest to best effort.  Floors prevent
+    starvation of any class.
+    """
+
+    def __init__(self, manager: QosManager, period: int,
+                 headroom: float = 1.2, floor_weight: int = 1,
+                 scale: int = 100) -> None:
+        if period <= 0:
+            raise ValueError("rebalance period must be positive")
+        self.manager = manager
+        self.period = period
+        self.headroom = headroom
+        self.floor_weight = floor_weight
+        self.scale = scale
+        self.rebalances = 0
+        self._handle = None
+
+    def start(self) -> None:
+        """Begin periodic rebalancing on the manager's machine engine."""
+        engine = self.manager.machine.engine
+        self._handle = engine.after(self.period, self._tick)
+
+    def stop(self) -> None:
+        """Cancel future rebalances (the current weights remain)."""
+        self.manager.machine.engine.cancel(self._handle)
+        self._handle = None
+
+    def _tick(self) -> None:
+        self.rebalance()
+        engine = self.manager.machine.engine
+        self._handle = engine.after(self.period, self._tick)
+
+    def rebalance(self) -> None:
+        """Recompute the three class weights from admitted demand."""
+        manager = self.manager
+        capacity = manager.machine.capacity_ips
+        hard_share = min(0.9, manager.admitted_hard_utilization() * self.headroom)
+        soft_share = min(0.9, manager.admitted_soft_demand() / capacity
+                         * self.headroom)
+        hard_w = max(self.floor_weight, round(hard_share * self.scale))
+        soft_w = max(self.floor_weight, round(soft_share * self.scale))
+        best_w = max(self.floor_weight, self.scale - hard_w - soft_w)
+        manager.hard_leaf.set_weight(hard_w)
+        manager.soft_leaf.set_weight(soft_w)
+        manager.best_parent.set_weight(best_w)
+        self.rebalances += 1

@@ -1,0 +1,158 @@
+"""QoS monitoring: did every class actually receive its promised share?
+
+A :class:`ClassMonitor` samples the scheduling structure periodically and
+records, per monitored class, the CPU share received over each window
+against the share its weight promises — counting only windows in which
+the class was backlogged the whole time (an idle class receiving nothing
+is not a violation).  The QoS manager sketch in the paper (§4) implies
+exactly this feedback loop; the demand-driven rebalancer can consume the
+monitor's reports.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, NamedTuple, Optional
+
+from repro.core.node import LeafNode, Node
+from repro.errors import SchedulingError
+from repro.trace.metrics import node_work
+from repro.trace.recorder import Recorder
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cpu.machine import Machine
+
+
+class ShareSample(NamedTuple):
+    """One monitoring window's outcome for one class."""
+
+    t_start: int
+    t_end: int
+    promised: float   # the class's minimum guarantee: weight share of all monitored classes
+    received: float   # fraction of total thread work in the window
+    backlogged: bool  # was the class runnable for the entire window?
+
+
+class ClassMonitor:
+    """Periodic share monitoring over a recorded machine.
+
+    Parameters
+    ----------
+    machine:
+        The machine to monitor; it must have a :class:`Recorder` tracer.
+    nodes:
+        The class nodes (subtrees) to monitor.
+    window:
+        Sampling window in ns.
+    tolerance:
+        Relative shortfall tolerated before a window counts as a
+        violation (quantum granularity makes exact shares impossible).
+    """
+
+    def __init__(self, machine: "Machine", nodes: List[Node], window: int,
+                 tolerance: float = 0.1) -> None:
+        if window <= 0:
+            raise SchedulingError("monitor window must be positive")
+        if not isinstance(machine.tracer, Recorder):
+            raise SchedulingError(
+                "ClassMonitor needs a Machine with a Recorder tracer")
+        self.machine = machine
+        self.recorder: Recorder = machine.tracer
+        self.nodes = list(nodes)
+        self.window = window
+        self.tolerance = tolerance
+        self.samples: Dict[str, List[ShareSample]] = {
+            node.path: [] for node in self.nodes}
+        self._handle = None
+        self._window_start = 0
+
+    # --- driving ----------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin sampling on the machine's engine."""
+        self._window_start = self.machine.engine.now
+        self._handle = self.machine.engine.after(self.window, self._tick)
+
+    def stop(self) -> None:
+        """Stop sampling; collected samples remain readable."""
+        self.machine.engine.cancel(self._handle)
+        self._handle = None
+
+    def _tick(self) -> None:
+        self.sample_window(self._window_start, self.machine.engine.now)
+        self._window_start = self.machine.engine.now
+        self._handle = self.machine.engine.after(self.window, self._tick)
+
+    def _threads_of(self, node: Node):
+        threads = []
+        for sub in node.iter_subtree():
+            if isinstance(sub, LeafNode):
+                threads.extend(sub.threads)
+        return threads
+
+    def _backlogged_throughout(self, node: Node, t1: int, t2: int) -> bool:
+        """True when some thread of ``node`` was runnable at every instant
+        of [t1, t2] (computed from the recorded runnable intervals)."""
+        intervals = []
+        for thread in self._threads_of(node):
+            trace = self.recorder.trace_of(thread)
+            intervals.extend(trace.runnable_intervals(t2))
+        intervals = [iv for iv in intervals if iv[1] > t1 and iv[0] < t2]
+        intervals.sort()
+        covered_to = t1
+        for lo, hi in intervals:
+            if lo > covered_to:
+                return False  # gap with nothing runnable
+            covered_to = max(covered_to, hi)
+            if covered_to >= t2:
+                return True
+        return covered_to >= t2
+
+    # --- sampling ------------------------------------------------------------
+
+    def sample_window(self, t1: int, t2: int) -> None:
+        """Record one window's shares (normally called by the timer)."""
+        works = {}
+        for node in self.nodes:
+            works[node.path] = node_work(self.recorder,
+                                         self._threads_of(node), t1, t2)
+        total = (t2 - t1) * self.machine.capacity_ips / 1_000_000_000
+        if total <= 0:
+            return
+        backlogged_nodes = [
+            node for node in self.nodes
+            # backlogged throughout: some thread runnable at every instant
+            if self._backlogged_throughout(node, t1, t2)
+        ]
+        # The sound per-window promise is the class's *minimum* guarantee:
+        # its weight share of all monitored classes.  Residual bandwidth
+        # from idle siblings is a bonus SFQ redistributes, not a promise —
+        # siblings may legitimately consume part of any window.
+        weight_total = sum(n.weight for n in self.nodes)
+        for node in self.nodes:
+            backlogged = node in backlogged_nodes and weight_total > 0
+            promised = (node.weight / weight_total) if backlogged else 0.0
+            received = works[node.path] / total
+            self.samples[node.path].append(
+                ShareSample(t1, t2, promised, received, backlogged))
+
+    # --- reporting --------------------------------------------------------------
+
+    def violations(self, node: Optional[Node] = None) -> List[ShareSample]:
+        """Windows where a backlogged class fell short of its promise."""
+        paths = [node.path] if node is not None else list(self.samples)
+        found = []
+        for path in paths:
+            for sample in self.samples[path]:
+                if not sample.backlogged:
+                    continue
+                if sample.received < sample.promised * (1 - self.tolerance):
+                    found.append(sample)
+        return found
+
+    def mean_received_share(self, node: Node) -> float:
+        """Average received share over backlogged windows."""
+        values = [s.received for s in self.samples[node.path]
+                  if s.backlogged]
+        if not values:
+            return 0.0
+        return sum(values) / len(values)

@@ -1,0 +1,71 @@
+"""QoS request specifications.
+
+A request names its service class and carries the parameters that class's
+admission control needs:
+
+* **hard real-time** — ``period`` and ``wcet`` (worst-case execution time,
+  in ns of CPU at full capacity), checked deterministically;
+* **soft real-time** — ``mean_demand`` and ``std_demand`` (instructions per
+  second), checked statistically (overbooking is allowed by design);
+* **best effort** — never denied, only placed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import AdmissionError
+
+HARD_RT = "hard-rt"
+SOFT_RT = "soft-rt"
+BEST_EFFORT = "best-effort"
+
+_CLASSES = (HARD_RT, SOFT_RT, BEST_EFFORT)
+
+
+class QosRequest:
+    """A QoS request submitted to the :class:`~repro.qos.manager.QosManager`."""
+
+    def __init__(self, name: str, service_class: str,
+                 period: Optional[int] = None, wcet: Optional[int] = None,
+                 mean_demand: Optional[float] = None,
+                 std_demand: float = 0.0,
+                 user: str = "default") -> None:
+        if service_class not in _CLASSES:
+            raise AdmissionError(
+                "unknown service class %r (expected one of %s)"
+                % (service_class, ", ".join(_CLASSES)))
+        if service_class == HARD_RT:
+            if not period or not wcet or period <= 0 or wcet <= 0:
+                raise AdmissionError(
+                    "hard real-time request %r needs positive period and wcet"
+                    % (name,))
+            if wcet > period:
+                raise AdmissionError(
+                    "request %r is infeasible: wcet %d > period %d"
+                    % (name, wcet, period))
+        if service_class == SOFT_RT:
+            if mean_demand is None or mean_demand <= 0:
+                raise AdmissionError(
+                    "soft real-time request %r needs positive mean_demand"
+                    % (name,))
+            if std_demand < 0:
+                raise AdmissionError("std_demand must be non-negative")
+        self.name = name
+        self.service_class = service_class
+        self.period = period
+        self.wcet = wcet
+        self.mean_demand = mean_demand
+        self.std_demand = std_demand
+        self.user = user
+
+    @property
+    def utilization(self) -> float:
+        """CPU fraction demanded: wcet/period for hard RT, 0 otherwise."""
+        if self.service_class == HARD_RT:
+            assert self.period is not None and self.wcet is not None
+            return self.wcet / self.period
+        return 0.0
+
+    def __repr__(self) -> str:
+        return "QosRequest(%r, %s)" % (self.name, self.service_class)

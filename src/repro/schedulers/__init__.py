@@ -1,0 +1,53 @@
+"""Leaf and baseline schedulers.
+
+Any class implementing :class:`repro.schedulers.base.LeafScheduler` can be
+installed at a leaf of the scheduling structure (paper §4: "any scheduling
+algorithm can be used at the leaf node"), or run standalone under
+:class:`repro.cpu.flat.FlatScheduler` as a whole-machine baseline.
+
+Provided schedulers:
+
+=====================  ====================================================
+``SfqScheduler``        Start-time Fair Queuing over threads (paper §3)
+``FifoScheduler``       run-to-block, FIFO order
+``RoundRobinScheduler`` fixed quantum, circular order
+``Svr4TimeSharing``     SVR4/Solaris ts_dptbl-style multi-level feedback
+``EdfScheduler``        earliest deadline first (hard real-time leaf)
+``RmaScheduler``        rate-monotonic static priorities (hard real-time)
+``LotteryScheduler``    Waldspurger & Weihl randomized proportional share
+``StrideScheduler``     Waldspurger & Weihl deterministic strides
+``WfqScheduler``        Weighted Fair Queuing (finish-tag order)
+``ScfqScheduler``       Self-Clocked Fair Queuing (Golestani)
+``FqsScheduler``        Fair Queuing based on Start-time (Greenberg-Madras)
+=====================  ====================================================
+"""
+
+from repro.schedulers.base import LeafScheduler
+from repro.schedulers.edf import EdfScheduler
+from repro.schedulers.eevdf import EevdfScheduler
+from repro.schedulers.fairqueue import FqsScheduler, ScfqScheduler, WfqScheduler
+from repro.schedulers.fifo import FifoScheduler
+from repro.schedulers.lottery import LotteryScheduler
+from repro.schedulers.reserves import ReservesScheduler
+from repro.schedulers.rma import RmaScheduler
+from repro.schedulers.round_robin import RoundRobinScheduler
+from repro.schedulers.sfq_leaf import SfqScheduler
+from repro.schedulers.stride import StrideScheduler
+from repro.schedulers.svr4 import Svr4TimeSharing
+
+__all__ = [
+    "LeafScheduler",
+    "SfqScheduler",
+    "FifoScheduler",
+    "RoundRobinScheduler",
+    "Svr4TimeSharing",
+    "EdfScheduler",
+    "EevdfScheduler",
+    "RmaScheduler",
+    "LotteryScheduler",
+    "ReservesScheduler",
+    "StrideScheduler",
+    "WfqScheduler",
+    "ScfqScheduler",
+    "FqsScheduler",
+]

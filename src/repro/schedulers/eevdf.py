@@ -1,0 +1,137 @@
+"""Earliest Eligible Virtual Deadline First (Stoica, Abdel-Wahab, Jeffay).
+
+The proportionate-share algorithm the paper's §6 cites as contemporaneous
+related work ("Recently, a proportional share resource allocation
+algorithm, referred to as Earliest Eligible Virtual Deadline First (EEVDF),
+has been proposed").  Included as a comparison baseline.
+
+Mechanics (service-clocked formulation):
+
+* virtual time advances by ``served_work / total_runnable_weight``;
+* a client's request is stamped with a *virtual eligible time*
+  ``ve = max(v, previous vd-progress)`` and a *virtual deadline*
+  ``vd = ve + request / weight`` (requests here are one quantum of work);
+* among clients with ``ve <= v`` (eligible), the earliest ``vd`` runs;
+  if no one is eligible, the earliest ``vd`` overall runs (work
+  conservation).
+
+Like SFQ — and unlike WFQ — this formulation is self-clocked by delivered
+service, so it does not need the constant-rate hypothetical server.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import TYPE_CHECKING, Dict, Optional
+
+from repro.errors import SchedulingError
+from repro.schedulers.base import LeafScheduler
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.threads.thread import SimThread
+
+
+class _EevdfRecord:
+    __slots__ = ("thread", "ve", "vd", "runnable", "lag_done")
+
+    def __init__(self, thread: "SimThread") -> None:
+        self.thread = thread
+        self.ve = Fraction(0)
+        self.vd = Fraction(0)
+        self.runnable = False
+        #: work already served against the current request
+        self.lag_done = 0
+
+
+class EevdfScheduler(LeafScheduler):
+    """Earliest eligible virtual deadline first."""
+
+    algorithm = "eevdf"
+
+    def __init__(self, request_work: int, quantum: Optional[int] = None) -> None:
+        if request_work <= 0:
+            raise SchedulingError("request_work must be positive")
+        self.request_work = request_work
+        self._records: Dict[int, _EevdfRecord] = {}
+        self._v = Fraction(0)
+        self._quantum = quantum
+        self._runnable = 0
+
+    # --- LeafScheduler -----------------------------------------------------
+
+    def add_thread(self, thread: "SimThread") -> None:
+        if id(thread) in self._records:
+            raise SchedulingError("thread %r already registered" % (thread,))
+        self._records[id(thread)] = _EevdfRecord(thread)
+
+    def remove_thread(self, thread: "SimThread") -> None:
+        record = self._records.pop(id(thread), None)
+        if record is not None and record.runnable:
+            self._runnable -= 1
+
+    def on_runnable(self, thread: "SimThread", now: int) -> None:
+        record = self._record(thread)
+        if record.runnable:
+            return
+        record.runnable = True
+        self._runnable += 1
+        # A (re)joining client starts a fresh request at the current v:
+        # no credit accumulates while blocked.
+        record.ve = max(record.ve, self._v)
+        record.vd = record.ve + Fraction(self.request_work, thread.weight)
+        record.lag_done = 0
+
+    def on_block(self, thread: "SimThread", now: int) -> None:
+        record = self._record(thread)
+        if record.runnable:
+            record.runnable = False
+            self._runnable -= 1
+
+    def pick_next(self, now: int) -> Optional["SimThread"]:
+        best = None
+        best_eligible = None
+        for record in self._records.values():
+            if not record.runnable:
+                continue
+            if best is None or record.vd < best.vd:
+                best = record
+            if record.ve <= self._v and (best_eligible is None
+                                         or record.vd < best_eligible.vd):
+                best_eligible = record
+        chosen = best_eligible if best_eligible is not None else best
+        return chosen.thread if chosen is not None else None
+
+    def charge(self, thread: "SimThread", work: int, now: int) -> None:
+        record = self._record(thread)
+        total_weight = sum(r.thread.weight for r in self._records.values()
+                           if r.runnable or r is record)
+        if total_weight > 0:
+            self._v += Fraction(work, total_weight)
+        record.lag_done += work
+        while record.lag_done >= self.request_work:
+            record.lag_done -= self.request_work
+            record.ve = record.vd
+            record.vd = record.ve + Fraction(self.request_work, thread.weight)
+
+    def has_runnable(self) -> bool:
+        return self._runnable > 0
+
+    def quantum_for(self, thread: "SimThread") -> Optional[int]:
+        return self._quantum
+
+    # --- introspection ----------------------------------------------------
+
+    @property
+    def virtual_time(self) -> Fraction:
+        """Current service-clocked virtual time."""
+        return self._v
+
+    def deadline_of(self, thread: "SimThread") -> Fraction:
+        """Current virtual deadline of ``thread`` (for tests)."""
+        return self._record(thread).vd
+
+    def _record(self, thread: "SimThread") -> _EevdfRecord:
+        try:
+            return self._records[id(thread)]
+        except KeyError:
+            raise SchedulingError("thread %r not registered" % (thread,)) from None

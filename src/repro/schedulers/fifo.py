@@ -1,0 +1,59 @@
+"""A run-to-block FIFO scheduler.
+
+The simplest possible leaf: threads run in arrival order until they block.
+``quantum_for`` returns ``None`` so the machine default applies; with an
+infinite machine quantum this is true FIFO, with a finite one it degrades
+gracefully to FIFO-with-requeue-at-head (the running thread keeps the CPU
+across quantum expiries because it stays at the head).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Deque, Optional, Set
+
+from repro.errors import SchedulingError
+from repro.schedulers.base import LeafScheduler
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.threads.thread import SimThread
+
+
+class FifoScheduler(LeafScheduler):
+    """First-in first-out, run-to-block."""
+
+    algorithm = "fifo"
+
+    def __init__(self) -> None:
+        self._threads: Set["SimThread"] = set()
+        self._ready: Deque["SimThread"] = deque()
+
+    def add_thread(self, thread: "SimThread") -> None:
+        if thread in self._threads:
+            raise SchedulingError("thread %r already registered" % (thread,))
+        self._threads.add(thread)
+
+    def remove_thread(self, thread: "SimThread") -> None:
+        self._threads.discard(thread)
+        if thread in self._ready:
+            self._ready.remove(thread)
+
+    def on_runnable(self, thread: "SimThread", now: int) -> None:
+        if thread not in self._threads:
+            raise SchedulingError("thread %r not registered" % (thread,))
+        if thread not in self._ready:
+            self._ready.append(thread)
+
+    def on_block(self, thread: "SimThread", now: int) -> None:
+        if thread in self._ready:
+            self._ready.remove(thread)
+
+    def pick_next(self, now: int) -> Optional["SimThread"]:
+        return self._ready[0] if self._ready else None
+
+    def charge(self, thread: "SimThread", work: int, now: int) -> None:
+        # FIFO does no accounting; position is preserved across quanta.
+        return
+
+    def has_runnable(self) -> bool:
+        return bool(self._ready)

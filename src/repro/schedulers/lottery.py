@@ -1,0 +1,83 @@
+"""Lottery scheduling (Waldspurger & Weihl, OSDI '94).
+
+Each quantum a lottery is held among the runnable threads; the probability
+of winning is proportional to a thread's tickets (we reuse the thread's
+share ``weight`` as its ticket count).  The paper's §6 observes that
+lottery scheduling "achieved fairness only over large time-intervals" due
+to its randomized nature — the EXP-AB5 ablation quantifies that against
+stride scheduling and SFQ.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.errors import SchedulingError
+from repro.schedulers.base import LeafScheduler
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.threads.thread import SimThread
+
+
+class LotteryScheduler(LeafScheduler):
+    """Randomized proportional share via ticket lotteries."""
+
+    algorithm = "lottery"
+
+    def __init__(self, rng: Optional[random.Random] = None,
+                 quantum: Optional[int] = None) -> None:
+        self.rng = rng if rng is not None else random.Random(0)
+        self._threads: Dict[int, "SimThread"] = {}
+        self._runnable: List["SimThread"] = []
+        self._quantum = quantum
+        self._winner: Optional["SimThread"] = None
+
+    def add_thread(self, thread: "SimThread") -> None:
+        if id(thread) in self._threads:
+            raise SchedulingError("thread %r already registered" % (thread,))
+        self._threads[id(thread)] = thread
+
+    def remove_thread(self, thread: "SimThread") -> None:
+        self._threads.pop(id(thread), None)
+        if thread in self._runnable:
+            self._runnable.remove(thread)
+        if self._winner is thread:
+            self._winner = None
+
+    def on_runnable(self, thread: "SimThread", now: int) -> None:
+        if id(thread) not in self._threads:
+            raise SchedulingError("thread %r not registered" % (thread,))
+        if thread not in self._runnable:
+            self._runnable.append(thread)
+
+    def on_block(self, thread: "SimThread", now: int) -> None:
+        if thread in self._runnable:
+            self._runnable.remove(thread)
+        if self._winner is thread:
+            self._winner = None
+
+    def pick_next(self, now: int) -> Optional["SimThread"]:
+        if not self._runnable:
+            return None
+        # Hold one lottery per dispatch; repeated peeks between charges
+        # return the same winner so pick/charge pairs stay consistent.
+        if self._winner is None or self._winner not in self._runnable:
+            total = sum(t.weight for t in self._runnable)
+            draw = self.rng.randrange(total)
+            for thread in self._runnable:
+                draw -= thread.weight
+                if draw < 0:
+                    self._winner = thread
+                    break
+        return self._winner
+
+    def charge(self, thread: "SimThread", work: int, now: int) -> None:
+        if self._winner is thread:
+            self._winner = None  # next dispatch holds a fresh lottery
+
+    def has_runnable(self) -> bool:
+        return bool(self._runnable)
+
+    def quantum_for(self, thread: "SimThread") -> Optional[int]:
+        return self._quantum

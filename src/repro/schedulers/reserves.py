@@ -1,0 +1,172 @@
+"""Processor Capacity Reserves (Mercer, Savage & Tokuda, ICMCS '94).
+
+The reservation-based multimedia scheduler the paper cites as
+complementary related work [13]: each thread reserves ``C`` of CPU time
+every period ``T``.  While a thread has budget it runs ahead of
+unreserved/depleted threads; when the budget is exhausted it falls to
+background until the next replenishment.
+
+The paper's criticism (§6) — "most of these algorithms require precise
+characterization of resource requirements of a task" — is exactly what
+the EXP-AB8 ablation demonstrates: with unpredictable VBR demands a
+reserve is either oversized (wasting admission capacity) or undersized
+(frames spill into background service and the frame rate jitters),
+whereas SFQ needs only relative weights.
+
+Budgets are tracked in instructions; replenishment is computed lazily
+from the clock (budget resets at every period boundary), so no timer
+events are needed.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Deque, Dict, Optional
+
+from repro.errors import SchedulingError
+from repro.schedulers.base import LeafScheduler
+from repro.units import SECOND, time_from_work, work_from_time
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.threads.thread import SimThread
+
+
+class _ReserveRecord:
+    __slots__ = ("thread", "period", "budget_full", "budget", "period_index",
+                 "queued_reserved", "queued_background")
+
+    def __init__(self, thread: "SimThread", period: int,
+                 budget_full: int) -> None:
+        self.thread = thread
+        self.period = period
+        self.budget_full = budget_full
+        self.budget = budget_full
+        self.period_index = 0
+        self.queued_reserved = False
+        self.queued_background = False
+
+
+class ReservesScheduler(LeafScheduler):
+    """Reserve-based scheduling: budget ``reserve`` per ``period``.
+
+    Thread parameters: ``params["period"]`` (ns) and ``params["reserve"]``
+    (ns of CPU per period).  Threads without a reserve run purely in
+    background.
+    """
+
+    algorithm = "reserves"
+
+    def __init__(self, capacity_ips: int,
+                 background_quantum: Optional[int] = None) -> None:
+        if capacity_ips <= 0:
+            raise SchedulingError("capacity must be positive")
+        self.capacity_ips = capacity_ips
+        self.background_quantum = background_quantum
+        self._records: Dict[int, _ReserveRecord] = {}
+        self._reserved: Deque[_ReserveRecord] = deque()
+        self._background: Deque[_ReserveRecord] = deque()
+
+    # --- membership -------------------------------------------------------
+
+    def add_thread(self, thread: "SimThread") -> None:
+        if id(thread) in self._records:
+            raise SchedulingError("thread %r already registered" % (thread,))
+        period = int(thread.params.get("period", 0))
+        reserve_ns = int(thread.params.get("reserve", 0))
+        if reserve_ns and not period:
+            raise SchedulingError(
+                "thread %r has a reserve but no period" % (thread,))
+        if reserve_ns > period:
+            raise SchedulingError(
+                "thread %r reserves more than its period" % (thread,))
+        budget = work_from_time(reserve_ns, self.capacity_ips)
+        self._records[id(thread)] = _ReserveRecord(
+            thread, period or SECOND, budget)
+
+    def remove_thread(self, thread: "SimThread") -> None:
+        record = self._records.pop(id(thread), None)
+        if record is not None:
+            self._dequeue(record)
+
+    # --- lifecycle ----------------------------------------------------------
+
+    def on_runnable(self, thread: "SimThread", now: int) -> None:
+        record = self._record(thread)
+        self._refresh(record, now)
+        self._enqueue(record)
+
+    def on_block(self, thread: "SimThread", now: int) -> None:
+        self._dequeue(self._record(thread))
+
+    def pick_next(self, now: int) -> Optional["SimThread"]:
+        # Lazy replenishment may promote depleted threads back.
+        for record in list(self._background):
+            self._refresh(record, now)
+            if record.budget > 0:
+                self._dequeue(record)
+                self._enqueue(record)
+        if self._reserved:
+            return self._reserved[0].thread
+        if self._background:
+            return self._background[0].thread
+        return None
+
+    def charge(self, thread: "SimThread", work: int, now: int) -> None:
+        record = self._record(thread)
+        self._refresh(record, now)
+        record.budget = max(0, record.budget - work)
+        if record.thread.is_runnable:
+            # re-queue according to the (possibly depleted) budget,
+            # rotating round-robin within each band
+            self._dequeue(record)
+            self._enqueue(record)
+
+    def has_runnable(self) -> bool:
+        return bool(self._reserved or self._background)
+
+    def quantum_for(self, thread: "SimThread") -> Optional[int]:
+        record = self._record(thread)
+        if record.budget > 0:
+            # run at most to depletion, so overruns never overdraw
+            return time_from_work(record.budget, self.capacity_ips)
+        return self.background_quantum
+
+    # --- introspection ------------------------------------------------------
+
+    def budget_of(self, thread: "SimThread", now: int) -> int:
+        """Remaining budget (instructions) after lazy replenishment."""
+        record = self._record(thread)
+        self._refresh(record, now)
+        return record.budget
+
+    # --- internals -----------------------------------------------------------
+
+    def _record(self, thread: "SimThread") -> _ReserveRecord:
+        try:
+            return self._records[id(thread)]
+        except KeyError:
+            raise SchedulingError("thread %r not registered" % (thread,)) from None
+
+    def _refresh(self, record: _ReserveRecord, now: int) -> None:
+        index = now // record.period
+        if index > record.period_index:
+            record.period_index = index
+            record.budget = record.budget_full
+
+    def _enqueue(self, record: _ReserveRecord) -> None:
+        if record.budget > 0:
+            if not record.queued_reserved:
+                self._reserved.append(record)
+                record.queued_reserved = True
+        else:
+            if not record.queued_background:
+                self._background.append(record)
+                record.queued_background = True
+
+    def _dequeue(self, record: _ReserveRecord) -> None:
+        if record.queued_reserved:
+            self._reserved.remove(record)
+            record.queued_reserved = False
+        if record.queued_background:
+            self._background.remove(record)
+            record.queued_background = False

@@ -1,0 +1,62 @@
+"""A classic round-robin scheduler with a fixed quantum.
+
+Threads rotate to the tail whenever a charge arrives while they are still
+runnable (i.e. at quantum expiry); blocked threads simply leave the ring
+and rejoin at the tail on wakeup.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Deque, Optional, Set
+
+from repro.errors import SchedulingError
+from repro.schedulers.base import LeafScheduler
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.threads.thread import SimThread
+
+
+class RoundRobinScheduler(LeafScheduler):
+    """Equal time slices in circular order."""
+
+    algorithm = "round-robin"
+
+    def __init__(self, quantum: Optional[int] = None) -> None:
+        self._threads: Set["SimThread"] = set()
+        self._ring: Deque["SimThread"] = deque()
+        self._quantum = quantum
+
+    def add_thread(self, thread: "SimThread") -> None:
+        if thread in self._threads:
+            raise SchedulingError("thread %r already registered" % (thread,))
+        self._threads.add(thread)
+
+    def remove_thread(self, thread: "SimThread") -> None:
+        self._threads.discard(thread)
+        if thread in self._ring:
+            self._ring.remove(thread)
+
+    def on_runnable(self, thread: "SimThread", now: int) -> None:
+        if thread not in self._threads:
+            raise SchedulingError("thread %r not registered" % (thread,))
+        if thread not in self._ring:
+            self._ring.append(thread)
+
+    def on_block(self, thread: "SimThread", now: int) -> None:
+        if thread in self._ring:
+            self._ring.remove(thread)
+
+    def pick_next(self, now: int) -> Optional["SimThread"]:
+        return self._ring[0] if self._ring else None
+
+    def charge(self, thread: "SimThread", work: int, now: int) -> None:
+        # Quantum used up while still runnable: go to the back of the ring.
+        if thread.is_runnable and self._ring and self._ring[0] is thread:
+            self._ring.rotate(-1)
+
+    def has_runnable(self) -> bool:
+        return bool(self._ring)
+
+    def quantum_for(self, thread: "SimThread") -> Optional[int]:
+        return self._quantum

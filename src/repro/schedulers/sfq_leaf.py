@@ -1,0 +1,54 @@
+"""SFQ as a leaf scheduler (paper §5.4, Figure 10).
+
+A thin adapter putting threads (instead of tree nodes) into an
+:class:`~repro.core.sfq.SfqQueue`.  Thread weights are read at charge time,
+so dynamic weight changes (Figure 11) behave exactly as at internal nodes.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.sfq import SfqQueue
+from repro.core.tags import TagMath
+from repro.schedulers.base import LeafScheduler
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.threads.thread import SimThread
+
+
+class SfqScheduler(LeafScheduler):
+    """Start-time Fair Queuing over the threads of one class."""
+
+    algorithm = "sfq"
+
+    def __init__(self, tag_math: Optional[TagMath] = None,
+                 quantum: Optional[int] = None) -> None:
+        self.queue = SfqQueue(tag_math)
+        self._quantum = quantum
+
+    def add_thread(self, thread: "SimThread") -> None:
+        self.queue.add(thread)
+
+    def remove_thread(self, thread: "SimThread") -> None:
+        if self.queue.is_runnable(thread):
+            self.queue.set_blocked(thread)
+        self.queue.remove(thread)
+
+    def on_runnable(self, thread: "SimThread", now: int) -> None:
+        self.queue.set_runnable(thread)
+
+    def on_block(self, thread: "SimThread", now: int) -> None:
+        self.queue.set_blocked(thread)
+
+    def pick_next(self, now: int) -> Optional["SimThread"]:
+        return self.queue.pick()
+
+    def charge(self, thread: "SimThread", work: int, now: int) -> None:
+        self.queue.charge(thread, work)
+
+    def has_runnable(self) -> bool:
+        return self.queue.has_runnable()
+
+    def quantum_for(self, thread: "SimThread") -> Optional[int]:
+        return self._quantum

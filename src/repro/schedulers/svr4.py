@@ -1,0 +1,196 @@
+"""An SVR4/Solaris-style time-sharing scheduler.
+
+This reproduces the mechanism of the Solaris TS scheduling class the paper
+compares against (Figure 5) and embeds as a leaf (Figures 6 and 8): a
+60-level multi-level feedback queue driven by a dispatcher parameter table
+(``ts_dptbl``).  Each level defines:
+
+* ``quantum`` — the time slice at this priority (long at low priorities,
+  short at high ones);
+* ``tqexp`` — the (lower) priority assigned when the quantum expires;
+* ``slpret`` — the (higher) priority assigned on return from sleep;
+* ``maxwait``/``lwait`` — starvation aging: a thread that has waited on the
+  ready queue longer than ``maxwait`` is boosted to ``lwait`` by a
+  once-per-second update.
+
+Higher numbers mean higher priority (Solaris convention).  The interaction
+of demotion, sleep boosts, and aging is exactly what makes per-thread
+throughput unpredictable over observation windows — the behaviour Figure 5
+demonstrates and SFQ eliminates.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Deque, Dict, List, NamedTuple, Optional
+
+from repro.errors import SchedulingError
+from repro.schedulers.base import LeafScheduler
+from repro.units import MS, SECOND
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.threads.thread import SimThread
+
+#: number of time-sharing priority levels
+TS_LEVELS = 60
+
+#: default user priority for threads that do not specify one
+DEFAULT_USER_PRIORITY = 29
+
+
+class DispatchRow(NamedTuple):
+    """One row of the dispatcher parameter table."""
+
+    quantum: int   # ns
+    tqexp: int     # priority after quantum expiry
+    slpret: int    # priority after sleep return
+    maxwait: int   # ns a thread may wait before aging kicks in
+    lwait: int     # priority assigned by aging
+
+
+def default_dispatch_table() -> List[DispatchRow]:
+    """A ts_dptbl patterned after the Solaris 2.4 default.
+
+    Quanta step from 200 ms at the lowest priorities down to 50 ms at the
+    highest; expiry demotes by 10 levels; sleep returns boost well above
+    the middle.  As in the real table, ``ts_maxwait`` is 0: *every* thread
+    still waiting at the once-per-second ``ts_update`` scan is lifted to
+    ``ts_lwait`` (in the 50s).  This constant churn — boost, then demote by
+    expiry, phase-shifted per thread — is what makes TS throughput
+    unpredictable over observation windows (Figure 5).
+    """
+    table = []
+    for pri in range(TS_LEVELS):
+        quantum = (200 - 30 * (pri // 10)) * MS  # 200,170,...,50 ms by decade
+        tqexp = max(0, pri - 10)
+        slpret = min(TS_LEVELS - 1, pri + 25)
+        lwait = min(TS_LEVELS - 1, 50 + pri // 10)
+        table.append(DispatchRow(quantum, tqexp, slpret, 0, lwait))
+    return table
+
+
+class _TsRecord:
+    """Per-thread TS state."""
+
+    __slots__ = ("thread", "priority", "enqueued_at", "sleeping", "queued")
+
+    def __init__(self, thread: "SimThread", priority: int) -> None:
+        self.thread = thread
+        self.priority = priority
+        self.enqueued_at = 0
+        self.sleeping = False
+        self.queued = False
+
+
+class Svr4TimeSharing(LeafScheduler):
+    """The SVR4/Solaris time-sharing class as a leaf (or flat) scheduler."""
+
+    algorithm = "svr4-ts"
+
+    def __init__(self, table: Optional[List[DispatchRow]] = None) -> None:
+        self.table = table if table is not None else default_dispatch_table()
+        if len(self.table) != TS_LEVELS:
+            raise SchedulingError(
+                "dispatch table must have %d rows, got %d"
+                % (TS_LEVELS, len(self.table)))
+        self._records: Dict[int, _TsRecord] = {}
+        self._ready: List[Deque[_TsRecord]] = [deque() for __ in range(TS_LEVELS)]
+        self._ready_count = 0
+        self._last_age = 0
+
+    # --- membership -------------------------------------------------------
+
+    def add_thread(self, thread: "SimThread") -> None:
+        if id(thread) in self._records:
+            raise SchedulingError("thread %r already registered" % (thread,))
+        priority = int(thread.params.get("priority", DEFAULT_USER_PRIORITY))
+        if not 0 <= priority < TS_LEVELS:
+            raise SchedulingError("TS priority must be in [0, %d)" % TS_LEVELS)
+        self._records[id(thread)] = _TsRecord(thread, priority)
+
+    def remove_thread(self, thread: "SimThread") -> None:
+        record = self._records.pop(id(thread), None)
+        if record is not None and record.queued:
+            self._dequeue(record)
+
+    # --- lifecycle -----------------------------------------------------------
+
+    def on_runnable(self, thread: "SimThread", now: int) -> None:
+        record = self._record(thread)
+        if record.queued:
+            return
+        if record.sleeping:
+            record.priority = self.table[record.priority].slpret
+            record.sleeping = False
+        self._enqueue(record, now)
+
+    def on_block(self, thread: "SimThread", now: int) -> None:
+        record = self._record(thread)
+        if record.queued:
+            self._dequeue(record)
+        record.sleeping = True
+
+    def pick_next(self, now: int) -> Optional["SimThread"]:
+        self._age(now)
+        for priority in range(TS_LEVELS - 1, -1, -1):
+            queue = self._ready[priority]
+            if queue:
+                return queue[0].thread
+        return None
+
+    def charge(self, thread: "SimThread", work: int, now: int) -> None:
+        record = self._record(thread)
+        if thread.is_runnable and record.queued:
+            # Quantum expired while still hungry: demote and requeue at tail.
+            self._dequeue(record)
+            record.priority = self.table[record.priority].tqexp
+            self._enqueue(record, now)
+
+    def has_runnable(self) -> bool:
+        return self._ready_count > 0
+
+    def quantum_for(self, thread: "SimThread") -> Optional[int]:
+        return self.table[self._record(thread).priority].quantum
+
+    # --- internals --------------------------------------------------------------
+
+    def priority_of(self, thread: "SimThread") -> int:
+        """Current dynamic priority of ``thread`` (for tests and tracing)."""
+        return self._record(thread).priority
+
+    def _record(self, thread: "SimThread") -> _TsRecord:
+        try:
+            return self._records[id(thread)]
+        except KeyError:
+            raise SchedulingError("thread %r not registered" % (thread,)) from None
+
+    def _enqueue(self, record: _TsRecord, now: int) -> None:
+        record.enqueued_at = now
+        record.queued = True
+        self._ready[record.priority].append(record)
+        self._ready_count += 1
+
+    def _dequeue(self, record: _TsRecord) -> None:
+        self._ready[record.priority].remove(record)
+        record.queued = False
+        self._ready_count -= 1
+
+    def _age(self, now: int) -> None:
+        """Once-per-second starvation pass (ts_update in Solaris)."""
+        if now - self._last_age < SECOND:
+            return
+        self._last_age = now
+        boosted = []
+        for priority in range(TS_LEVELS):
+            row = self.table[priority]
+            if row.lwait <= priority:
+                continue
+            queue = self._ready[priority]
+            for record in list(queue):
+                if now - record.enqueued_at > row.maxwait:
+                    queue.remove(record)
+                    record.priority = row.lwait
+                    boosted.append(record)
+        for record in boosted:
+            # Preserve accumulated wait so aging remains progressive.
+            self._ready[record.priority].append(record)

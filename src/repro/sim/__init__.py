@@ -1,0 +1,13 @@
+"""Discrete-event simulation kernel.
+
+This package provides the minimal substrate every other subsystem runs on:
+a deterministic event queue (:mod:`repro.sim.events`), a simulation engine
+with a nanosecond clock (:mod:`repro.sim.engine`), and seeded randomness
+helpers (:mod:`repro.sim.rng`).
+"""
+
+from repro.sim.engine import Simulator
+from repro.sim.events import EventHandle, EventQueue
+from repro.sim.rng import make_rng
+
+__all__ = ["Simulator", "EventHandle", "EventQueue", "make_rng"]

@@ -1,0 +1,112 @@
+"""The simulation engine: a clock plus an event loop.
+
+The engine is intentionally tiny.  Components (the CPU machine, interrupt
+sources, workload timers) schedule callbacks; :meth:`Simulator.run_until`
+drains the queue in timestamp order and advances the clock.  Nothing in the
+engine knows about scheduling — that separation keeps the substrate reusable
+and easy to test in isolation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+from repro.sim.events import EventHandle, EventQueue
+
+
+class Simulator:
+    """A discrete-event simulator with an integer-nanosecond clock."""
+
+    def __init__(self) -> None:
+        self._queue = EventQueue()
+        self._now = 0
+        self._running = False
+
+    @property
+    def now(self) -> int:
+        """Current simulation time in nanoseconds."""
+        return self._now
+
+    @property
+    def pending_events(self) -> int:
+        """Number of live events still scheduled."""
+        return len(self._queue)
+
+    def at(self, time: int, callback: Callable[..., None], arg: Any = None,
+           priority: int = 0) -> EventHandle:
+        """Schedule ``callback(arg)`` at absolute ``time`` (>= now)."""
+        if time < self._now:
+            raise SimulationError(
+                "cannot schedule event in the past: t=%d < now=%d" % (time, self._now))
+        return self._queue.push(time, callback, arg, priority)
+
+    def after(self, delay: int, callback: Callable[..., None], arg: Any = None,
+              priority: int = 0) -> EventHandle:
+        """Schedule ``callback(arg)`` after ``delay`` nanoseconds."""
+        if delay < 0:
+            raise SimulationError("delay must be non-negative, got %d" % delay)
+        return self._queue.push(self._now + delay, callback, arg, priority)
+
+    def cancel(self, handle: Optional[EventHandle]) -> None:
+        """Cancel a previously scheduled event; ``None`` is a no-op."""
+        self._queue.discard(handle)
+
+    def step(self) -> bool:
+        """Fire the next event, advancing the clock.
+
+        Returns False when the queue is empty.
+        """
+        handle = self._queue.pop()
+        if handle is None:
+            return False
+        if handle.time < self._now:
+            raise SimulationError(
+                "event queue returned stale event at t=%d (now=%d)"
+                % (handle.time, self._now))
+        self._now = handle.time
+        callback = handle.callback
+        arg = handle.arg
+        # The handle has fired; release its references.
+        handle.cancel()
+        if callback is not None:
+            if arg is None:
+                callback()
+            else:
+                callback(arg)
+        return True
+
+    def run_until(self, time: int) -> None:
+        """Run all events with timestamp <= ``time``; clock ends at ``time``.
+
+        Events scheduled *exactly* at ``time`` do fire, so back-to-back
+        ``run_until`` calls partition a run without losing events.
+        """
+        if time < self._now:
+            raise SimulationError(
+                "cannot run backwards: until=%d < now=%d" % (time, self._now))
+        if self._running:
+            raise SimulationError("run_until re-entered from a callback")
+        self._running = True
+        try:
+            while True:
+                next_time = self._queue.peek_time()
+                if next_time is None or next_time > time:
+                    break
+                self.step()
+        finally:
+            self._running = False
+        self._now = time
+
+    def run_all(self, limit: int = 10_000_000) -> int:
+        """Run until the queue drains; returns the number of events fired.
+
+        ``limit`` guards against runaway self-rescheduling loops (infinite
+        workloads must be driven with :meth:`run_until` instead).
+        """
+        fired = 0
+        while self.step():
+            fired += 1
+            if fired > limit:
+                raise SimulationError("run_all exceeded %d events" % limit)
+        return fired

@@ -1,0 +1,24 @@
+"""Multiprocessor extension (beyond the paper).
+
+The paper is strictly uniprocessor.  This package extends the framework
+to ``p`` identical CPUs sharing one (hierarchical or flat) scheduler —
+the configuration studied by the direct follow-on work (Chandra et al.'s
+Surplus Fair Scheduling, which starts from SFQ's behaviour on SMPs).
+
+Dispatch discipline: a CPU picks the minimum-start-tag thread and takes
+it *out* of the scheduling state while it runs (otherwise a second CPU
+would pick the same thread); at quantum end the executed length is
+charged and the thread re-enters with a fresh ``S = max(v, F)`` stamp.
+This is the standard SMP formulation of start-time fair queuing.
+
+Known property demonstrated by ``repro.experiments.extension_smp``:
+with *feasible* weights (no thread's share exceeding one CPU) SMP-SFQ
+divides capacity by weight; with an *infeasible* weight (share > 1/p) the
+over-weighted thread saturates at one CPU while the tag arithmetic still
+debits it as if it received its full share — the unfairness that
+motivated Surplus Fair Scheduling.
+"""
+
+from repro.smp.machine import SmpMachine
+
+__all__ = ["SmpMachine"]

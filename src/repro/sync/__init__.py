@@ -1,0 +1,25 @@
+"""Thread synchronization with priority-inversion avoidance (paper §4).
+
+The paper: "when the leaf scheduler is SFQ, priority inversion can be
+avoided by transferring the weight of the blocked thread to the thread
+that is blocking it."  This package provides the simulated mutex
+(:class:`~repro.sync.mutex.SimMutex`) plus the Acquire/Release workload
+segments, and the weight-donation policy implemented by the SFQ leaf.
+"""
+
+from repro.sync.inheritance import PriorityInheritanceMutex
+from repro.sync.mutex import Acquire, Release, SimMutex
+from repro.sync.semaphore import (
+    Down,
+    Notify,
+    SimSemaphore,
+    Up,
+    WaitOn,
+    WaitQueue,
+)
+
+__all__ = [
+    "SimMutex", "Acquire", "Release", "PriorityInheritanceMutex",
+    "SimSemaphore", "Down", "Up",
+    "WaitQueue", "WaitOn", "Notify",
+]

@@ -1,0 +1,72 @@
+"""Priority inheritance for rate-monotonic leaves (paper §4).
+
+For SFQ leaves the paper transfers *weights*
+(:class:`~repro.sync.mutex.SimMutex` with ``donate_weight=True``); for
+static-priority RMA leaves it points at "standard priority inheritance
+techniques".  :class:`PriorityInheritanceMutex` implements them: whenever
+the mutex is contended, its holder runs at the shortest *period* among
+itself and all waiters (periods are RMA priorities — shorter is higher),
+and the inheritance is removed at release.  Inheritance is transitive
+across grant chains (the new holder immediately inherits from the waiters
+still queued behind it).
+
+The mutex needs the :class:`~repro.schedulers.rma.RmaScheduler` managing
+the threads, because inheritance must re-key the ready heap.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import SchedulingError
+from repro.schedulers.rma import RmaScheduler
+from repro.sync.mutex import SimMutex
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.threads.thread import SimThread
+
+
+class PriorityInheritanceMutex(SimMutex):
+    """A mutex whose holder inherits the shortest waiter period."""
+
+    def __init__(self, name: str, scheduler: RmaScheduler) -> None:
+        super().__init__(name, donate_weight=False)
+        self.scheduler = scheduler
+
+    # --- inheritance bookkeeping --------------------------------------------
+
+    def _waiter_period(self, thread: "SimThread") -> Optional[int]:
+        try:
+            return self.scheduler.effective_period_of(thread)
+        except SchedulingError:
+            return None  # waiter not managed by this RMA leaf
+
+    def _propagate(self) -> None:
+        if self.holder is None:
+            return
+        periods = [p for p in (self._waiter_period(w) for w in self.waiters)
+                   if p is not None]
+        try:
+            self.scheduler.set_inherited_period(
+                self.holder, min(periods) if periods else None)
+        except SchedulingError:
+            pass  # holder not managed by this RMA leaf
+
+    # --- SimMutex overrides -----------------------------------------------------
+
+    def enqueue_waiter(self, thread: "SimThread") -> None:
+        super().enqueue_waiter(thread)
+        self._propagate()
+
+    def release(self, thread: "SimThread"):
+        try:
+            self.scheduler.set_inherited_period(thread, None)
+        except SchedulingError:
+            pass
+        granted = super().release(thread)
+        self._propagate()
+        return granted
+
+    def drop_waiter(self, thread: "SimThread") -> None:
+        super().drop_waiter(thread)
+        self._propagate()

@@ -1,0 +1,141 @@
+"""Counting semaphores and condition-style wait queues.
+
+Together with :mod:`repro.sync.mutex` these complete the synchronization
+substrate: workloads block with ``Down(semaphore)`` / ``WaitOn(queue)``
+segments and wake peers with ``Up(semaphore)`` / ``Notify(queue)``.
+Bounded producer/consumer pipelines (a decoder feeding a renderer, the
+classic multimedia structure the paper's applications imply) compose from
+two semaphores and a mutex with no further machine support — see
+``examples/decode_pipeline.py``.
+
+All wakeups are FIFO and granted at release time (no thundering herd: an
+``Up`` hands the slot directly to the head waiter).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Deque, List, Optional
+
+from repro.errors import SchedulingError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.threads.thread import SimThread
+
+
+class SimSemaphore:
+    """A counting semaphore with FIFO grant order."""
+
+    def __init__(self, name: str = "sem", initial: int = 0) -> None:
+        if initial < 0:
+            raise SchedulingError("semaphore count must be non-negative")
+        self.name = name
+        self.count = initial
+        self.waiters: Deque["SimThread"] = deque()
+
+    def try_down(self, thread: "SimThread") -> bool:
+        """Consume a unit if available; False means the caller must wait."""
+        if self.count > 0:
+            self.count -= 1
+            return True
+        return False
+
+    def enqueue_waiter(self, thread: "SimThread") -> None:
+        """Register a blocked Down() caller (machine-invoked)."""
+        self.waiters.append(thread)
+
+    def up(self) -> Optional["SimThread"]:
+        """Release one unit; returns the waiter it was granted to, if any."""
+        if self.waiters:
+            # hand the unit straight to the head waiter (count stays 0)
+            return self.waiters.popleft()
+        self.count += 1
+        return None
+
+    def drop_waiter(self, thread: "SimThread") -> None:
+        """Remove a waiter that will never be granted."""
+        if thread in self.waiters:
+            self.waiters.remove(thread)
+
+    def __repr__(self) -> str:
+        return "SimSemaphore(%r, count=%d, waiters=%d)" % (
+            self.name, self.count, len(self.waiters))
+
+
+class WaitQueue:
+    """A bare FIFO wait queue (condition-variable style, no predicate)."""
+
+    def __init__(self, name: str = "wq") -> None:
+        self.name = name
+        self.waiters: Deque["SimThread"] = deque()
+
+    def enqueue_waiter(self, thread: "SimThread") -> None:
+        """Register a blocked WaitOn() caller (machine-invoked)."""
+        self.waiters.append(thread)
+
+    def notify(self, count: int = 1) -> List["SimThread"]:
+        """Dequeue up to ``count`` waiters (they are woken by the machine)."""
+        woken = []
+        for __ in range(count):
+            if not self.waiters:
+                break
+            woken.append(self.waiters.popleft())
+        return woken
+
+    def notify_all(self) -> List["SimThread"]:
+        """Dequeue every waiter."""
+        return self.notify(len(self.waiters))
+
+    def __repr__(self) -> str:
+        return "WaitQueue(%r, waiters=%d)" % (self.name, len(self.waiters))
+
+
+class Down:
+    """Workload segment: P(semaphore) — blocks when the count is zero."""
+
+    __slots__ = ("semaphore",)
+
+    def __init__(self, semaphore: SimSemaphore) -> None:
+        self.semaphore = semaphore
+
+    def __repr__(self) -> str:
+        return "Down(%s)" % self.semaphore.name
+
+
+class Up:
+    """Workload segment: V(semaphore) — never blocks."""
+
+    __slots__ = ("semaphore",)
+
+    def __init__(self, semaphore: SimSemaphore) -> None:
+        self.semaphore = semaphore
+
+    def __repr__(self) -> str:
+        return "Up(%s)" % self.semaphore.name
+
+
+class WaitOn:
+    """Workload segment: block on a wait queue until notified."""
+
+    __slots__ = ("queue",)
+
+    def __init__(self, queue: WaitQueue) -> None:
+        self.queue = queue
+
+    def __repr__(self) -> str:
+        return "WaitOn(%s)" % self.queue.name
+
+
+class Notify:
+    """Workload segment: wake up to ``count`` waiters of a queue."""
+
+    __slots__ = ("queue", "count")
+
+    def __init__(self, queue: WaitQueue, count: int = 1) -> None:
+        if count < 1:
+            raise SchedulingError("Notify count must be at least 1")
+        self.queue = queue
+        self.count = count
+
+    def __repr__(self) -> str:
+        return "Notify(%s, %d)" % (self.queue.name, self.count)

@@ -1,0 +1,21 @@
+"""Thread model: states, workload segments, and the simulated thread.
+
+A :class:`~repro.threads.thread.SimThread` executes a *workload*: an object
+that, asked for its next segment, answers with Compute / SleepFor /
+SleepUntil / Exit.  The CPU machine (:mod:`repro.cpu.machine`) drives the
+thread through its segments; schedulers only ever see state transitions.
+"""
+
+from repro.threads.segments import Compute, Exit, SleepFor, SleepUntil, Workload
+from repro.threads.states import ThreadState
+from repro.threads.thread import SimThread
+
+__all__ = [
+    "Compute",
+    "Exit",
+    "SleepFor",
+    "SleepUntil",
+    "Workload",
+    "ThreadState",
+    "SimThread",
+]

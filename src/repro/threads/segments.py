@@ -1,0 +1,116 @@
+"""Workload segments: the protocol between a workload and the CPU machine.
+
+A workload describes a thread's behaviour as a sequence of segments:
+
+* :class:`Compute` — execute ``work`` instructions (possibly preempted,
+  possibly spread over many quanta);
+* :class:`SleepFor` — block for a fixed duration (I/O, think time);
+* :class:`SleepUntil` — block until an absolute instant (periodic release);
+* :class:`Exit` — terminate the thread.
+
+The machine asks for the next segment by calling
+``workload.next_segment(now, thread)`` each time the previous one finishes.
+Receiving the current time lets periodic workloads compute their next
+release point, and receiving the thread lets workloads consult statistics
+(e.g. frames decoded so far).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import WorkloadError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.threads.thread import SimThread
+
+
+class Compute:
+    """Execute ``work`` instructions."""
+
+    __slots__ = ("work",)
+
+    def __init__(self, work: int) -> None:
+        if work <= 0:
+            raise WorkloadError("Compute segment needs positive work, got %d" % work)
+        self.work = work
+
+    def __repr__(self) -> str:
+        return "Compute(%d)" % self.work
+
+
+class SleepFor:
+    """Block for ``duration`` nanoseconds."""
+
+    __slots__ = ("duration",)
+
+    def __init__(self, duration: int) -> None:
+        if duration < 0:
+            raise WorkloadError("SleepFor needs non-negative duration, got %d" % duration)
+        self.duration = duration
+
+    def __repr__(self) -> str:
+        return "SleepFor(%d)" % self.duration
+
+
+class SleepUntil:
+    """Block until absolute time ``wakeup``.
+
+    A wakeup in the past is treated as "wake immediately"; periodic
+    workloads use this to express "sleep until my next release, if it has
+    not already passed" (an overrun).
+    """
+
+    __slots__ = ("wakeup",)
+
+    def __init__(self, wakeup: int) -> None:
+        self.wakeup = wakeup
+
+    def __repr__(self) -> str:
+        return "SleepUntil(%d)" % self.wakeup
+
+
+class Exit:
+    """Terminate the thread."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "Exit()"
+
+
+class Workload:
+    """Base class for workloads.
+
+    Subclasses implement :meth:`next_segment`.  Returning ``None`` is
+    equivalent to returning :class:`Exit`.
+    """
+
+    def next_segment(self, now: int, thread: "SimThread") -> Optional[object]:
+        """Return the next segment to execute, or ``None``/``Exit`` to finish."""
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Reset internal state so the workload can be reused in a new run."""
+
+
+class SegmentListWorkload(Workload):
+    """A workload that replays a fixed list of segments, then exits.
+
+    Mostly used by tests and examples where the exact behaviour matters
+    (e.g. reproducing the Figure 3 tag-evolution example).
+    """
+
+    def __init__(self, segments) -> None:
+        self._segments = list(segments)
+        self._index = 0
+
+    def next_segment(self, now: int, thread: "SimThread") -> Optional[object]:
+        if self._index >= len(self._segments):
+            return Exit()
+        segment = self._segments[self._index]
+        self._index += 1
+        return segment
+
+    def reset(self) -> None:
+        self._index = 0

@@ -1,0 +1,38 @@
+"""Thread lifecycle states.
+
+The state machine is the classic OS one, minus swapping::
+
+    NEW -> RUNNABLE <-> RUNNING
+              ^            |
+              |            v
+              +-------- SLEEPING
+    RUNNING -> EXITED
+
+Transitions are validated by :class:`repro.threads.thread.SimThread`; an
+illegal transition raises :class:`repro.errors.SchedulingError`, which in
+practice has caught every machine/scheduler bookkeeping bug early.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class ThreadState(enum.Enum):
+    """Lifecycle state of a simulated thread."""
+
+    NEW = "new"
+    RUNNABLE = "runnable"
+    RUNNING = "running"
+    SLEEPING = "sleeping"
+    EXITED = "exited"
+
+
+#: Legal state transitions: mapping from state to the set of allowed successors.
+ALLOWED_TRANSITIONS = {
+    ThreadState.NEW: {ThreadState.RUNNABLE, ThreadState.SLEEPING, ThreadState.EXITED},
+    ThreadState.RUNNABLE: {ThreadState.RUNNING},
+    ThreadState.RUNNING: {ThreadState.RUNNABLE, ThreadState.SLEEPING, ThreadState.EXITED},
+    ThreadState.SLEEPING: {ThreadState.RUNNABLE, ThreadState.EXITED},
+    ThreadState.EXITED: set(),
+}

@@ -1,0 +1,79 @@
+"""Trace export: JSON and CSV dumps of recorded runs.
+
+Lets a run be analysed outside the simulator (spreadsheets, notebooks) and
+lets tests round-trip a trace.  The JSON schema is stable and versioned.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import TYPE_CHECKING, Dict, Iterable, List
+
+from repro.trace.recorder import Recorder
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.threads.thread import SimThread
+
+#: schema version written into every JSON export
+SCHEMA_VERSION = 1
+
+
+def trace_to_dict(recorder: Recorder,
+                  threads: Iterable["SimThread"]) -> Dict:
+    """Serializable representation of the traces of ``threads``."""
+    payload: Dict = {"schema": SCHEMA_VERSION, "threads": [],
+                     "interrupts": list(recorder.interrupts)}
+    for thread in threads:
+        trace = recorder.trace_of(thread)
+        payload["threads"].append({
+            "tid": thread.tid,
+            "name": thread.name,
+            "weight": thread.weight,
+            "spawned_at": trace.spawned_at,
+            "exited_at": trace.exited_at,
+            "total_work": trace.total_work,
+            "slices": [list(s) for s in trace.slices],
+            "dispatches": list(trace.dispatches),
+            "runnables": list(trace.runnables),
+            "blocks": list(trace.blocks),
+            "wakes": list(trace.wakes),
+            "segment_completions": list(trace.segment_completions),
+            "markers": dict(thread.stats.markers),
+        })
+    return payload
+
+
+def trace_to_json(recorder: Recorder, threads: Iterable["SimThread"],
+                  indent: int = 0) -> str:
+    """JSON text of :func:`trace_to_dict`."""
+    return json.dumps(trace_to_dict(recorder, threads),
+                      indent=indent or None, sort_keys=True)
+
+
+def slices_to_csv(recorder: Recorder,
+                  threads: Iterable["SimThread"]) -> str:
+    """CSV of every execution slice: thread, start, end, work."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(["thread", "tid", "t_start_ns", "t_end_ns",
+                     "work_instructions"])
+    rows: List = []
+    for thread in threads:
+        trace = recorder.trace_of(thread)
+        for t0, t1, work in trace.slices:
+            rows.append((t0, thread.name, thread.tid, t1, work))
+    rows.sort()
+    for t0, name, tid, t1, work in rows:
+        writer.writerow([name, tid, t0, t1, work])
+    return buffer.getvalue()
+
+
+def load_trace_dict(payload: Dict) -> Dict:
+    """Validate an exported dict (schema check); returns it unchanged."""
+    if payload.get("schema") != SCHEMA_VERSION:
+        raise ValueError("unsupported trace schema %r" % (payload.get("schema"),))
+    if "threads" not in payload:
+        raise ValueError("trace payload missing 'threads'")
+    return payload

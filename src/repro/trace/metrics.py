@@ -1,0 +1,137 @@
+"""Metrics computed over recorded traces.
+
+These are the measurements the paper's figures plot: windowed and
+cumulative throughput (Figures 5, 8, 10, 11), response times for
+interactive tasks (§6), and scheduling latency / slack for periodic
+real-time threads (Figure 9).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+from repro.trace.recorder import Recorder, ThreadTrace
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.threads.thread import SimThread
+    from repro.workloads.periodic import PeriodicWorkload
+
+
+def throughput_series(recorder: Recorder, thread: "SimThread", window: int,
+                      until: int, start: int = 0) -> List[float]:
+    """Work executed per ``window`` over [start, until], one value per window."""
+    trace = recorder.trace_of(thread)
+    series = []
+    t = start
+    while t + window <= until:
+        series.append(trace.work_in(t, t + window))
+        t += window
+    return series
+
+
+def cumulative_work_series(recorder: Recorder, thread: "SimThread",
+                           step: int, until: int) -> List[Tuple[int, float]]:
+    """Sampled cumulative service curve [(t, W(t)), ...] every ``step`` ns."""
+    trace = recorder.trace_of(thread)
+    return [(t, trace.service_at(t)) for t in range(0, until + 1, step)]
+
+
+def marker_rate(thread: "SimThread", marker: str, elapsed: int) -> float:
+    """Progress markers per second (e.g. frames/s) over ``elapsed`` ns."""
+    count = thread.stats.markers.get(marker, 0)
+    if elapsed <= 0:
+        return 0.0
+    return count * 1_000_000_000 / elapsed
+
+
+def response_times(recorder: Recorder, thread: "SimThread") -> List[int]:
+    """Wake-to-completion times of each burst of an interactive thread.
+
+    Pairs every wakeup with the first segment completion at or after it.
+    """
+    trace = recorder.trace_of(thread)
+    completions = trace.segment_completions
+    times = []
+    for wake in trace.wakes:
+        idx = bisect.bisect_left(completions, wake)
+        if idx < len(completions):
+            times.append(completions[idx] - wake)
+    return times
+
+
+def latency_slack(recorder: Recorder, thread: "SimThread",
+                  workload: "PeriodicWorkload",
+                  rounds: Optional[int] = None
+                  ) -> List[Tuple[int, int, int]]:
+    """Per-round ``(round, scheduling_latency, slack)`` for a periodic thread.
+
+    * scheduling latency — time from the round's release until the thread
+      first gets the CPU (paper Figure 9(a));
+    * slack — deadline minus job completion time (Figure 9(b); positive
+      means the deadline was met).
+
+    Only rounds whose job completed within the trace are reported.
+    """
+    trace = recorder.trace_of(thread)
+    dispatches = trace.dispatches
+    completions = trace.segment_completions
+    results = []
+    releases = workload.releases if rounds is None else workload.releases[:rounds]
+    for index, release in enumerate(releases):
+        # Jobs are FIFO, so round k's job is the k-th segment completion.
+        if index >= len(completions):
+            break
+        completion = completions[index]
+        lo = max(release, completions[index - 1] if index else 0)
+        didx = bisect.bisect_left(dispatches, lo)
+        if didx < len(dispatches) and dispatches[didx] <= completion:
+            latency = dispatches[didx] - release
+        else:
+            # No fresh dispatch between release and completion: the thread
+            # already held (or was continuing on) the CPU — zero wait.
+            latency = 0
+        slack = workload.deadline(index) - completion
+        results.append((index, latency, slack))
+    return results
+
+
+def wait_times(recorder: Recorder, thread: "SimThread") -> List[int]:
+    """Ready-queue waits: time from each runnable transition to the first
+    dispatch after it.
+
+    This is the general "scheduling latency" distribution (Figure 9(a)'s
+    metric, but for any thread, not only periodic ones).
+    """
+    trace = recorder.trace_of(thread)
+    dispatches = trace.dispatches
+    waits = []
+    for ready in trace.runnables:
+        idx = bisect.bisect_left(dispatches, ready)
+        if idx < len(dispatches):
+            waits.append(dispatches[idx] - ready)
+    return waits
+
+
+def node_work(recorder: Recorder, threads, t1: int, t2: int) -> float:
+    """Aggregate work of a group of threads in [t1, t2] (node throughput)."""
+    return sum(recorder.trace_of(t).work_in(t1, t2) for t in threads)
+
+
+def common_runnable_intervals(a: ThreadTrace, b: ThreadTrace,
+                              horizon: int) -> List[Tuple[int, int]]:
+    """Maximal intervals during which *both* threads were runnable."""
+    result = []
+    ia = a.runnable_intervals(horizon)
+    ib = b.runnable_intervals(horizon)
+    i = j = 0
+    while i < len(ia) and j < len(ib):
+        lo = max(ia[i][0], ib[j][0])
+        hi = min(ia[i][1], ib[j][1])
+        if lo < hi:
+            result.append((lo, hi))
+        if ia[i][1] <= ib[j][1]:
+            i += 1
+        else:
+            j += 1
+    return result

@@ -1,0 +1,160 @@
+"""The trace recorder: a machine tracer that remembers everything needed
+by the paper's metrics.
+
+The recorder keeps, per thread:
+
+* **slices** ``(t0, t1, work)`` — every contiguous run of execution (bursts
+  end at pauses, preemptions, blocks, and quantum expiries), which gives an
+  exact piecewise-linear service curve :meth:`service_at`;
+* lifecycle instants — runnable transitions, dispatches, blocks, wakeups,
+  segment completions, charges, exit;
+
+and machine-wide interrupt records.  All computation over the trace lives
+in :mod:`repro.trace.metrics` and :mod:`repro.analysis`.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.threads.thread import SimThread
+
+
+class ThreadTrace:
+    """Recorded history of one thread."""
+
+    __slots__ = ("thread", "slices", "dispatches", "runnables", "blocks",
+                 "wakes", "segment_completions", "charges", "spawned_at",
+                 "exited_at", "_slice_starts", "_slice_cum")
+
+    def __init__(self, thread: "SimThread") -> None:
+        self.thread = thread
+        self.slices: List[Tuple[int, int, int]] = []
+        self.dispatches: List[int] = []
+        self.runnables: List[int] = []
+        self.blocks: List[int] = []
+        self.wakes: List[int] = []
+        self.segment_completions: List[int] = []
+        self.charges: List[Tuple[int, int]] = []
+        self.spawned_at: Optional[int] = None
+        self.exited_at: Optional[int] = None
+        self._slice_starts: List[int] = []
+        self._slice_cum: List[int] = []  # cumulative work *before* each slice
+
+    @property
+    def total_work(self) -> int:
+        """Total instructions executed over the whole trace."""
+        if not self.slices:
+            return 0
+        return self._slice_cum[-1] + self.slices[-1][2]
+
+    def add_slice(self, t0: int, t1: int, work: int) -> None:
+        """Append an execution slice, maintaining the cumulative index."""
+        cum = self.total_work
+        self.slices.append((t0, t1, work))
+        self._slice_starts.append(t0)
+        self._slice_cum.append(cum)
+
+    def service_at(self, t: int) -> float:
+        """Cumulative work W(t): exact at slice boundaries, linear inside."""
+        idx = bisect.bisect_right(self._slice_starts, t) - 1
+        if idx < 0:
+            return 0.0
+        t0, t1, work = self.slices[idx]
+        base = self._slice_cum[idx]
+        if t >= t1:
+            return float(base + work)
+        if t1 == t0:
+            return float(base + work)
+        return base + work * (t - t0) / (t1 - t0)
+
+    def work_in(self, t1: int, t2: int) -> float:
+        """Work executed in the interval [t1, t2]."""
+        if t2 < t1:
+            raise ValueError("interval end before start")
+        return self.service_at(t2) - self.service_at(t1)
+
+    def runnable_intervals(self, horizon: int) -> List[Tuple[int, int]]:
+        """Maximal intervals during which the thread was runnable or running.
+
+        ``horizon`` closes a trailing open interval (a thread still
+        runnable when tracing stopped).
+        """
+        intervals: List[Tuple[int, int]] = []
+        ends = sorted(self.blocks + ([self.exited_at] if self.exited_at is not None else []))
+        ei = 0
+        for start in self.runnables:
+            while ei < len(ends) and ends[ei] < start:
+                ei += 1
+            if ei < len(ends):
+                intervals.append((start, ends[ei]))
+                ei += 1
+            else:
+                intervals.append((start, horizon))
+        return intervals
+
+
+class Recorder:
+    """A tracer object to pass as ``Machine(tracer=...)``."""
+
+    def __init__(self) -> None:
+        self.threads: Dict[int, ThreadTrace] = {}
+        self.interrupts: List[Tuple[int, int]] = []
+
+    def trace_of(self, thread: "SimThread") -> ThreadTrace:
+        """The (created-on-demand) trace of ``thread``."""
+        trace = self.threads.get(thread.tid)
+        if trace is None:
+            trace = ThreadTrace(thread)
+            self.threads[thread.tid] = trace
+        return trace
+
+    # --- machine tracer hooks ------------------------------------------------
+
+    def on_spawn(self, thread: "SimThread", t: int) -> None:
+        """Machine hook: thread created."""
+        self.trace_of(thread).spawned_at = t
+
+    def on_runnable(self, thread: "SimThread", t: int) -> None:
+        """Machine hook: thread became eligible to run."""
+        self.trace_of(thread).runnables.append(t)
+
+    def on_dispatch(self, thread: "SimThread", t: int) -> None:
+        """Machine hook: thread was given the CPU."""
+        self.trace_of(thread).dispatches.append(t)
+
+    def on_slice(self, thread: "SimThread", t0: int, t1: int, work: int) -> None:
+        """Machine hook: a contiguous execution slice finished."""
+        self.trace_of(thread).add_slice(t0, t1, work)
+
+    def on_charge(self, thread: "SimThread", t: int, work: int) -> None:
+        """Machine hook: a quantum was charged to the scheduler."""
+        self.trace_of(thread).charges.append((t, work))
+
+    def on_block(self, thread: "SimThread", t: int, wake_time: int) -> None:
+        """Machine hook: thread blocked (wake_time -1 = sync wait)."""
+        self.trace_of(thread).blocks.append(t)
+
+    def on_wake(self, thread: "SimThread", t: int) -> None:
+        """Machine hook: thread woke up."""
+        self.trace_of(thread).wakes.append(t)
+
+    def on_segment_complete(self, thread: "SimThread", t: int) -> None:
+        """Machine hook: a workload segment finished."""
+        self.trace_of(thread).segment_completions.append(t)
+
+    def on_exit(self, thread: "SimThread", t: int) -> None:
+        """Machine hook: thread exited."""
+        self.trace_of(thread).exited_at = t
+
+    def on_interrupt(self, t: int, service: int) -> None:
+        """Machine hook: an interrupt stole ``service`` ns."""
+        self.interrupts.append((t, service))
+
+    # --- convenience ----------------------------------------------------------
+
+    def total_interrupt_time(self) -> int:
+        """Total interrupt service time recorded."""
+        return sum(service for __, service in self.interrupts)

@@ -1,0 +1,45 @@
+"""Execution-order reconstruction.
+
+Turns per-thread slice records back into a machine-wide timeline — the
+view Figure 3 draws for the SFQ worked example, and the input to the text
+Gantt chart in :mod:`repro.viz`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, List, Tuple
+
+from repro.trace.recorder import Recorder
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.threads.thread import SimThread
+
+
+def merge_timeline(recorder: Recorder,
+                   threads: Iterable["SimThread"]
+                   ) -> List[Tuple[int, int, "SimThread"]]:
+    """All execution slices of ``threads``, merged and time-ordered.
+
+    Returns ``[(t0, t1, thread), ...]`` sorted by start time.  Adjacent
+    slices of the same thread (split by pauses or quantum boundaries with
+    no intervening run of another thread) are coalesced.
+    """
+    slices: List[Tuple[int, int, "SimThread"]] = []
+    for thread in threads:
+        trace = recorder.trace_of(thread)
+        for t0, t1, __ in trace.slices:
+            slices.append((t0, t1, thread))
+    slices.sort(key=lambda item: (item[0], item[1]))
+    merged: List[Tuple[int, int, "SimThread"]] = []
+    for t0, t1, thread in slices:
+        if merged and merged[-1][2] is thread and merged[-1][1] >= t0:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], t1), thread)
+        else:
+            merged.append((t0, t1, thread))
+    return merged
+
+
+def execution_order(recorder: Recorder,
+                    threads: Iterable["SimThread"]) -> List[str]:
+    """Names of threads in the order they received the CPU (coalesced)."""
+    return [thread.name for __, __, thread in merge_timeline(recorder, threads)]

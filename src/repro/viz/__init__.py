@@ -1,0 +1,11 @@
+"""Plain-text visualization for experiment output.
+
+No plotting dependency is available offline, so experiments render their
+figures as aligned tables (:mod:`repro.viz.table`) and ASCII line charts /
+sparklines (:mod:`repro.viz.ascii_chart`).
+"""
+
+from repro.viz.ascii_chart import line_chart, sparkline
+from repro.viz.table import format_table
+
+__all__ = ["format_table", "line_chart", "sparkline"]

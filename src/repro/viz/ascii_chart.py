@@ -1,0 +1,65 @@
+"""ASCII line charts and sparklines."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+_SPARK_LEVELS = " .:-=+*#%@"
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """A one-line intensity strip of ``values`` resampled to ``width``."""
+    if not values:
+        return ""
+    if len(values) > width:
+        step = len(values) / width
+        resampled = [values[int(i * step)] for i in range(width)]
+    else:
+        resampled = list(values)
+    lo = min(resampled)
+    hi = max(resampled)
+    span = hi - lo or 1.0
+    chars = []
+    for v in resampled:
+        level = int((v - lo) / span * (len(_SPARK_LEVELS) - 1))
+        chars.append(_SPARK_LEVELS[level])
+    return "".join(chars)
+
+
+def line_chart(series: Dict[str, Sequence[float]], height: int = 12,
+               width: int = 64, title: str = "") -> str:
+    """Plot one or more named series on a shared-axis ASCII grid.
+
+    Each series gets the first letter of its name as its mark; collisions
+    render ``*``.
+    """
+    if not series:
+        return title
+    all_values = [v for values in series.values() for v in values]
+    if not all_values:
+        return title
+    lo = min(all_values)
+    hi = max(all_values)
+    span = hi - lo or 1.0
+    grid: List[List[str]] = [[" "] * width for __ in range(height)]
+    for name, values in series.items():
+        if not values:
+            continue
+        mark = name[0]
+        n = len(values)
+        for col in range(width):
+            idx = min(n - 1, int(col * n / width))
+            row = int((values[idx] - lo) / span * (height - 1))
+            cell = grid[height - 1 - row][col]
+            grid[height - 1 - row][col] = "*" if cell not in (" ", mark) else mark
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("%.3g" % hi)
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append("%.3g" % lo)
+    legend = "  ".join("%s=%s" % (name[0], name) for name in series)
+    lines.append(legend)
+    return "\n".join(lines)

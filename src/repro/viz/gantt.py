@@ -1,0 +1,59 @@
+"""Text Gantt charts of machine timelines.
+
+Renders which thread held the CPU over time, one row per thread — the
+visual counterpart of Figure 3's execution-sequence diagram.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, List
+
+from repro.trace.recorder import Recorder
+from repro.trace.timeline import merge_timeline
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.threads.thread import SimThread
+
+
+def gantt_chart(recorder: Recorder, threads: Iterable["SimThread"],
+                start: int = 0, end: int = 0, width: int = 64,
+                title: str = "") -> str:
+    """Render a per-thread occupancy strip over [start, end].
+
+    A cell shows ``#`` when the thread ran for most of that cell's time
+    span, ``+`` when it ran for part of it, and ``.`` when idle.
+    """
+    threads = list(threads)
+    timeline = merge_timeline(recorder, threads)
+    if end <= start:
+        end = max((t1 for __, t1, __ in timeline), default=start + 1)
+    span = end - start
+    cell = span / width
+
+    rows: List[str] = []
+    if title:
+        rows.append(title)
+    name_width = max((len(t.name) for t in threads), default=4)
+    for thread in threads:
+        occupancy = [0.0] * width
+        for t0, t1, owner in timeline:
+            if owner is not thread or t1 <= start or t0 >= end:
+                continue
+            lo = max(t0, start)
+            hi = min(t1, end)
+            first = int((lo - start) / cell)
+            last = min(width - 1, int((hi - start - 1) / cell))
+            for index in range(first, last + 1):
+                cell_lo = start + index * cell
+                cell_hi = cell_lo + cell
+                overlap = min(hi, cell_hi) - max(lo, cell_lo)
+                if overlap > 0:
+                    occupancy[index] += overlap / cell
+        strip = "".join(
+            "#" if o >= 0.5 else ("+" if o > 0 else ".")
+            for o in occupancy)
+        rows.append("%s |%s|" % (thread.name.rjust(name_width), strip))
+    rows.append("%s  %s%s" % (" " * name_width,
+                              ("t=%d" % start).ljust(width - 8),
+                              "t=%d" % end))
+    return "\n".join(rows)

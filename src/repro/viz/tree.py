@@ -1,0 +1,47 @@
+"""Rendering of scheduling structures as text trees."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.node import InternalNode, LeafNode, Node
+from repro.core.structure import SchedulingStructure
+
+
+def _label(node: Node) -> str:
+    name = node.name if node.parent is not None else "/"
+    parts = [name, "w=%d" % node.weight]
+    if isinstance(node, LeafNode):
+        parts.append("[%s]" % node.scheduler.algorithm)
+        if node.threads:
+            parts.append("{%s}" % ", ".join(
+                sorted(t.name for t in node.threads)))
+    if node.runnable:
+        parts.append("*")
+    return " ".join(parts)
+
+
+def render_structure(structure: SchedulingStructure) -> str:
+    """An ASCII tree of the structure, one node per line.
+
+    Leaves show their scheduler algorithm and attached threads; a ``*``
+    marks currently runnable nodes — e.g.::
+
+        / w=1 *
+        ├── SFQ-1 w=2 [sfq] {dhry-0, dhry-1} *
+        ├── SFQ-2 w=6 [sfq]
+        └── SVR4 w=1 [svr4-ts]
+    """
+    lines: List[str] = [_label(structure.root)]
+
+    def walk(node: InternalNode, prefix: str) -> None:
+        children = list(node.children.values())
+        for index, child in enumerate(children):
+            last = index == len(children) - 1
+            branch = "└── " if last else "├── "
+            lines.append(prefix + branch + _label(child))
+            if isinstance(child, InternalNode):
+                walk(child, prefix + ("    " if last else "│   "))
+
+    walk(structure.root, "")
+    return "\n".join(lines)

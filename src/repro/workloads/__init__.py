@@ -1,0 +1,27 @@
+"""Workload generators used by the paper's experiments.
+
+* :mod:`repro.workloads.dhrystone` — the CPU-bound loop benchmark used in
+  Figures 5, 7, 8, and 11;
+* :mod:`repro.workloads.mpeg` — a synthetic VBR MPEG decoder with
+  frame-level and scene-level cost variability (Figures 1 and 10);
+* :mod:`repro.workloads.periodic` — periodic real-time tasks (Figure 9);
+* :mod:`repro.workloads.interactive` — burst/think-time tasks;
+* :mod:`repro.workloads.bursty` — on/off CPU demand with random phases.
+"""
+
+from repro.workloads.bursty import BurstyWorkload
+from repro.workloads.dhrystone import DhrystoneWorkload
+from repro.workloads.interactive import InteractiveWorkload
+from repro.workloads.mpeg import MpegDecodeWorkload, MpegVbrModel
+from repro.workloads.periodic import PeriodicWorkload
+from repro.workloads.phased import PhasedWorkload
+
+__all__ = [
+    "DhrystoneWorkload",
+    "MpegVbrModel",
+    "MpegDecodeWorkload",
+    "PeriodicWorkload",
+    "PhasedWorkload",
+    "InteractiveWorkload",
+    "BurstyWorkload",
+]

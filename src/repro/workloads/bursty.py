@@ -1,0 +1,64 @@
+"""On/off bursty CPU demand.
+
+Used as background load: alternating exponentially distributed busy and
+idle phases.  In the Figure 8(a) experiment a mix of these threads plays
+the role of "all the other threads in the system" in the SVR4 node, making
+the bandwidth available to the SFQ nodes fluctuate over time — the exact
+condition under which SFQ must (and the experiment shows, does) remain
+fair.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import WorkloadError
+from repro.threads.segments import Compute, Exit, SleepFor, Workload
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.threads.thread import SimThread
+
+
+class BurstyWorkload(Workload):
+    """Exponential on/off demand.
+
+    Parameters
+    ----------
+    mean_busy_work:
+        Mean instructions per busy phase.
+    mean_idle_time:
+        Mean idle duration (ns) between busy phases.
+    rng:
+        Seeded random source.
+    cycles:
+        Busy/idle cycles before exiting; ``None`` = forever.
+    """
+
+    def __init__(self, mean_busy_work: int, mean_idle_time: int,
+                 rng: Optional[random.Random] = None,
+                 cycles: Optional[int] = None) -> None:
+        if mean_busy_work <= 0 or mean_idle_time <= 0:
+            raise WorkloadError("mean_busy_work and mean_idle_time must be positive")
+        self.mean_busy_work = mean_busy_work
+        self.mean_idle_time = mean_idle_time
+        self.rng = rng if rng is not None else random.Random(0)
+        self.cycles = cycles
+        self._count = 0
+        self._phase = "busy"
+
+    def next_segment(self, now: int, thread: "SimThread"):
+        if self._phase == "busy":
+            if self.cycles is not None and self._count >= self.cycles:
+                return Exit()
+            self._count += 1
+            self._phase = "idle"
+            work = max(1, round(self.rng.expovariate(1.0 / self.mean_busy_work)))
+            return Compute(work)
+        self._phase = "busy"
+        delay = max(1, round(self.rng.expovariate(1.0 / self.mean_idle_time)))
+        return SleepFor(delay)
+
+    def reset(self) -> None:
+        self._count = 0
+        self._phase = "busy"

@@ -1,0 +1,51 @@
+"""A Dhrystone-like CPU-bound loop benchmark.
+
+The paper measures "the number of loops completed in a fixed duration"
+(§5).  Here a loop costs a fixed number of instructions, the workload
+computes forever in batches, and the loop count of a thread at any time is
+``work_done // loop_cost`` (exposed by :func:`loops_completed`).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import WorkloadError
+from repro.threads.segments import Compute, Workload
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.threads.thread import SimThread
+
+#: Dhrystone V2.1 is roughly ~300 instructions per loop on 1990s RISC.
+DEFAULT_LOOP_COST = 300
+
+
+class DhrystoneWorkload(Workload):
+    """An endless CPU-bound loop.
+
+    Parameters
+    ----------
+    loop_cost:
+        Instructions per loop iteration.
+    batch:
+        Loops per Compute segment.  Batching only affects event granularity,
+        never the loop count (progress is derived from executed work).
+    """
+
+    def __init__(self, loop_cost: int = DEFAULT_LOOP_COST,
+                 batch: int = 10_000) -> None:
+        if loop_cost <= 0 or batch <= 0:
+            raise WorkloadError("loop_cost and batch must be positive")
+        self.loop_cost = loop_cost
+        self.batch = batch
+
+    def next_segment(self, now: int, thread: "SimThread") -> Compute:
+        return Compute(self.loop_cost * self.batch)
+
+
+def loops_completed(thread: "SimThread") -> int:
+    """Dhrystone loops completed by ``thread`` so far."""
+    workload = thread.workload
+    if not isinstance(workload, DhrystoneWorkload):
+        raise WorkloadError("%r does not run a DhrystoneWorkload" % (thread,))
+    return thread.stats.work_done // workload.loop_cost

@@ -1,0 +1,63 @@
+"""Interactive (burst / think-time) workloads.
+
+Models an editor-like task: short CPU bursts separated by long think
+times.  The paper's §6 notes SFQ "provides lower delay to low throughput
+applications ... interactive applications are low throughput in nature";
+the response-time metrics in :mod:`repro.trace.metrics` quantify that.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import WorkloadError
+from repro.threads.segments import Compute, Exit, SleepFor, Workload
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.threads.thread import SimThread
+
+
+class InteractiveWorkload(Workload):
+    """Alternating CPU bursts and exponential think times.
+
+    Parameters
+    ----------
+    burst_work:
+        Mean instructions per burst (exponentially distributed, min 1).
+    think_time:
+        Mean think time in ns (exponentially distributed, min 1).
+    rng:
+        Seeded random source; deterministic given the seed.
+    interactions:
+        Number of burst/think cycles before exit; ``None`` = forever.
+    """
+
+    def __init__(self, burst_work: int, think_time: int,
+                 rng: Optional[random.Random] = None,
+                 interactions: Optional[int] = None) -> None:
+        if burst_work <= 0 or think_time <= 0:
+            raise WorkloadError("burst_work and think_time must be positive")
+        self.burst_work = burst_work
+        self.think_time = think_time
+        self.rng = rng if rng is not None else random.Random(0)
+        self.interactions = interactions
+        self._count = 0
+        self._phase = "burst"
+
+    def next_segment(self, now: int, thread: "SimThread"):
+        if self._phase == "burst":
+            if self.interactions is not None and self._count >= self.interactions:
+                return Exit()
+            self._count += 1
+            self._phase = "think"
+            work = max(1, round(self.rng.expovariate(1.0 / self.burst_work)))
+            return Compute(work)
+        self._phase = "burst"
+        thread.stats.bump_marker("interactions")
+        delay = max(1, round(self.rng.expovariate(1.0 / self.think_time)))
+        return SleepFor(delay)
+
+    def reset(self) -> None:
+        self._count = 0
+        self._phase = "burst"

@@ -1,0 +1,207 @@
+"""A synthetic VBR MPEG decoder model.
+
+The paper's Figure 1 shows that MPEG decompression cost varies
+"from frame-to-frame (i.e., at the time scale of tens of milliseconds) as
+well as from scene-to-scene (i.e., at the time scale of seconds)", and that
+these variations are unpredictable.  :class:`MpegVbrModel` reproduces both
+timescales:
+
+* **frame level** — a repeating GOP pattern (I frames expensive, P frames
+  moderate, B frames cheap) plus multiplicative per-frame noise;
+* **scene level** — scene lengths are geometrically distributed (mean a few
+  seconds of video) and each scene has its own complexity factor that the
+  per-frame costs are scaled by, with a touch of AR(1) smoothing inside the
+  scene.
+
+The absolute calibration targets the paper's era: mean decode cost around
+2/3 of a frame time on a ~100 MIPS CPU, so a dedicated machine decodes
+faster than real time but not trivially so.
+
+:class:`MpegDecodeWorkload` turns a model into thread behaviour.  In
+*unpaced* mode (Figure 10, the Berkeley player benchmarked flat out) it
+decodes frame after frame as fast as the scheduler allows; in *paced* mode
+it decodes ahead of a display clock with bounded lookahead.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Sequence, Union
+
+from repro.errors import WorkloadError
+from repro.sim.rng import make_rng
+from repro.threads.segments import Compute, Exit, SleepUntil, Workload
+from repro.units import SECOND
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.threads.thread import SimThread
+
+#: canonical 12-frame GOP at IBBPBBPBBPBB
+DEFAULT_GOP = "IBBPBBPBBPBB"
+
+
+class MpegVbrModel:
+    """Generator of per-frame decode costs (instructions).
+
+    Parameters
+    ----------
+    seed:
+        Root seed; every derived stream is deterministic in it.
+    gop:
+        Frame-type pattern, e.g. ``"IBBPBBPBBPBB"``.
+    mean_cost:
+        Target mean decode cost per frame in instructions.
+    frame_rate:
+        Frames per second of the video (used by paced decoding).
+    mean_scene_frames:
+        Mean scene length in frames (geometric distribution).
+    scene_sigma:
+        Log-scale spread of scene complexity factors.
+    noise_sigma:
+        Per-frame multiplicative noise spread.
+    """
+
+    #: relative weight of each frame type before normalization
+    TYPE_FACTORS = {"I": 2.2, "P": 1.2, "B": 0.6}
+
+    def __init__(self, seed: int = 1, gop: str = DEFAULT_GOP,
+                 mean_cost: int = 2_000_000, frame_rate: int = 30,
+                 mean_scene_frames: int = 120, scene_sigma: float = 0.35,
+                 noise_sigma: float = 0.12) -> None:
+        if not gop or any(ch not in self.TYPE_FACTORS for ch in gop):
+            raise WorkloadError("GOP pattern %r must use only I/P/B" % (gop,))
+        if mean_cost <= 0 or frame_rate <= 0 or mean_scene_frames <= 0:
+            raise WorkloadError("mean_cost, frame_rate, mean_scene_frames must be positive")
+        self.gop = gop
+        self.mean_cost = mean_cost
+        self.frame_rate = frame_rate
+        self.mean_scene_frames = mean_scene_frames
+        self.scene_sigma = scene_sigma
+        self.noise_sigma = noise_sigma
+        self._scene_rng = make_rng(seed, "mpeg/scene")
+        self._noise_rng = make_rng(seed, "mpeg/noise")
+        # Normalize type factors so the long-run mean cost hits mean_cost.
+        gop_mean = sum(self.TYPE_FACTORS[ch] for ch in gop) / len(gop)
+        self._scale = mean_cost / gop_mean
+        self._frame_index = 0
+        self._scene_left = 0
+        self._scene_factor = 1.0
+
+    @property
+    def frame_period(self) -> int:
+        """Display time per frame in nanoseconds."""
+        return SECOND // self.frame_rate
+
+    def frame_type(self, index: int) -> str:
+        """Frame type (I/P/B) of frame ``index``."""
+        return self.gop[index % len(self.gop)]
+
+    def next_cost(self) -> int:
+        """Decode cost (instructions) of the next frame in sequence."""
+        if self._scene_left <= 0:
+            self._begin_scene()
+        self._scene_left -= 1
+        ftype = self.frame_type(self._frame_index)
+        self._frame_index += 1
+        noise = self._noise_rng.lognormvariate(0.0, self.noise_sigma)
+        cost = self._scale * self.TYPE_FACTORS[ftype] * self._scene_factor * noise
+        return max(1, round(cost))
+
+    def frame_costs(self, count: int) -> List[int]:
+        """Costs of the next ``count`` frames."""
+        return [self.next_cost() for __ in range(count)]
+
+    def _begin_scene(self) -> None:
+        rng = self._scene_rng
+        # Geometric scene length with the configured mean, at least one GOP.
+        p = 1.0 / self.mean_scene_frames
+        length = len(self.gop)
+        while rng.random() > p:
+            length += 1
+            if length >= 50 * self.mean_scene_frames:
+                break
+        target = rng.lognormvariate(0.0, self.scene_sigma)
+        # AR(1)-style smoothing: a new scene remembers 30% of the old level,
+        # so complexity drifts rather than teleports.
+        self._scene_factor = 0.3 * self._scene_factor + 0.7 * target
+        self._scene_left = length
+
+
+class MpegDecodeWorkload(Workload):
+    """Decode frames from an :class:`MpegVbrModel` (or a fixed cost list).
+
+    Parameters
+    ----------
+    source:
+        A model, or a pre-generated sequence of frame costs.
+    frame_count:
+        Frames to decode before exiting; ``None`` decodes forever (requires
+        a model source).
+    paced:
+        When True, decoding is display-driven: the decoder sleeps whenever
+        it is more than ``lookahead`` frames ahead of the display clock.
+        When False (default; Figure 10) it decodes flat out.
+    lookahead:
+        Decode-ahead buffer, in frames, for paced mode.
+    """
+
+    def __init__(self, source: Union[MpegVbrModel, Sequence[int]],
+                 frame_count: Optional[int] = None, paced: bool = False,
+                 lookahead: int = 4,
+                 frame_period: Optional[int] = None) -> None:
+        self._model: Optional[MpegVbrModel]
+        if isinstance(source, MpegVbrModel):
+            self._model = source
+            self._costs: Optional[Sequence[int]] = None
+            self._frame_period = frame_period or source.frame_period
+        else:
+            self._model = None
+            self._costs = list(source)
+            if frame_count is None:
+                frame_count = len(self._costs)
+            if frame_count > len(self._costs):
+                raise WorkloadError("frame_count exceeds supplied cost list")
+            if paced and frame_period is None:
+                raise WorkloadError("paced decoding from a list needs frame_period")
+            self._frame_period = frame_period or 0
+        if frame_count is not None and frame_count <= 0:
+            raise WorkloadError("frame_count must be positive")
+        self.frame_count = frame_count
+        self.paced = paced
+        self.lookahead = max(1, lookahead)
+        self.frames_decoded = 0
+        self._started_at: Optional[int] = None
+        self._pending_pace = False
+
+    def next_segment(self, now: int, thread: "SimThread"):
+        if self._started_at is None:
+            self._started_at = now
+        elif not self._pending_pace:
+            # The previous segment was a decode that just completed.
+            self.frames_decoded += 1
+            thread.stats.bump_marker("frames")
+        self._pending_pace = False
+
+        if self.frame_count is not None and self.frames_decoded >= self.frame_count:
+            return Exit()
+
+        if self.paced:
+            # Display has consumed floor((now - start) / period) frames;
+            # sleep when we are a full lookahead window ahead of it.
+            displayed = (now - self._started_at) // self._frame_period
+            if self.frames_decoded >= displayed + self.lookahead:
+                self._pending_pace = True
+                wake = self._started_at + self._frame_period * (
+                    self.frames_decoded - self.lookahead + 1)
+                return SleepUntil(wake)
+
+        if self._model is not None:
+            cost = self._model.next_cost()
+        else:
+            assert self._costs is not None
+            cost = self._costs[self.frames_decoded]
+        return Compute(cost)
+
+    def reset(self) -> None:
+        self.frames_decoded = 0
+        self._started_at = None
+        self._pending_pace = False

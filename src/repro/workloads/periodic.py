@@ -1,0 +1,98 @@
+"""Periodic real-time tasks.
+
+A :class:`PeriodicWorkload` releases a job every ``period`` nanoseconds:
+it sleeps until the release instant, computes for ``cost`` instructions,
+then sleeps until the next release.  This is the thread model of the
+paper's Figure 9 experiment ("thread1 executed for 10 ms every 60 ms,
+thread2 required 150 ms of computation time every 960 ms", with "a clock
+interrupt used to announce the deadline for the current round and the
+start of a new round").
+
+The workload records the release history so the experiment harness can
+compute *scheduling latency* (release -> first dispatch) and *slack*
+(deadline - completion) per round.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, List, Optional, Union
+
+from repro.errors import WorkloadError
+from repro.threads.segments import Compute, Exit, SleepUntil, Workload
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.threads.thread import SimThread
+
+CostSpec = Union[int, Callable[[int], int]]
+
+
+class PeriodicWorkload(Workload):
+    """Release a ``cost``-instruction job every ``period`` nanoseconds.
+
+    Parameters
+    ----------
+    period:
+        Release period in ns.  The deadline of round ``k`` is the next
+        release, ``offset + (k + 1) * period`` (implicit deadlines).
+    cost:
+        Instructions per job; either a constant or ``f(round_index)``.
+    offset:
+        Release time of round 0.
+    rounds:
+        Number of jobs before exiting; ``None`` runs forever.
+    """
+
+    def __init__(self, period: int, cost: CostSpec, offset: int = 0,
+                 rounds: Optional[int] = None) -> None:
+        if period <= 0:
+            raise WorkloadError("period must be positive")
+        if isinstance(cost, int) and cost <= 0:
+            raise WorkloadError("cost must be positive")
+        self.period = period
+        self.cost = cost
+        self.offset = offset
+        self.rounds = rounds
+        self.round_index = 0
+        #: release time of each round, appended when the job is emitted
+        self.releases: List[int] = []
+        self._phase = "sleep"  # alternates sleep -> compute -> sleep ...
+
+    def deadline(self, round_index: int) -> int:
+        """Absolute (implicit) deadline of round ``round_index``."""
+        return self.offset + (round_index + 1) * self.period
+
+    def release_time(self, round_index: int) -> int:
+        """Absolute release time of round ``round_index``."""
+        return self.offset + round_index * self.period
+
+    def next_segment(self, now: int, thread: "SimThread"):
+        if self._phase == "sleep":
+            if self.rounds is not None and self.round_index >= self.rounds:
+                return Exit()
+            self._phase = "compute"
+            release = self.release_time(self.round_index)
+            if release > now:
+                return SleepUntil(release)
+            # Release already passed (overrun or offset 0): fall through and
+            # compute immediately.
+            return self._emit_job(max(now, release), thread)
+        if self._phase == "compute":
+            return self._emit_job(now, thread)
+        raise WorkloadError("invalid periodic workload phase %r" % (self._phase,))
+
+    def _emit_job(self, now: int, thread: "SimThread") -> Compute:
+        release = self.release_time(self.round_index)
+        self.releases.append(release)
+        if callable(self.cost):
+            cost = self.cost(self.round_index)
+        else:
+            cost = self.cost
+        self.round_index += 1
+        self._phase = "sleep"
+        thread.stats.bump_marker("jobs")
+        return Compute(cost)
+
+    def reset(self) -> None:
+        self.round_index = 0
+        self.releases = []
+        self._phase = "sleep"

@@ -1,0 +1,64 @@
+"""Deterministic on/off (phased) CPU demand.
+
+A :class:`PhasedWorkload` is CPU-bound during the first ``on`` nanoseconds
+of every ``cycle`` and asleep for the remainder — the deterministic
+counterpart of :class:`~repro.workloads.bursty.BurstyWorkload`.  Because
+its active windows are known exactly, experiments can restrict
+measurements to intervals where the thread was provably backlogged; the
+fluctuation, currency, and fairness-lab studies all rely on that.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import WorkloadError
+from repro.threads.segments import Compute, SleepUntil, Workload
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.threads.thread import SimThread
+
+
+class PhasedWorkload(Workload):
+    """CPU-bound for ``on`` out of every ``cycle`` nanoseconds.
+
+    Parameters
+    ----------
+    on:
+        Busy prefix of each cycle (ns); ``on == cycle`` never sleeps.
+    cycle:
+        Cycle length (ns).
+    batch:
+        Instructions per Compute segment while busy.
+    phase:
+        Offset added to the wall clock before computing the cycle
+        position, letting multiple threads interleave their busy windows.
+    """
+
+    def __init__(self, on: int, cycle: int, batch: int,
+                 phase: int = 0) -> None:
+        if not 0 < on <= cycle:
+            raise WorkloadError("need 0 < on <= cycle")
+        if batch <= 0:
+            raise WorkloadError("batch must be positive")
+        self.on = on
+        self.cycle = cycle
+        self.batch = batch
+        self.phase = phase
+
+    def next_segment(self, now: int, thread: "SimThread"):
+        position = (now + self.phase) % self.cycle
+        if position >= self.on:
+            return SleepUntil(now + (self.cycle - position))
+        return Compute(self.batch)
+
+    def is_on(self, t: int) -> bool:
+        """True when the workload is in a busy phase at time ``t``."""
+        return (t + self.phase) % self.cycle < self.on
+
+    def window_fully_on(self, t1: int, t2: int) -> bool:
+        """True when [t1, t2) lies entirely inside one busy phase."""
+        if t2 <= t1:
+            return True
+        position = (t1 + self.phase) % self.cycle
+        return position + (t2 - t1) <= self.on

@@ -1,0 +1,84 @@
+"""Trace-file-driven MPEG workloads.
+
+When a real per-frame decode-cost trace is available (one value per line,
+or CSV with a configurable column), these helpers feed it to
+:class:`~repro.workloads.mpeg.MpegDecodeWorkload` so Figure 1/10-style
+experiments can run on measured data instead of the synthetic VBR model.
+Exported traces from :func:`save_frame_trace` round-trip losslessly.
+"""
+
+from __future__ import annotations
+
+import csv
+from typing import List, Optional, Sequence
+
+from repro.errors import WorkloadError
+from repro.workloads.mpeg import MpegDecodeWorkload
+
+
+def load_frame_trace(path: str, column: Optional[str] = None,
+                     scale: float = 1.0) -> List[int]:
+    """Load per-frame costs (instructions) from a text or CSV file.
+
+    * plain format: one number per line; blank lines and ``#`` comments
+      are skipped;
+    * CSV format: pass ``column`` naming the cost column.
+
+    ``scale`` multiplies every value (e.g. to convert cycles at a known
+    clock into instructions).
+    """
+    costs: List[int] = []
+    with open(path, "r") as handle:
+        if column is not None:
+            reader = csv.DictReader(handle)
+            if reader.fieldnames is None or column not in reader.fieldnames:
+                raise WorkloadError(
+                    "column %r not found in %s (have %s)"
+                    % (column, path, reader.fieldnames))
+            for row in reader:
+                costs.append(_parse_cost(row[column], scale, path))
+        else:
+            for line in handle:
+                text = line.split("#", 1)[0].strip()
+                if not text:
+                    continue
+                costs.append(_parse_cost(text, scale, path))
+    if not costs:
+        raise WorkloadError("trace file %s contains no frames" % path)
+    return costs
+
+
+def save_frame_trace(path: str, costs: Sequence[int],
+                     header_comment: str = "") -> None:
+    """Write per-frame costs in the plain format ``load_frame_trace`` reads."""
+    with open(path, "w") as handle:
+        if header_comment:
+            handle.write("# %s\n" % header_comment)
+        for cost in costs:
+            handle.write("%d\n" % cost)
+
+
+def workload_from_trace(path: str, column: Optional[str] = None,
+                        scale: float = 1.0, paced: bool = False,
+                        frame_period: Optional[int] = None,
+                        loop: int = 1) -> MpegDecodeWorkload:
+    """Build a decoder workload directly from a trace file.
+
+    ``loop`` repeats the trace that many times (long experiments on short
+    clips).
+    """
+    costs = load_frame_trace(path, column=column, scale=scale)
+    if loop > 1:
+        costs = list(costs) * loop
+    return MpegDecodeWorkload(costs, paced=paced, frame_period=frame_period)
+
+
+def _parse_cost(text: str, scale: float, path: str) -> int:
+    try:
+        value = float(text)
+    except ValueError:
+        raise WorkloadError("bad cost value %r in %s" % (text, path)) from None
+    cost = round(value * scale)
+    if cost <= 0:
+        raise WorkloadError("non-positive frame cost %r in %s" % (text, path))
+    return cost

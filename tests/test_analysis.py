@@ -1,0 +1,189 @@
+"""Analysis: stats, fairness, FC server, delay bounds."""
+
+import pytest
+
+from repro.analysis.bounds import (
+    expected_arrival_times,
+    scfq_delay_penalty,
+    sfq_completion_bounds,
+    wfq_delay_penalty,
+)
+from repro.analysis.fairness import (
+    max_normalized_service_gap,
+    normalized_gap_series,
+    sfq_fairness_bound,
+    throughput_ratio,
+)
+from repro.analysis.fc_server import (
+    FCParams,
+    check_fc,
+    ebf_tail,
+    fc_params_for_periodic_interrupts,
+    fit_fc_params,
+    sfq_throughput_params,
+)
+from repro.analysis.stats import (
+    coefficient_of_variation,
+    jain_index,
+    mean,
+    percentile,
+    stdev,
+)
+from repro.units import MS, SECOND
+
+KILO = 1000
+
+
+class TestStats:
+    def test_mean(self):
+        assert mean([1, 2, 3]) == 2
+        assert mean([]) == 0.0
+
+    def test_stdev(self):
+        assert stdev([2, 2, 2]) == 0
+        assert stdev([1]) == 0
+        assert stdev([0, 2]) == 1.0
+
+    def test_cov(self):
+        assert coefficient_of_variation([2, 2]) == 0
+        assert coefficient_of_variation([]) == 0
+        assert coefficient_of_variation([0, 2]) == 1.0
+
+    def test_jain_index_bounds(self):
+        assert jain_index([5, 5, 5]) == pytest.approx(1.0)
+        assert jain_index([1, 0, 0, 0]) == pytest.approx(0.25)
+        assert jain_index([]) == 1.0
+
+    def test_percentile(self):
+        values = list(range(101))
+        assert percentile(values, 50) == 50
+        assert percentile(values, 0) == 0
+        assert percentile(values, 100) == 100
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+
+
+class TestFairnessHelpers:
+    def test_bound_formula(self):
+        assert sfq_fairness_bound(10, 1, 10, 2) == 15.0
+
+    def test_gap_on_simulated_run(self):
+        from tests.conftest import Harness
+        harness = Harness()
+        a = harness.spawn_dhrystone("a", weight=1)
+        b = harness.spawn_dhrystone("b", weight=2)
+        harness.machine.run_until(2 * SECOND)
+        gap = max_normalized_service_gap(harness.recorder, a, b, 2 * SECOND)
+        # quantum 10 ms = 10 KILO work at the harness capacity
+        bound = sfq_fairness_bound(10 * KILO, 1, 10 * KILO, 2)
+        assert 0 < gap <= bound
+
+    def test_gap_series_nonempty(self):
+        from tests.conftest import Harness
+        harness = Harness()
+        a = harness.spawn_dhrystone("a")
+        b = harness.spawn_dhrystone("b")
+        harness.machine.run_until(SECOND)
+        series = normalized_gap_series(harness.recorder, a, b, SECOND)
+        assert series
+        assert series == sorted(series, key=lambda p: p[0])
+
+    def test_throughput_ratio(self):
+        from tests.conftest import Harness
+        harness = Harness()
+        a = harness.spawn_dhrystone("a", weight=1)
+        b = harness.spawn_dhrystone("b", weight=1)
+        harness.machine.run_until(SECOND)
+        assert throughput_ratio(harness.recorder, a, b, 0,
+                                SECOND) == pytest.approx(1.0, rel=0.03)
+
+
+class TestFcServer:
+    def test_periodic_interrupt_params(self):
+        params = fc_params_for_periodic_interrupts(1_000_000, 10 * MS, 2 * MS)
+        assert params.rate_ips == pytest.approx(800_000)
+        assert params.burstiness == pytest.approx(2000)
+
+    def test_invalid_service(self):
+        with pytest.raises(ValueError):
+            fc_params_for_periodic_interrupts(1_000_000, 10, 10)
+
+    def test_fit_constant_rate_curve(self):
+        # exactly 1000 inst per ms: zero burstiness at rate 1e6
+        points = [(t * MS, t * 1000.0) for t in range(100)]
+        params = fit_fc_params(points, 1_000_000)
+        assert params.burstiness == pytest.approx(0.0, abs=1e-6)
+
+    def test_fit_detects_stall(self):
+        # 10 ms stall in an otherwise constant-rate curve
+        points = [(t * MS, min(t, 50) * 1000.0 + max(0, t - 60) * 1000.0)
+                  for t in range(100)]
+        params = fit_fc_params(points, 1_000_000)
+        assert params.burstiness == pytest.approx(10_000, rel=0.01)
+
+    def test_fit_empty(self):
+        assert fit_fc_params([], 100).burstiness == 0.0
+
+    def test_check_fc(self):
+        points = [(t * MS, t * 1000.0) for t in range(100)]
+        assert check_fc(points, FCParams(1_000_000, 1.0))
+        assert not check_fc(points, FCParams(2_000_000, 1.0))
+
+    def test_throughput_params_formula(self):
+        cpu = FCParams(1_000_000, 5000)
+        out = sfq_throughput_params(cpu, weight=200_000,
+                                    all_weights=[300_000, 500_000],
+                                    max_quanta=[10_000, 10_000],
+                                    own_max_quantum=10_000)
+        assert out.rate_ips == 200_000
+        expected = 0.2 * (5000 + 20_000) + 10_000
+        assert out.burstiness == pytest.approx(expected)
+
+    def test_throughput_params_validation(self):
+        cpu = FCParams(1_000_000, 0)
+        with pytest.raises(ValueError):
+            sfq_throughput_params(cpu, 0, [], [], 0)
+        with pytest.raises(ValueError):
+            sfq_throughput_params(cpu, 1, [1], [], 0)
+
+    def test_ebf_tail_fractions(self):
+        points = [(0, 0.0), (MS, 1000.0), (2 * MS, 1000.0), (3 * MS, 2000.0)]
+        tail = ebf_tail(points, 1_000_000, [500.0])
+        # one of three intervals has deficit 1000 > 500
+        assert tail == [(500.0, pytest.approx(1 / 3))]
+
+
+class TestDelayBounds:
+    def test_eat_recursion(self):
+        # jobs of 100 inst at rate 1000 inst/s: each takes 0.1 s
+        arrivals = [0, 0, SECOND]
+        lengths = [100, 100, 100]
+        eats = expected_arrival_times(arrivals, lengths, 1000)
+        assert eats[0] == 0
+        assert eats[1] == pytest.approx(0.1 * SECOND)
+        assert eats[2] == SECOND  # arrival dominates
+
+    def test_eat_validation(self):
+        with pytest.raises(ValueError):
+            expected_arrival_times([0], [1, 2], 10)
+        with pytest.raises(ValueError):
+            expected_arrival_times([0], [1], 0)
+
+    def test_completion_bounds_structure(self):
+        bounds = sfq_completion_bounds(
+            arrivals=[0, 100 * MS], lengths=[1000, 1000], rate_ips=10_000,
+            other_max_quanta=[5000, 5000], capacity_ips=100_000,
+            burstiness=1000)
+        cross = (10_000 + 1000) * SECOND / 100_000
+        own = 1000 * SECOND / 100_000
+        assert bounds[0] == pytest.approx(cross + own)
+        assert bounds[1] == pytest.approx(100 * MS + cross + own)
+
+    def test_wfq_and_scfq_penalties(self):
+        assert wfq_delay_penalty(10, 1000, 1_000_000) == \
+            pytest.approx(10 * MS)
+        assert scfq_delay_penalty(10, 1000, 1_000_000) == \
+            pytest.approx(9 * MS)
+        assert scfq_delay_penalty(0, 1000, 1_000_000) == 0

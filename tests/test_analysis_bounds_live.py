@@ -1,0 +1,93 @@
+"""Live verification of the paper's eq. 6 throughput guarantee and EBF
+tail behaviour against simulated machines (not just formula checks)."""
+
+import pytest
+
+from repro.analysis.fc_server import (
+    ebf_tail,
+    fc_params_for_periodic_interrupts,
+    fit_fc_params,
+    sfq_throughput_params,
+)
+from repro.cpu.interrupts import PeriodicInterruptSource, PoissonInterruptSource
+from repro.schedulers.sfq_leaf import SfqScheduler
+from repro.sim.rng import make_rng
+from repro.units import MS, SECOND
+
+from tests.conftest import FlatHarness
+
+CAPACITY = 1_000_000
+KILO = 1000
+QUANTUM = 10 * MS
+QUANTUM_WORK = 10 * KILO
+
+
+def service_points(recorder, thread, until, step=10 * MS):
+    trace = recorder.trace_of(thread)
+    return [(t, trace.service_at(t)) for t in range(0, until + 1, step)]
+
+
+class TestEq6ThroughputGuarantee:
+    """Run SFQ on an FC CPU; each thread's service must be FC with the
+    parameters eq. 6 predicts (rate = weight-share, bounded burstiness)."""
+
+    def run_machine(self, weights, duration):
+        harness = FlatHarness(SfqScheduler(), capacity_ips=CAPACITY,
+                              default_quantum=QUANTUM)
+        threads = [harness.spawn_dhrystone("w%d" % w, weight=w)
+                   for w in weights]
+        harness.machine.add_interrupt_source(
+            PeriodicInterruptSource(period=20 * MS, service=2 * MS))
+        harness.machine.run_until(duration)
+        return harness, threads
+
+    @pytest.mark.parametrize("weights", [(1, 1), (1, 2, 3), (2, 5)])
+    def test_per_thread_service_is_fc_within_predicted_burstiness(self, weights):
+        duration = 4 * SECOND
+        harness, threads = self.run_machine(weights, duration)
+        cpu = fc_params_for_periodic_interrupts(CAPACITY, 20 * MS, 2 * MS)
+        total_weight = sum(weights)
+        for thread in threads:
+            # eq. 6 with weights as rates: scale weights to the FC rate
+            rate = cpu.rate_ips * thread.weight / total_weight
+            others = [QUANTUM_WORK] * (len(threads) - 1)
+            predicted = sfq_throughput_params(
+                cpu, weight=round(rate), all_weights=others,
+                max_quanta=others, own_max_quantum=QUANTUM_WORK)
+            points = service_points(harness.recorder, thread, duration)
+            fitted = fit_fc_params(points, rate)
+            # measured burstiness within the analytical bound (plus one
+            # quantum of sampling slack)
+            assert fitted.burstiness <= predicted.burstiness + QUANTUM_WORK
+
+    def test_long_run_rate_matches_share(self):
+        duration = 4 * SECOND
+        harness, threads = self.run_machine((1, 3), duration)
+        total = sum(t.stats.work_done for t in threads)
+        assert threads[1].stats.work_done / total == pytest.approx(0.75,
+                                                                   abs=0.01)
+
+
+class TestEbfTailLive:
+    """Poisson interrupts make the CPU an EBF server: the service-deficit
+    tail must decay as gamma grows."""
+
+    def test_tail_decays(self):
+        harness = FlatHarness(SfqScheduler(), capacity_ips=CAPACITY,
+                              default_quantum=QUANTUM)
+        thread = harness.spawn_dhrystone("t")
+        harness.machine.add_interrupt_source(PoissonInterruptSource(
+            mean_interarrival=10 * MS, mean_service=1 * MS,
+            rng=make_rng(77, "ebf"), exponential_service=True))
+        duration = 20 * SECOND
+        harness.machine.run_until(duration)
+        points = service_points(harness.recorder, thread, duration,
+                                step=50 * MS)
+        # mean effective rate ~0.9 C; measure deficits against it
+        gammas = [0.0, 1000.0, 3000.0, 6000.0]
+        tail = ebf_tail(points, 0.9 * CAPACITY, gammas)
+        fractions = [fraction for __, fraction in tail]
+        # decreasing tail, eventually (near-)vanishing
+        assert fractions == sorted(fractions, reverse=True)
+        assert fractions[0] > fractions[-1]
+        assert fractions[-1] < 0.05

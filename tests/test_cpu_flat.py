@@ -1,0 +1,132 @@
+"""The flat-machine adapter (the 'unmodified kernel' baseline)."""
+
+import pytest
+
+from repro.cpu.flat import FlatScheduler
+from repro.errors import SchedulingError
+from repro.schedulers.fifo import FifoScheduler
+from repro.schedulers.sfq_leaf import SfqScheduler
+from repro.threads.segments import Compute, SegmentListWorkload
+from repro.threads.states import ThreadState
+from repro.threads.thread import SimThread
+from repro.units import MS, SECOND
+
+from tests.conftest import FlatHarness
+
+KILO = 1000
+
+
+class TestFlatScheduler:
+    def test_admit_registers_with_leaf(self):
+        leaf = FifoScheduler()
+        flat = FlatScheduler(leaf)
+        thread = SimThread("t", SegmentListWorkload([]))
+        flat.admit(thread)
+        flat.thread_runnable(thread, 0)
+        assert flat.has_runnable()
+        assert flat.pick_next(0) is thread
+
+    def test_double_admit_rejected(self):
+        flat = FlatScheduler(FifoScheduler())
+        thread = SimThread("t", SegmentListWorkload([]))
+        flat.admit(thread)
+        with pytest.raises(SchedulingError):
+            flat.admit(thread)
+
+    def test_retire_removes(self):
+        flat = FlatScheduler(FifoScheduler())
+        thread = SimThread("t", SegmentListWorkload([]))
+        flat.admit(thread)
+        flat.thread_runnable(thread, 0)
+        flat.retire(thread, 0)
+        assert not flat.has_runnable()
+
+    def test_decision_depth_is_one(self):
+        flat = FlatScheduler(FifoScheduler())
+        assert flat.decision_depth == 1
+
+    def test_quantum_passthrough(self):
+        flat = FlatScheduler(SfqScheduler(quantum=7 * MS))
+        thread = SimThread("t", SegmentListWorkload([]))
+        flat.admit(thread)
+        assert flat.quantum_for(thread) == 7 * MS
+
+    def test_flat_and_hierarchical_sfq_agree(self):
+        """A flat SFQ machine and a one-leaf hierarchy produce identical
+        allocations (the hierarchy adds no behaviour for a single class)."""
+        from tests.conftest import Harness
+        flat = FlatHarness(SfqScheduler())
+        fa = flat.spawn_dhrystone("a", weight=1)
+        fb = flat.spawn_dhrystone("b", weight=3)
+        flat.machine.run_until(SECOND)
+
+        hier = Harness()
+        ha = hier.spawn_dhrystone("a", weight=1)
+        hb = hier.spawn_dhrystone("b", weight=3)
+        hier.machine.run_until(SECOND)
+
+        assert fa.stats.work_done == ha.stats.work_done
+        assert fb.stats.work_done == hb.stats.work_done
+
+
+class TestExperimentBuilders:
+    def test_figure6_structure_layout(self):
+        from repro.experiments.common import figure6_structure
+        structure, sfq1, sfq2, svr4 = figure6_structure(2, 6, 1)
+        assert sfq1.path == "/SFQ-1"
+        assert sfq2.path == "/SFQ-2"
+        assert svr4.path == "/SVR4"
+        assert sfq1.weight == 2
+        assert sfq2.weight == 6
+        assert svr4.weight == 1
+        assert {c for c in structure.root.children} == \
+            {"SFQ-1", "SFQ-2", "SVR4"}
+
+    def test_figure6_interposed_depth(self):
+        from repro.experiments.common import figure6_structure
+        structure, sfq1, __, ___ = figure6_structure(interposed_depth=3)
+        assert sfq1.depth == 4  # 3 interposed levels + leaf
+        # the chain's top node carries SFQ-1's weight at the root
+        top = structure.parse("/level0")
+        assert top.weight == 2
+
+    def test_experiment_result_render_and_column(self):
+        from repro.experiments.common import ExperimentResult
+        result = ExperimentResult("T", ["a", "b"], [[1, 2], [3, 4]],
+                                  notes=["hello"])
+        text = result.render()
+        assert "T" in text and "hello" in text
+        assert result.column("b") == [2, 4]
+
+    def test_runner_main_selection(self, capsys):
+        from repro.experiments.__main__ import main
+        assert main(["--quick", "figure3"]) == 0
+        out = capsys.readouterr().out
+        assert "figure3" in out and "Figure 3" in out
+
+    def test_runner_rejects_unknown(self, capsys):
+        from repro.experiments.__main__ import main
+        assert main(["figure99"]) == 2
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_traces(self):
+        """The whole stack is deterministic: same seeds, same trace."""
+        from repro.trace.export import trace_to_json
+
+        def one_run():
+            harness = FlatHarness(SfqScheduler())
+            a = harness.spawn_dhrystone("a", weight=2)
+            b = harness.spawn_segments("b", [Compute(30 * KILO)])
+            from repro.cpu.interrupts import PoissonInterruptSource
+            from repro.sim.rng import make_rng
+            harness.machine.add_interrupt_source(PoissonInterruptSource(
+                mean_interarrival=5 * MS, mean_service=500_000,
+                rng=make_rng(9, "det")))
+            harness.machine.run_until(SECOND)
+            payload = trace_to_json(harness.recorder, [a, b])
+            # strip volatile tids
+            import re
+            return re.sub(r'"tid": \d+', '"tid": 0', payload)
+
+        assert one_run() == one_run()

@@ -1,0 +1,134 @@
+"""The ticket-currency lottery framework (§6 comparator)."""
+
+import pytest
+
+from repro.currency.lottery import Currency, CurrencyLottery
+from repro.errors import SchedulingError
+from repro.sim.rng import make_rng
+from repro.threads.segments import Compute, SegmentListWorkload, SleepFor
+from repro.threads.thread import SimThread
+from repro.units import MS, SECOND
+
+from repro.cpu.machine import Machine
+from repro.sim.engine import Simulator
+from repro.trace.recorder import Recorder
+
+KILO = 1000
+
+
+def make_thread(name="t", weight=100):
+    return SimThread(name, SegmentListWorkload([]), weight=weight)
+
+
+class TestCurrencyValuation:
+    def build(self):
+        scheduler = CurrencyLottery(rng=make_rng(1, "c"))
+        currency_a = scheduler.create_currency("a", funding=100)
+        currency_b = scheduler.create_currency("b", funding=100)
+        return scheduler, currency_a, currency_b
+
+    def test_funding_must_be_positive(self):
+        scheduler = CurrencyLottery()
+        with pytest.raises(SchedulingError):
+            scheduler.create_currency("x", funding=0)
+
+    def test_base_ticket_value_is_one(self):
+        scheduler, currency_a, __ = self.build()
+        thread = make_thread(weight=50)
+        scheduler.bind(thread, scheduler.base)
+        scheduler.admit(thread)
+        scheduler.thread_runnable(thread, 0)
+        assert scheduler.base_value(thread) == 50
+
+    def test_active_tickets_split_funding(self):
+        scheduler, currency_a, __ = self.build()
+        t1, t2 = make_thread("t1", 100), make_thread("t2", 100)
+        for t in (t1, t2):
+            scheduler.bind(t, currency_a)
+            scheduler.admit(t)
+            scheduler.thread_runnable(t, 0)
+        # 200 active tickets in a currency funded with 100 base tickets
+        assert scheduler.base_value(t1) == 50
+
+    def test_blocked_sibling_inflates_value(self):
+        """The currency framework's hierarchical property: when a thread
+        blocks, its siblings' tickets gain value, preserving the class's
+        total allocation."""
+        scheduler, currency_a, __ = self.build()
+        t1, t2 = make_thread("t1", 100), make_thread("t2", 100)
+        for t in (t1, t2):
+            scheduler.bind(t, currency_a)
+            scheduler.admit(t)
+            scheduler.thread_runnable(t, 0)
+        assert scheduler.base_value(t1) == 50
+        scheduler.thread_blocked(t2, 0)
+        assert scheduler.base_value(t1) == 100
+
+    def test_idle_currency_has_zero_value(self):
+        scheduler, currency_a, __ = self.build()
+        thread = make_thread()
+        scheduler.bind(thread, currency_a)
+        scheduler.admit(thread)
+        assert scheduler.base_value(thread) == 0  # no active tickets
+
+    def test_nested_currencies(self):
+        scheduler, currency_a, __ = self.build()
+        sub = scheduler.create_currency("sub", parent=currency_a,
+                                        funding=100)
+        thread = make_thread(weight=100)
+        scheduler.bind(thread, sub)
+        scheduler.admit(thread)
+        scheduler.thread_runnable(thread, 0)
+        # sole consumer: inherits the full value of classA's funding
+        assert scheduler.base_value(thread) == 100
+
+    def test_unbound_thread_rejected(self):
+        scheduler = CurrencyLottery()
+        with pytest.raises(SchedulingError):
+            scheduler.admit(make_thread())
+
+    def test_revaluation_counter(self):
+        scheduler, currency_a, __ = self.build()
+        thread = make_thread()
+        scheduler.bind(thread, currency_a)
+        scheduler.admit(thread)
+        scheduler.thread_runnable(thread, 0)
+        scheduler.thread_blocked(thread, 0)
+        assert scheduler.revaluations == 2
+
+
+class TestCurrencyOnMachine:
+    def test_class_split_holds_long_run(self):
+        scheduler = CurrencyLottery(rng=make_rng(2, "c"))
+        engine = Simulator()
+        machine = Machine(engine, scheduler, capacity_ips=1_000_000,
+                          default_quantum=10 * MS, tracer=Recorder())
+        currency_a = scheduler.create_currency("a", funding=100)
+        currency_b = scheduler.create_currency("b", funding=100)
+        from repro.workloads.dhrystone import DhrystoneWorkload
+        a1 = SimThread("a1", DhrystoneWorkload(loop_cost=100, batch=10))
+        a2 = SimThread("a2", DhrystoneWorkload(loop_cost=100, batch=10))
+        b1 = SimThread("b1", DhrystoneWorkload(loop_cost=100, batch=10))
+        scheduler.bind(a1, currency_a)
+        scheduler.bind(a2, currency_a)
+        scheduler.bind(b1, currency_b)
+        for t in (a1, a2, b1):
+            machine.spawn(t)
+        machine.run_until(30 * SECOND)
+        class_a = a1.stats.work_done + a2.stats.work_done
+        class_b = b1.stats.work_done
+        # 50:50 between classes in expectation over a long run
+        assert class_a / class_b == pytest.approx(1.0, rel=0.1)
+
+    def test_exit_releases_binding(self):
+        scheduler = CurrencyLottery(rng=make_rng(3, "c"))
+        engine = Simulator()
+        machine = Machine(engine, scheduler, capacity_ips=1_000_000,
+                          default_quantum=10 * MS)
+        currency = scheduler.create_currency("a", funding=100)
+        short = SimThread("short", SegmentListWorkload([Compute(KILO)]))
+        scheduler.bind(short, currency)
+        machine.spawn(short)
+        machine.run_until(SECOND)
+        with pytest.raises(SchedulingError):
+            scheduler.base_value(short)

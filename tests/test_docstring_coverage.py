@@ -1,0 +1,86 @@
+"""Documentation coverage: every public item in the library is documented.
+
+Deliverable (e) of the reproduction: doc comments on every public item.
+This test walks every module under ``repro`` and asserts a docstring on
+the module itself and on every public class, function, and method defined
+there (names not starting with ``_``, excluding trivial dunder wiring).
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import repro
+
+
+def iter_modules():
+    yield repro
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        yield importlib.import_module(info.name)
+
+
+def public_members(module):
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if inspect.getmodule(obj) is not module:
+            continue  # re-export: documented at its definition site
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            yield name, obj
+
+
+class TestDocstringCoverage:
+    def test_every_module_documented(self):
+        undocumented = [
+            module.__name__ for module in iter_modules()
+            if not (module.__doc__ or "").strip()
+        ]
+        assert undocumented == []
+
+    def test_every_public_class_and_function_documented(self):
+        undocumented = []
+        for module in iter_modules():
+            for name, obj in public_members(module):
+                if not (obj.__doc__ or "").strip():
+                    undocumented.append("%s.%s" % (module.__name__, name))
+        assert undocumented == []
+
+    def test_every_public_method_documented(self):
+        """A method passes if it, or the base-class method it overrides,
+        carries a docstring — interface contracts are documented once, on
+        the base (e.g. LeafScheduler, TopScheduler, Workload)."""
+        undocumented = []
+        for module in iter_modules():
+            for cls_name, cls in public_members(module):
+                if not inspect.isclass(cls):
+                    continue
+                for name, member in vars(cls).items():
+                    if name.startswith("_"):
+                        continue
+                    func = None
+                    if inspect.isfunction(member):
+                        func = member
+                    elif isinstance(member, property):
+                        func = member.fget
+                    if func is None:
+                        continue
+                    if (func.__doc__ or "").strip():
+                        continue
+                    if self._inherited_doc(cls, name):
+                        continue
+                    undocumented.append(
+                        "%s.%s.%s" % (module.__name__, cls_name, name))
+        assert undocumented == []
+
+    @staticmethod
+    def _inherited_doc(cls, name):
+        for base in cls.__mro__[1:]:
+            member = vars(base).get(name)
+            func = None
+            if inspect.isfunction(member):
+                func = member
+            elif isinstance(member, property):
+                func = member.fget
+            if func is not None and (func.__doc__ or "").strip():
+                return True
+        return False

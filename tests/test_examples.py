@@ -1,0 +1,62 @@
+"""Smoke tests: every example script runs end-to-end and tells its story."""
+
+import importlib.util
+import os
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+
+
+def run_example(name, capsys):
+    path = os.path.join(EXAMPLES_DIR, name + ".py")
+    spec = importlib.util.spec_from_file_location("example_" + name, path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.modules.pop(spec.name, None)
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart", capsys)
+        assert "Weighted shares" in out
+        assert "33.3%" in out or "33.4%" in out
+
+    def test_video_server(self, capsys):
+        out = run_example("video_server", capsys)
+        assert "admitted" in out
+        assert "REJECTED" in out  # admission control actually rejected some
+
+    def test_multimedia_workstation(self, capsys):
+        out = run_example("multimedia_workstation", capsys)
+        assert "0 deadline misses" in out
+        assert "fork bomb" in out
+
+    def test_fairness_lab(self, capsys):
+        out = run_example("fairness_lab", capsys)
+        assert "SFQ" in out and "WFQ" in out and "lottery" in out
+
+    def test_priority_inversion(self, capsys):
+        out = run_example("priority_inversion", capsys)
+        assert "weight donation" in out
+
+    def test_decode_pipeline(self, capsys):
+        out = run_example("decode_pipeline", capsys)
+        assert "renderer" in out
+        assert "30.0" in out  # held the display rate
+
+    def test_smp_video_wall(self, capsys):
+        out = run_example("smp_video_wall", capsys)
+        assert "premium" in out and "economy" in out
+        assert "4 CPUs" in out
+
+    def test_trace_analysis(self, capsys):
+        out = run_example("trace_analysis", capsys)
+        assert "CPU occupancy" in out
+        assert "JSON" in out

@@ -1,0 +1,65 @@
+"""Smoke tests: every experiment module's main() prints its figure."""
+
+import pytest
+
+from repro.experiments import (
+    ablation_bounds,
+    ablation_currency,
+    ablation_delay,
+    ablation_fairness,
+    ablation_fluctuation,
+    ablation_lottery,
+    ablation_overload,
+    ablation_reserves,
+    ablation_tagmath,
+    figure1,
+    figure3,
+    figure9,
+    figure11,
+)
+
+# The heavyweight mains (figure5/7/8/10 at paper scale) are exercised by
+# benchmarks/; here we cover the cheap ones plus every ablation's main,
+# monkeypatching durations down where the module exposes them.
+
+
+@pytest.mark.parametrize("module,needle", [
+    (figure1, "Figure 1"),
+    (figure3, "Figure 3"),
+    (figure11, "Figure 11"),
+])
+def test_figure_mains(module, needle, capsys):
+    module.main()
+    assert needle in capsys.readouterr().out
+
+
+def test_figure9_main(capsys):
+    figure9.main()
+    out = capsys.readouterr().out
+    assert "Figure 9" in out
+    assert "latency" in out
+
+
+@pytest.mark.parametrize("module,needle", [
+    (ablation_fluctuation, "AB1"),
+    (ablation_bounds, "AB2"),
+    (ablation_fairness, "AB3"),
+    (ablation_tagmath, "AB4"),
+    (ablation_lottery, "AB5"),
+    (ablation_overload, "AB6"),
+    (ablation_currency, "AB7"),
+    (ablation_reserves, "AB8"),
+    (ablation_delay, "AB9"),
+])
+def test_ablation_mains(module, needle, capsys, monkeypatch):
+    # shrink the default duration so mains stay fast in CI
+    original_run = module.run
+
+    def quick_run(*args, **kwargs):
+        from repro.units import SECOND
+        kwargs.setdefault("duration", 6 * SECOND)
+        return original_run(*args, **kwargs)
+
+    monkeypatch.setattr(module, "run", quick_run)
+    module.main()
+    assert needle in capsys.readouterr().out

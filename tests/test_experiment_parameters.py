@@ -1,0 +1,75 @@
+"""Experiments respond correctly to non-default parameters.
+
+The harnesses are a public API (users sweep them); these tests pin the
+parameterization: weights flow through to measured ratios, durations and
+sizes scale the outputs, seeds keep everything reproducible.
+"""
+
+import pytest
+
+from repro.experiments import figure1, figure5, figure7, figure8, figure10
+from repro.units import MS, SECOND
+
+
+class TestFigure1Parameters:
+    def test_frame_count_controls_rows(self):
+        result = figure1.run(frames=300)
+        groups = dict(zip(result.column("group"), result.column("n")))
+        assert groups["all frames"] == 300
+        assert groups["I frames"] + groups["P frames"] + \
+            groups["B frames"] == 300
+
+    def test_seed_changes_trace(self):
+        a = figure1.run(frames=300, seed=1)
+        b = figure1.run(frames=300, seed=2)
+        assert a.series["decode_ms"] != b.series["decode_ms"]
+
+    def test_same_seed_reproduces(self):
+        a = figure1.run(frames=300, seed=9)
+        b = figure1.run(frames=300, seed=9)
+        assert a.series["decode_ms"] == b.series["decode_ms"]
+
+
+class TestFigure5Parameters:
+    def test_thread_count_controls_rows(self):
+        result = figure5.run(threads=3, duration=4 * SECOND)
+        thread_rows = [row for row in result.rows
+                       if str(row[0]).startswith("thread-")]
+        assert len(thread_rows) == 3
+
+
+class TestFigure7Parameters:
+    def test_sweep_bounds(self):
+        result = figure7.run_thread_sweep(max_threads=3,
+                                          duration=SECOND)
+        assert result.column("threads") == [1, 2, 3]
+
+    def test_depth_step(self):
+        result = figure7.run_depth_sweep(max_depth=12, step=4,
+                                         duration=SECOND)
+        assert result.column("interposed depth") == [0, 4, 8, 12]
+
+
+class TestFigure8Parameters:
+    def test_window_controls_row_count(self):
+        result = figure8.run_partitioning(duration=4 * SECOND,
+                                          window=2 * SECOND)
+        assert len(result.rows) == 2
+
+    def test_isolation_duration(self):
+        result = figure8.run_isolation(duration=3 * SECOND,
+                                       window=SECOND)
+        assert len(result.rows) == 3
+
+
+class TestFigure10Parameters:
+    def test_custom_weights_change_ratio(self):
+        result = figure10.run(duration=6 * SECOND, weights=(1, 3))
+        # ratio follows the weights: 3.0 instead of the paper's 2.0
+        for ratio in result.series["ratio"]:
+            assert ratio == pytest.approx(3.0, rel=0.2)
+
+    def test_equal_weights_equal_frames(self):
+        result = figure10.run(duration=6 * SECOND, weights=(5, 5))
+        for ratio in result.series["ratio"]:
+            assert ratio == pytest.approx(1.0, rel=0.1)

@@ -1,0 +1,215 @@
+"""The hierarchical scheduler: setrun/sleep propagation, pick, charge, move."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.hierarchy import PREEMPT_LEAF, HierarchicalScheduler
+from repro.core.structure import SchedulingStructure
+from repro.errors import SchedulingError
+from repro.schedulers.sfq_leaf import SfqScheduler
+from repro.threads.segments import SegmentListWorkload
+from repro.threads.states import ThreadState
+from repro.threads.thread import SimThread
+
+
+def make_thread(name="t", weight=1):
+    return SimThread(name, SegmentListWorkload([]), weight=weight)
+
+
+class TreeHarness:
+    """root -> {classA -> {leaf1, leaf2}, leafB} without a machine."""
+
+    def __init__(self):
+        self.structure = SchedulingStructure()
+        self.class_a = self.structure.mknod("/classA", 2)
+        self.leaf1 = self.structure.mknod("/classA/leaf1", 1,
+                                          scheduler=SfqScheduler())
+        self.leaf2 = self.structure.mknod("/classA/leaf2", 1,
+                                          scheduler=SfqScheduler())
+        self.leaf_b = self.structure.mknod("/leafB", 1,
+                                           scheduler=SfqScheduler())
+        self.scheduler = HierarchicalScheduler(self.structure)
+
+    def add_runnable(self, leaf, name="t", weight=1):
+        thread = make_thread(name, weight)
+        leaf.attach_thread(thread)
+        thread.transition(ThreadState.RUNNABLE)
+        self.scheduler.thread_runnable(thread, 0)
+        return thread
+
+
+@pytest.fixture
+def tree():
+    return TreeHarness()
+
+
+class TestSetrunSleep:
+    def test_setrun_propagates_to_root(self, tree):
+        tree.add_runnable(tree.leaf1)
+        assert tree.leaf1.runnable
+        assert tree.class_a.runnable
+        assert tree.structure.root.runnable
+
+    def test_setrun_stops_at_runnable_ancestor(self, tree):
+        tree.add_runnable(tree.leaf1)
+        # second leaf under the same class: ancestors already runnable
+        tree.add_runnable(tree.leaf2)
+        assert tree.leaf2.runnable
+        assert tree.class_a.queue.runnable_count == 2
+
+    def test_sleep_propagates_while_empty(self, tree):
+        thread = tree.add_runnable(tree.leaf1)
+        tree.scheduler.thread_blocked(thread, 10)
+        assert not tree.leaf1.runnable
+        assert not tree.class_a.runnable
+        assert not tree.structure.root.runnable
+
+    def test_sleep_stops_at_busy_ancestor(self, tree):
+        t1 = tree.add_runnable(tree.leaf1)
+        tree.add_runnable(tree.leaf2)
+        tree.scheduler.thread_blocked(t1, 10)
+        assert not tree.leaf1.runnable
+        assert tree.class_a.runnable
+        assert tree.structure.root.runnable
+
+    def test_has_runnable_tracks_root(self, tree):
+        assert not tree.scheduler.has_runnable()
+        thread = tree.add_runnable(tree.leaf_b)
+        assert tree.scheduler.has_runnable()
+        tree.scheduler.thread_blocked(thread, 0)
+        assert not tree.scheduler.has_runnable()
+
+
+class TestPick:
+    def test_pick_walks_to_leaf_thread(self, tree):
+        thread = tree.add_runnable(tree.leaf1)
+        assert tree.scheduler.pick_next(0) is thread
+
+    def test_pick_none_when_idle(self, tree):
+        assert tree.scheduler.pick_next(0) is None
+
+    def test_decision_depth(self, tree):
+        tree.add_runnable(tree.leaf1)
+        tree.scheduler.pick_next(0)
+        assert tree.scheduler.decision_depth == 3  # root -> classA -> leaf1
+        thread_b = tree.add_runnable(tree.leaf_b)
+        # exhaust classA's tag advantage by charging it
+        tree.scheduler.charge(tree.scheduler.pick_next(0), 100, 0)
+        assert tree.scheduler.pick_next(0) is thread_b
+        assert tree.scheduler.decision_depth == 2
+
+    def test_weighted_split_between_classes(self, tree):
+        ta = tree.add_runnable(tree.leaf1)  # classA weight 2
+        tb = tree.add_runnable(tree.leaf_b)  # leafB weight 1
+        service = {ta: 0, tb: 0}
+        for __ in range(300):
+            picked = tree.scheduler.pick_next(0)
+            service[picked] += 10
+            tree.scheduler.charge(picked, 10, 0)
+        assert service[ta] == pytest.approx(2 * service[tb], rel=0.05)
+
+
+class TestCharge:
+    def test_charge_updates_all_ancestors(self, tree):
+        thread = tree.add_runnable(tree.leaf1)
+        picked = tree.scheduler.pick_next(0)
+        tree.scheduler.charge(picked, 12, 0)
+        # leaf scheduler: thread finish = 12 / weight 1
+        assert tree.leaf1.scheduler.queue.finish_tag(thread) == 12
+        # classA queue: leaf1 charged 12 at weight 1
+        assert tree.class_a.queue.finish_tag(tree.leaf1) == 12
+        # root queue: classA charged 12 at weight 2
+        assert tree.structure.root.queue.finish_tag(tree.class_a) == Fraction(6)
+
+    def test_residual_bandwidth_redistributed(self, tree):
+        """Paper Example 1: an idle class's share goes to the others."""
+        t1 = tree.add_runnable(tree.leaf1)
+        t2 = tree.add_runnable(tree.leaf2)
+        # leafB idle: leaf1 and leaf2 split classA's 100% equally
+        service = {t1: 0, t2: 0}
+        for __ in range(100):
+            picked = tree.scheduler.pick_next(0)
+            service[picked] += 10
+            tree.scheduler.charge(picked, 10, 0)
+        assert service[t1] == service[t2]
+
+
+class TestMoveThread:
+    def test_move_runnable_thread(self, tree):
+        thread = tree.add_runnable(tree.leaf1)
+        tree.scheduler.move_thread(thread, tree.leaf_b, now=0)
+        assert thread.leaf is tree.leaf_b
+        assert not tree.leaf1.runnable
+        assert tree.leaf_b.runnable
+        assert tree.scheduler.pick_next(0) is thread
+
+    def test_move_running_thread_rejected(self, tree):
+        thread = tree.add_runnable(tree.leaf1)
+        thread.transition(ThreadState.RUNNING)
+        with pytest.raises(SchedulingError):
+            tree.scheduler.move_thread(thread, tree.leaf_b, now=0)
+
+    def test_move_via_structure(self, tree):
+        thread = tree.add_runnable(tree.leaf1)
+        tree.structure.move(thread, "/leafB")
+        assert thread.leaf is tree.leaf_b
+
+    def test_move_sleeping_thread(self, tree):
+        thread = make_thread()
+        tree.leaf1.attach_thread(thread)
+        thread.transition(ThreadState.SLEEPING)
+        tree.scheduler.move_thread(thread, tree.leaf_b, now=0)
+        assert thread.leaf is tree.leaf_b
+        assert not tree.leaf_b.runnable
+
+
+class TestAdmitRetire:
+    def test_admit_requires_leaf(self, tree):
+        with pytest.raises(SchedulingError):
+            tree.scheduler.admit(make_thread())
+
+    def test_retire_detaches_and_sleeps(self, tree):
+        thread = tree.add_runnable(tree.leaf1)
+        tree.scheduler.retire(thread, 0)
+        assert thread.leaf is None
+        assert not tree.leaf1.runnable
+
+
+class TestPreemptPolicy:
+    def test_default_never_preempts(self, tree):
+        t1 = tree.add_runnable(tree.leaf1)
+        t2 = tree.add_runnable(tree.leaf1)
+        assert not tree.scheduler.should_preempt(t1, t2, 0)
+
+    def test_invalid_policy_rejected(self, tree):
+        with pytest.raises(ValueError):
+            HierarchicalScheduler(SchedulingStructure(), "sometimes")
+
+    def test_leaf_policy_delegates(self):
+        structure = SchedulingStructure()
+
+        class PreemptingSfq(SfqScheduler):
+            def should_preempt(self, current, candidate, now):
+                return True
+
+        leaf = structure.mknod("/rt", 1, scheduler=PreemptingSfq())
+        scheduler = HierarchicalScheduler(structure, PREEMPT_LEAF)
+        t1, t2 = make_thread("a"), make_thread("b")
+        leaf.attach_thread(t1)
+        leaf.attach_thread(t2)
+        assert scheduler.should_preempt(t1, t2, 0)
+
+    def test_leaf_policy_ignores_cross_leaf(self, tree):
+        tree.scheduler.preempt_policy = PREEMPT_LEAF
+        t1 = tree.add_runnable(tree.leaf1)
+        t2 = tree.add_runnable(tree.leaf_b)
+        assert not tree.scheduler.should_preempt(t1, t2, 0)
+
+
+class TestInvariantViolations:
+    def test_pick_on_desynced_tree_raises(self, tree):
+        # Corrupt the runnable flag directly: pick must detect it.
+        tree.structure.root.runnable = True
+        with pytest.raises(SchedulingError):
+            tree.scheduler.pick_next(0)

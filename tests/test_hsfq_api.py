@@ -1,0 +1,89 @@
+"""The paper's hsfq_* system-call facade."""
+
+import pytest
+
+from repro.core.structure import SchedulingStructure
+from repro.errors import NodeNotFoundError, StructureError
+from repro.hsfq import (
+    HSFQ_ADMIN_GETWEIGHT,
+    HSFQ_ADMIN_INFO,
+    HSFQ_ADMIN_SETWEIGHT,
+    HSFQ_INTERNAL,
+    HSFQ_LEAF,
+    SCHED_EDF,
+    SCHED_SFQ,
+    SCHED_SVR4,
+    hsfq_admin,
+    hsfq_mknod,
+    hsfq_move,
+    hsfq_parse,
+    hsfq_rmnod,
+)
+from repro.schedulers.edf import EdfScheduler
+from repro.schedulers.sfq_leaf import SfqScheduler
+from repro.schedulers.svr4 import Svr4TimeSharing
+from repro.threads.segments import SegmentListWorkload
+from repro.threads.thread import SimThread
+
+
+@pytest.fixture
+def structure():
+    return SchedulingStructure()
+
+
+class TestHsfqCalls:
+    def test_paper_example_structure(self, structure):
+        """Build Figure 2 via ids, exactly as the syscalls would."""
+        root = structure.root.node_id
+        hard = hsfq_mknod(structure, "hard-rt", root, 1, HSFQ_LEAF,
+                          SCHED_EDF)
+        soft = hsfq_mknod(structure, "soft-rt", root, 3, HSFQ_LEAF,
+                          SCHED_SFQ)
+        best = hsfq_mknod(structure, "best-effort", root, 6, HSFQ_INTERNAL)
+        user1 = hsfq_mknod(structure, "user1", best, 1, HSFQ_LEAF,
+                           SCHED_SFQ)
+        user2 = hsfq_mknod(structure, "user2", best, 1, HSFQ_LEAF,
+                           SCHED_SVR4)
+        assert structure.resolve(hard).is_leaf
+        assert isinstance(structure.resolve(hard).scheduler, EdfScheduler)
+        assert isinstance(structure.resolve(soft).scheduler, SfqScheduler)
+        assert isinstance(structure.resolve(user2).scheduler,
+                          Svr4TimeSharing)
+        # name resolution as in the paper: "/best-effort/user1"
+        assert hsfq_parse(structure, "/best-effort/user1") == user1
+
+    def test_parse_relative_with_hint(self, structure):
+        root = structure.root.node_id
+        best = hsfq_mknod(structure, "best-effort", root, 6)
+        user1 = hsfq_mknod(structure, "user1", best, 1, HSFQ_LEAF)
+        assert hsfq_parse(structure, "user1", hint=best) == user1
+
+    def test_admin_weight(self, structure):
+        node = hsfq_mknod(structure, "x", structure.root.node_id, 2)
+        assert hsfq_admin(structure, node, HSFQ_ADMIN_GETWEIGHT) == 2
+        hsfq_admin(structure, node, HSFQ_ADMIN_SETWEIGHT, 7)
+        assert hsfq_admin(structure, node, HSFQ_ADMIN_INFO)["weight"] == 7
+
+    def test_rmnod(self, structure):
+        node = hsfq_mknod(structure, "x", structure.root.node_id, 2)
+        hsfq_rmnod(structure, node)
+        with pytest.raises(NodeNotFoundError):
+            structure.resolve(node)
+
+    def test_move(self, structure):
+        a = hsfq_mknod(structure, "a", structure.root.node_id, 1, HSFQ_LEAF)
+        b = hsfq_mknod(structure, "b", structure.root.node_id, 1, HSFQ_LEAF)
+        thread = SimThread("t", SegmentListWorkload([]))
+        hsfq_move(structure, thread, a)
+        assert thread.leaf.node_id == a
+        hsfq_move(structure, thread, b)
+        assert thread.leaf.node_id == b
+
+    def test_unknown_scheduler_id(self, structure):
+        with pytest.raises(StructureError):
+            hsfq_mknod(structure, "x", structure.root.node_id, 1,
+                       HSFQ_LEAF, sid=999)
+
+    def test_unknown_flag(self, structure):
+        with pytest.raises(StructureError):
+            hsfq_mknod(structure, "x", structure.root.node_id, 1, flag=42)

@@ -1,0 +1,181 @@
+"""Integration tests replaying the paper's core scenarios end-to-end."""
+
+import pytest
+
+from repro.analysis.fairness import max_normalized_service_gap, sfq_fairness_bound
+from repro.analysis.fc_server import fc_params_for_periodic_interrupts, fit_fc_params
+from repro.core.hierarchy import HierarchicalScheduler
+from repro.core.structure import ADMIN_SET_WEIGHT, SchedulingStructure
+from repro.cpu.interrupts import PeriodicInterruptSource
+from repro.cpu.machine import Machine
+from repro.schedulers.sfq_leaf import SfqScheduler
+from repro.schedulers.svr4 import Svr4TimeSharing
+from repro.sim.engine import Simulator
+from repro.threads.segments import Compute, SegmentListWorkload, SleepUntil
+from repro.threads.thread import SimThread
+from repro.trace.recorder import Recorder
+from repro.trace.timeline import merge_timeline
+from repro.units import MS, SECOND
+
+from tests.conftest import Harness
+
+KILO = 1000
+
+
+class TestFigure3Golden:
+    """The §3 worked example, machine-level, exact."""
+
+    def build(self):
+        structure = SchedulingStructure()
+        leaf = structure.mknod("/example", 1, scheduler=SfqScheduler())
+        engine = Simulator()
+        recorder = Recorder()
+        machine = Machine(engine, HierarchicalScheduler(structure),
+                          capacity_ips=1000, default_quantum=10 * MS,
+                          tracer=recorder)
+        a = SimThread("A", SegmentListWorkload(
+            [Compute(50), SleepUntil(110 * MS), Compute(30)]), weight=1)
+        b = SimThread("B", SegmentListWorkload(
+            [Compute(40), SleepUntil(115 * MS), Compute(40)]), weight=2)
+        leaf.attach_thread(a)
+        leaf.attach_thread(b)
+        machine.spawn(a)
+        machine.spawn(b)
+        return machine, recorder, leaf, a, b
+
+    def test_execution_sequence_matches_paper(self):
+        machine, recorder, leaf, a, b = self.build()
+        machine.run_until(400 * MS)
+        timeline = [(t0 // MS, t1 // MS, t.name)
+                    for t0, t1, t in merge_timeline(recorder, [a, b])]
+        assert timeline == [
+            (0, 10, "A"), (10, 30, "B"), (30, 40, "A"), (40, 60, "B"),
+            (60, 90, "A"),                      # B blocked at 60
+            (110, 120, "A"), (120, 140, "B"),   # rejoin at 110/115
+            (140, 150, "A"), (150, 170, "B"), (170, 180, "A"),
+        ]
+
+    def test_virtual_time_jumps_to_50_on_idle(self):
+        machine, recorder, leaf, a, b = self.build()
+        machine.run_until(100 * MS)  # idle period 90-110 ms
+        assert leaf.scheduler.queue.virtual_time == 50
+
+    def test_rejoining_threads_stamped_50(self):
+        machine, recorder, leaf, a, b = self.build()
+        machine.run_until(116 * MS)
+        assert leaf.scheduler.queue.start_tag(a) == 50
+        assert leaf.scheduler.queue.start_tag(b) == 50
+
+    def test_service_proportional_while_both_runnable(self):
+        machine, recorder, leaf, a, b = self.build()
+        machine.run_until(60 * MS)
+        # in [0, 60] both runnable: A got 20 ms, B got 40 ms (1:2)
+        assert a.stats.work_done == 20
+        assert b.stats.work_done == 40
+
+
+class TestProtection:
+    """§5.3: application classes are protected from each other."""
+
+    def test_greedy_class_cannot_starve_others(self):
+        structure = SchedulingStructure()
+        greedy = structure.mknod("/greedy", 1, scheduler=SfqScheduler())
+        meek = structure.mknod("/meek", 1, scheduler=Svr4TimeSharing())
+        engine = Simulator()
+        recorder = Recorder()
+        machine = Machine(engine, HierarchicalScheduler(structure),
+                          capacity_ips=1_000_000, default_quantum=10 * MS,
+                          tracer=recorder)
+        from repro.workloads.dhrystone import DhrystoneWorkload
+        hogs = []
+        for index in range(8):
+            hog = SimThread("hog%d" % index,
+                            DhrystoneWorkload(loop_cost=100, batch=10))
+            greedy.attach_thread(hog)
+            machine.spawn(hog)
+            hogs.append(hog)
+        victim = SimThread("victim", DhrystoneWorkload(loop_cost=100,
+                                                       batch=10))
+        meek.attach_thread(victim)
+        machine.spawn(victim)
+        machine.run_until(2 * SECOND)
+        # the meek class holds its 50% regardless of 8 hogs next door
+        assert victim.stats.work_done == pytest.approx(1_000_000, rel=0.02)
+
+    def test_node_weight_change_takes_effect(self):
+        harness = Harness()
+        second_leaf = harness.structure.mknod("/other", 1,
+                                              scheduler=SfqScheduler())
+        a = harness.spawn_dhrystone("a")
+        b = harness.spawn_dhrystone("b", leaf=second_leaf)
+        harness.machine.run_until(SECOND)
+        w_a_before = a.stats.work_done
+        w_b_before = b.stats.work_done
+        harness.structure.admin("/other", ADMIN_SET_WEIGHT, 3)
+        harness.machine.run_until(2 * SECOND)
+        gained_a = a.stats.work_done - w_a_before
+        gained_b = b.stats.work_done - w_b_before
+        assert gained_b == pytest.approx(3 * gained_a, rel=0.05)
+
+
+class TestFairnessUnderFluctuation:
+    """§3.1 property 1 on a machine whose bandwidth fluctuates."""
+
+    def test_sfq_bound_holds_with_interrupts(self):
+        harness = Harness()
+        a = harness.spawn_dhrystone("a", weight=1)
+        b = harness.spawn_dhrystone("b", weight=2)
+        harness.machine.add_interrupt_source(
+            PeriodicInterruptSource(period=7 * MS, service=2 * MS))
+        harness.machine.run_until(3 * SECOND)
+        gap = max_normalized_service_gap(harness.recorder, a, b, 3 * SECOND)
+        bound = sfq_fairness_bound(10 * KILO, 1, 10 * KILO, 2)
+        assert gap <= bound + 1e-9
+
+    def test_throughput_ratio_immune_to_fluctuation(self):
+        harness = Harness()
+        a = harness.spawn_dhrystone("a", weight=1)
+        b = harness.spawn_dhrystone("b", weight=2)
+        harness.machine.add_interrupt_source(
+            PeriodicInterruptSource(period=7 * MS, service=2 * MS))
+        harness.machine.run_until(3 * SECOND)
+        assert b.stats.work_done / a.stats.work_done == pytest.approx(
+            2.0, rel=0.02)
+
+
+class TestFcPropagation:
+    """§3.1 property 3: FC CPU => FC per-thread service."""
+
+    def test_aggregate_service_is_fc_with_analytic_params(self):
+        harness = Harness()
+        a = harness.spawn_dhrystone("a")
+        b = harness.spawn_dhrystone("b")
+        harness.machine.add_interrupt_source(
+            PeriodicInterruptSource(period=10 * MS, service=2 * MS))
+        harness.machine.run_until(3 * SECOND)
+        analytic = fc_params_for_periodic_interrupts(1_000_000, 10 * MS,
+                                                     2 * MS)
+        points = []
+        for t in range(0, 3001, 10):
+            ts = t * MS
+            total = (harness.recorder.trace_of(a).service_at(ts)
+                     + harness.recorder.trace_of(b).service_at(ts))
+            points.append((ts, total))
+        fitted = fit_fc_params(points, analytic.rate_ips)
+        # empirical burstiness within the analytic bound plus one quantum
+        assert fitted.burstiness <= analytic.burstiness + 10 * KILO
+
+    def test_thread_service_is_fc_at_its_share(self):
+        harness = Harness()
+        a = harness.spawn_dhrystone("a", weight=1)
+        b = harness.spawn_dhrystone("b", weight=1)
+        harness.machine.add_interrupt_source(
+            PeriodicInterruptSource(period=10 * MS, service=2 * MS))
+        harness.machine.run_until(3 * SECOND)
+        trace = harness.recorder.trace_of(a)
+        points = [(t * MS, trace.service_at(t * MS))
+                  for t in range(0, 3001, 10)]
+        # share = 50% of the 800k effective rate
+        fitted = fit_fc_params(points, 400_000)
+        # burstiness stays bounded by a couple of quanta
+        assert fitted.burstiness <= 25 * KILO

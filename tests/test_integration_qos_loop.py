@@ -1,0 +1,125 @@
+"""End-to-end QoS loop: manager + monitor + rebalancer on one machine."""
+
+import pytest
+
+from repro.core.hierarchy import HierarchicalScheduler
+from repro.core.structure import SchedulingStructure
+from repro.cpu.machine import Machine
+from repro.errors import AdmissionError
+from repro.qos.manager import DemandDrivenRebalancer, QosManager
+from repro.qos.monitor import ClassMonitor
+from repro.qos.spec import BEST_EFFORT, HARD_RT, SOFT_RT, QosRequest
+from repro.sim.engine import Simulator
+from repro.trace.metrics import latency_slack
+from repro.trace.recorder import Recorder
+from repro.units import MS, SECOND
+from repro.workloads.dhrystone import DhrystoneWorkload
+from repro.workloads.mpeg import MpegDecodeWorkload, MpegVbrModel
+from repro.workloads.periodic import PeriodicWorkload
+
+CAPACITY = 100_000_000
+KILO = 1000
+
+
+class Workstation:
+    """A full appliance: manager, monitor, rebalancer, mixed tenants."""
+
+    def __init__(self):
+        self.structure = SchedulingStructure()
+        self.engine = Simulator()
+        self.recorder = Recorder()
+        self.machine = Machine(self.engine,
+                               HierarchicalScheduler(self.structure),
+                               capacity_ips=CAPACITY,
+                               default_quantum=10 * MS,
+                               tracer=self.recorder)
+        self.manager = QosManager(self.machine, self.structure,
+                                  class_weights=(2, 3, 5),
+                                  rt_quantum=10 * MS)
+        self.rebalancer = DemandDrivenRebalancer(self.manager,
+                                                 period=2 * SECOND)
+        self.monitor = ClassMonitor(
+            self.machine,
+            [self.manager.hard_leaf, self.manager.soft_leaf,
+             self.manager.best_parent],
+            window=SECOND)
+
+
+class TestClosedLoop:
+    def test_full_appliance_run(self):
+        ws = Workstation()
+        audio_wl = PeriodicWorkload(period=50 * MS,
+                                    cost=CAPACITY // 1000 * 2)  # 2 ms
+        audio = ws.manager.submit(
+            QosRequest("audio", HARD_RT, period=50 * MS, wcet=2 * MS),
+            audio_wl)
+        videos = []
+        for index in range(2):
+            model = MpegVbrModel(seed=60 + index, mean_cost=300_000)
+            videos.append(ws.manager.submit(
+                QosRequest("video-%d" % index, SOFT_RT,
+                           mean_demand=10_000_000, std_demand=2_000_000),
+                MpegDecodeWorkload(model, paced=True)))
+        ws.manager.submit(QosRequest("compile", BEST_EFFORT, user="dev"),
+                          DhrystoneWorkload())
+        ws.rebalancer.start()
+        ws.monitor.start()
+        ws.machine.run_until(12 * SECOND)
+
+        # hard RT: all deadlines met
+        results = latency_slack(ws.recorder, audio, audio_wl)
+        assert len(results) > 200
+        assert all(slack > 0 for __, __, slack in results)
+        # soft RT: both videos hold the display rate
+        for video in videos:
+            fps = video.stats.markers.get("frames", 0) / 12
+            assert fps == pytest.approx(30, abs=1.5)
+        # monitor saw no violations of any backlogged class
+        assert ws.monitor.violations() == []
+        # rebalancer ran and kept all class weights sane
+        assert ws.rebalancer.rebalances >= 5
+        for node in (ws.manager.hard_leaf, ws.manager.soft_leaf,
+                     ws.manager.best_parent):
+            assert node.weight >= 1
+
+    def test_rebalancer_grows_soft_class_for_new_streams(self):
+        ws = Workstation()
+        # generous headroom so the grown share can host a second stream
+        ws.rebalancer = DemandDrivenRebalancer(ws.manager,
+                                               period=2 * SECOND,
+                                               headroom=2.5)
+        # fill the soft class close to its initial 30% share
+        ws.manager.submit(
+            QosRequest("v0", SOFT_RT, mean_demand=25_000_000,
+                       std_demand=1_000_000),
+            DhrystoneWorkload())
+        # a second identical stream does not fit the *initial* share
+        with pytest.raises(AdmissionError):
+            ws.manager.submit(
+                QosRequest("v1", SOFT_RT, mean_demand=25_000_000,
+                           std_demand=1_000_000),
+                DhrystoneWorkload())
+        # after a rebalance the class share grows to cover admitted
+        # demand + headroom, making room for the second stream
+        ws.rebalancer.rebalance()
+        ws.manager.submit(
+            QosRequest("v1", SOFT_RT, mean_demand=25_000_000,
+                       std_demand=1_000_000),
+            DhrystoneWorkload())
+        assert ws.manager.admitted_soft_demand() == 50_000_000
+
+    def test_monitor_shares_track_rebalanced_weights(self):
+        ws = Workstation()
+        ws.manager.submit(QosRequest("hog1", BEST_EFFORT, user="a"),
+                          DhrystoneWorkload())
+        ws.manager.submit(
+            QosRequest("v", SOFT_RT, mean_demand=25_000_000,
+                       std_demand=1_000_000),
+            DhrystoneWorkload())  # CPU-bound soft tenant (worst case)
+        ws.monitor.start()
+        ws.machine.run_until(6 * SECOND)
+        soft_share = ws.monitor.mean_received_share(ws.manager.soft_leaf)
+        best_share = ws.monitor.mean_received_share(ws.manager.best_parent)
+        # hard class is idle: soft and best effort split 3:5
+        assert soft_share == pytest.approx(3 / 8, abs=0.02)
+        assert best_share == pytest.approx(5 / 8, abs=0.02)

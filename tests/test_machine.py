@@ -1,0 +1,283 @@
+"""The CPU machine: dispatch, quanta, blocking, interrupts, accounting."""
+
+import pytest
+
+from repro.cpu.costs import LinearCostModel
+from repro.cpu.interrupts import PeriodicInterruptSource
+from repro.errors import SimulationError, WorkloadError
+from repro.threads.segments import Compute, SleepFor, SleepUntil, Workload
+from repro.threads.states import ThreadState
+from repro.units import MS, SECOND
+
+from tests.conftest import FlatHarness, Harness
+
+# capacity 1_000_000 inst/s: 1 ms == 1000 instructions
+KILO = 1000
+
+
+class TestBasicExecution:
+    def test_single_compute_runs_to_exit(self, harness):
+        thread = harness.spawn_segments("t", [Compute(5 * KILO)])
+        harness.machine.run_until(SECOND)
+        assert thread.state is ThreadState.EXITED
+        assert thread.stats.work_done == 5 * KILO
+        assert thread.stats.exited_at == 5 * MS
+
+    def test_immediate_exit(self, harness):
+        thread = harness.spawn_segments("t", [])
+        assert thread.state is ThreadState.EXITED
+        assert thread.stats.work_done == 0
+
+    def test_sleep_then_compute(self, harness):
+        thread = harness.spawn_segments("t", [SleepFor(10 * MS),
+                                              Compute(KILO)])
+        harness.machine.run_until(SECOND)
+        assert thread.stats.exited_at == 11 * MS
+
+    def test_sleep_until(self, harness):
+        thread = harness.spawn_segments("t", [SleepUntil(50 * MS),
+                                              Compute(KILO)])
+        harness.machine.run_until(SECOND)
+        assert thread.stats.exited_at == 51 * MS
+
+    def test_sleep_until_past_runs_immediately(self, harness):
+        thread = harness.spawn_segments("t", [SleepUntil(0), Compute(KILO)])
+        harness.machine.run_until(SECOND)
+        assert thread.stats.exited_at == 1 * MS
+
+    def test_zero_sleep_skipped(self, harness):
+        thread = harness.spawn_segments("t", [SleepFor(0), Compute(KILO)])
+        harness.machine.run_until(SECOND)
+        assert thread.stats.exited_at == 1 * MS
+
+    def test_deferred_spawn(self, harness):
+        from repro.threads.segments import SegmentListWorkload
+        from repro.threads.thread import SimThread
+        late = SimThread("late", SegmentListWorkload([Compute(KILO)]))
+        harness.leaf.attach_thread(late)
+        harness.machine.spawn(late, at=100 * MS)
+        harness.machine.run_until(50 * MS)
+        assert late.state is ThreadState.NEW
+        harness.machine.run_until(SECOND)
+        assert late.stats.created_at == 100 * MS
+        assert late.stats.exited_at == 101 * MS
+
+
+class TestQuantumBehaviour:
+    def test_quantum_slices_execution(self, harness):
+        # quantum 10 ms = 10 KILO work; 25 KILO split as 10/10/5
+        thread = harness.spawn_segments("t", [Compute(25 * KILO)])
+        harness.machine.run_until(SECOND)
+        trace = harness.recorder.trace_of(thread)
+        assert [w for (_, _, w) in trace.slices] == [10 * KILO, 10 * KILO,
+                                                     5 * KILO]
+
+    def test_two_threads_alternate_by_quantum(self, harness):
+        a = harness.spawn_segments("a", [Compute(20 * KILO)])
+        b = harness.spawn_segments("b", [Compute(20 * KILO)])
+        harness.machine.run_until(SECOND)
+        # SFQ with equal weights alternates 10 ms quanta: a b a b
+        from repro.trace.timeline import execution_order
+        assert execution_order(harness.recorder, [a, b]) == ["a", "b",
+                                                             "a", "b"]
+
+    def test_charge_counts_actual_not_quantum(self, harness):
+        # a 3 KILO segment blocks before its quantum expires
+        thread = harness.spawn_segments(
+            "t", [Compute(3 * KILO), SleepFor(MS), Compute(KILO)])
+        harness.machine.run_until(SECOND)
+        trace = harness.recorder.trace_of(thread)
+        assert trace.charges[0] == (3 * MS, 3 * KILO)
+
+    def test_zero_quantum_config_rejected(self):
+        with pytest.raises(SimulationError):
+            Harness(capacity_ips=1_000_000, default_quantum=0)
+
+    def test_sub_instruction_quantum_rejected(self):
+        harness = Harness(capacity_ips=10, default_quantum=1)  # 1 ns @ 10 ips
+        with pytest.raises(SimulationError):
+            # dispatch happens at spawn: the degenerate quantum is detected
+            harness.spawn_segments("t", [Compute(5)])
+
+
+class TestAccounting:
+    def test_work_conservation_busy_machine(self, harness):
+        a = harness.spawn_dhrystone("a")
+        b = harness.spawn_dhrystone("b", weight=3)
+        harness.machine.run_until(2 * SECOND)
+        total = a.stats.work_done + b.stats.work_done
+        # never idle: total work == capacity * elapsed
+        assert total == 2_000_000
+        assert harness.machine.stats.idle_time(harness.engine.now) == 0
+
+    def test_idle_time_accounted(self, harness):
+        harness.spawn_segments("t", [Compute(100 * KILO)])  # 100 ms of work
+        harness.machine.run_until(SECOND)
+        assert harness.machine.stats.busy_time == 100 * MS
+        assert harness.machine.stats.idle_time(SECOND) == 900 * MS
+
+    def test_run_until_flushes_partial_burst(self, harness):
+        thread = harness.spawn_dhrystone("t")
+        harness.machine.run_until(500 * MS + 1234567)
+        # work booked exactly at the horizon (1 instruction tolerance
+        # for the flush's floor rounding)
+        expected = (500 * MS + 1234567) // KILO
+        assert abs(thread.stats.work_done - expected) <= 1
+
+    def test_utilization(self, harness):
+        harness.spawn_segments("t", [Compute(500 * KILO)])
+        harness.machine.run_until(SECOND)
+        assert harness.machine.utilization() == pytest.approx(0.5, abs=0.01)
+
+    def test_dispatch_and_block_counters(self, harness):
+        thread = harness.spawn_segments(
+            "t", [Compute(KILO), SleepFor(MS), Compute(KILO)])
+        harness.machine.run_until(SECOND)
+        assert thread.stats.dispatches == 2
+        assert thread.stats.blocks == 1
+        assert thread.stats.wakeups == 1
+        assert thread.stats.segments_completed == 2
+
+
+class TestInterrupts:
+    def test_interrupt_pauses_thread(self):
+        harness = Harness()
+        thread = harness.spawn_segments("t", [Compute(10 * KILO)])
+        # steal 2 ms at t = 5 ms
+        harness.engine.at(5 * MS, lambda: harness.machine.interrupt(2 * MS))
+        harness.machine.run_until(SECOND)
+        # 10 ms of work stretched by the 2 ms interrupt
+        assert thread.stats.exited_at == 12 * MS
+        assert thread.stats.work_done == 10 * KILO
+
+    def test_interrupt_time_not_charged_to_thread(self):
+        harness = Harness()
+        thread = harness.spawn_segments("t", [Compute(10 * KILO)])
+        harness.engine.at(5 * MS, lambda: harness.machine.interrupt(2 * MS))
+        harness.machine.run_until(SECOND)
+        assert thread.stats.cpu_time == 10 * MS
+
+    def test_periodic_source_steals_share(self):
+        harness = Harness()
+        thread = harness.spawn_dhrystone("t")
+        harness.machine.add_interrupt_source(
+            PeriodicInterruptSource(period=10 * MS, service=2 * MS))
+        harness.machine.run_until(SECOND)
+        # 20% stolen: ~800 KILO of work in 1 s
+        assert thread.stats.work_done == pytest.approx(800 * KILO,
+                                                       rel=0.02)
+        assert harness.machine.stats.interrupt_time == pytest.approx(
+            200 * MS, rel=0.02)
+
+    def test_nested_interrupts_extend_service(self):
+        harness = Harness()
+        thread = harness.spawn_segments("t", [Compute(10 * KILO)])
+        harness.engine.at(5 * MS, lambda: harness.machine.interrupt(2 * MS))
+        harness.engine.at(6 * MS, lambda: harness.machine.interrupt(3 * MS))
+        harness.machine.run_until(SECOND)
+        # service queue: busy until 5+2+3 = 10 ms, then 5 ms of work left
+        assert thread.stats.exited_at == 15 * MS
+
+    def test_interrupt_while_idle_delays_dispatch(self):
+        harness = Harness()
+        harness.engine.at(0, lambda: harness.machine.interrupt(5 * MS))
+        thread = harness.spawn_segments("t", [SleepFor(1 * MS),
+                                              Compute(KILO)])
+        harness.machine.run_until(SECOND)
+        # thread woke at 1 ms but the CPU was serving interrupts until 5 ms
+        assert thread.stats.exited_at == 6 * MS
+
+    def test_source_stop(self):
+        harness = Harness()
+        source = PeriodicInterruptSource(period=10 * MS, service=1 * MS)
+        harness.machine.add_interrupt_source(source)
+        harness.spawn_dhrystone("t")
+        harness.machine.run_until(100 * MS)
+        count = harness.machine.stats.interrupts
+        source.stop()
+        harness.machine.run_until(200 * MS)
+        assert harness.machine.stats.interrupts == count
+
+    def test_invalid_source_params(self):
+        with pytest.raises(SimulationError):
+            PeriodicInterruptSource(period=0, service=0)
+        with pytest.raises(SimulationError):
+            PeriodicInterruptSource(period=10, service=10)
+
+
+class TestCostModel:
+    def test_overhead_reduces_throughput(self):
+        plain = Harness()
+        t_plain = plain.spawn_dhrystone("t")
+        plain.machine.run_until(SECOND)
+
+        costly = Harness.__new__(Harness)
+        Harness.__init__(costly)
+        costly.machine.cost_model = LinearCostModel(
+            base_ns=100_000, per_level_ns=0, context_switch_ns=0)
+        t_costly = costly.spawn_dhrystone("t")
+        costly.machine.run_until(SECOND)
+        assert t_costly.stats.work_done < t_plain.stats.work_done
+        assert costly.machine.stats.overhead_time > 0
+
+    def test_context_switch_counted_once_per_switch(self, harness):
+        a = harness.spawn_segments("a", [Compute(20 * KILO)])
+        harness.spawn_segments("b", [Compute(20 * KILO)])
+        harness.machine.run_until(SECOND)
+        # a b a b: 4 dispatches, every one a switch, plus nothing else
+        assert harness.machine.stats.dispatches == 4
+        assert harness.machine.stats.context_switches == 4
+        del a
+
+    def test_negative_cost_model_rejected(self):
+        with pytest.raises(ValueError):
+            LinearCostModel(base_ns=-1)
+
+
+class TestPreemption:
+    def test_wakeup_preempts_when_policy_allows(self):
+        from repro.schedulers.edf import EdfScheduler
+        harness = FlatHarness(EdfScheduler())
+        harness.machine.scheduler.leaf_scheduler = harness.leaf_scheduler
+
+        long_thread = harness.spawn_segments(
+            "long", [Compute(50 * KILO)], params={"period": SECOND})
+        urgent = harness.spawn_segments(
+            "urgent", [SleepFor(5 * MS), Compute(KILO)],
+            params={"period": 20 * MS})
+        harness.machine.run_until(SECOND)
+        # flat scheduler consults the leaf's should_preempt directly
+        assert urgent.stats.exited_at == 6 * MS
+        assert long_thread.stats.preemptions == 1
+
+    def test_no_preemption_by_default(self, harness):
+        long_thread = harness.spawn_segments("long", [Compute(10 * KILO)])
+        urgent = harness.spawn_segments(
+            "urgent", [SleepFor(2 * MS), Compute(KILO)])
+        harness.machine.run_until(SECOND)
+        assert long_thread.stats.preemptions == 0
+        assert urgent.stats.exited_at == 11 * MS
+
+
+class TestWorkloadErrors:
+    def test_infinite_zero_sleep_detected(self, harness):
+        class Spinner(Workload):
+            def next_segment(self, now, thread):
+                return SleepFor(0)
+
+        from repro.threads.thread import SimThread
+        thread = SimThread("spin", Spinner())
+        harness.leaf.attach_thread(thread)
+        with pytest.raises(WorkloadError):
+            harness.machine.spawn(thread)
+
+    def test_unknown_segment_detected(self, harness):
+        class Weird(Workload):
+            def next_segment(self, now, thread):
+                return "garbage"
+
+        from repro.threads.thread import SimThread
+        thread = SimThread("weird", Weird())
+        harness.leaf.attach_thread(thread)
+        with pytest.raises(WorkloadError):
+            harness.machine.spawn(thread)

@@ -1,0 +1,107 @@
+"""Machine edge cases: horizon interactions, float-tag hierarchies,
+repeated run_until, interrupts straddling windows."""
+
+import pytest
+
+from repro.core.hierarchy import HierarchicalScheduler
+from repro.core.structure import SchedulingStructure
+from repro.core.tags import FLOAT, TagMath
+from repro.cpu.machine import Machine
+from repro.schedulers.sfq_leaf import SfqScheduler
+from repro.sim.engine import Simulator
+from repro.threads.segments import Compute, SegmentListWorkload, SleepFor
+from repro.threads.states import ThreadState
+from repro.threads.thread import SimThread
+from repro.trace.recorder import Recorder
+from repro.units import MS, SECOND
+from repro.workloads.dhrystone import DhrystoneWorkload
+
+KILO = 1000
+
+
+class TestFloatTagHierarchy:
+    """The whole structure can run in float mode end to end."""
+
+    def build(self):
+        structure = SchedulingStructure(tag_math=FLOAT)
+        leaf_a = structure.mknod("/a", 1,
+                                 scheduler=SfqScheduler(tag_math=FLOAT))
+        leaf_b = structure.mknod("/b", 3,
+                                 scheduler=SfqScheduler(tag_math=FLOAT))
+        engine = Simulator()
+        machine = Machine(engine, HierarchicalScheduler(structure),
+                          capacity_ips=1_000_000, default_quantum=10 * MS,
+                          tracer=Recorder())
+        return structure, leaf_a, leaf_b, machine
+
+    def test_weighted_split_in_float_mode(self):
+        structure, leaf_a, leaf_b, machine = self.build()
+        ta = SimThread("a", DhrystoneWorkload(loop_cost=100, batch=10))
+        tb = SimThread("b", DhrystoneWorkload(loop_cost=100, batch=10))
+        leaf_a.attach_thread(ta)
+        leaf_b.attach_thread(tb)
+        machine.spawn(ta)
+        machine.spawn(tb)
+        machine.run_until(2 * SECOND)
+        assert tb.stats.work_done == pytest.approx(3 * ta.stats.work_done,
+                                                   rel=0.01)
+
+    def test_internal_queue_uses_float_tags(self):
+        structure, leaf_a, leaf_b, machine = self.build()
+        ta = SimThread("a", DhrystoneWorkload(loop_cost=100, batch=10))
+        leaf_a.attach_thread(ta)
+        machine.spawn(ta)
+        machine.run_until(100 * MS)
+        assert isinstance(structure.root.queue.finish_tag(leaf_a), float)
+
+
+class TestHorizonInteractions:
+    def test_repeated_run_until_consistent(self, harness):
+        thread = harness.spawn_dhrystone("t")
+        totals = []
+        for stop_ms in (137, 450, 451, 999, 2000):
+            harness.machine.run_until(stop_ms * MS)
+            totals.append(thread.stats.work_done)
+        # monotone and exact at every horizon (1 instruction rounding)
+        assert totals == sorted(totals)
+        for stop_ms, total in zip((137, 450, 451, 999, 2000), totals):
+            assert abs(total - stop_ms * KILO) <= len(totals)
+
+    def test_wakeup_exactly_at_horizon(self, harness):
+        thread = harness.spawn_segments(
+            "t", [Compute(KILO), SleepFor(99 * MS), Compute(KILO)])
+        harness.machine.run_until(100 * MS)
+        # the wake at t=100ms fires (events at the horizon run)
+        assert thread.state in (ThreadState.RUNNABLE, ThreadState.RUNNING)
+        harness.machine.run_until(SECOND)
+        assert thread.state is ThreadState.EXITED
+
+    def test_flush_while_paused_by_interrupt(self, harness):
+        thread = harness.spawn_segments("t", [Compute(50 * KILO)])
+        harness.engine.at(5 * MS, lambda: harness.machine.interrupt(20 * MS))
+        # horizon lands inside the interrupt-service window
+        harness.machine.run_until(10 * MS)
+        assert thread.stats.work_done == 5 * KILO
+        harness.machine.run_until(SECOND)
+        assert thread.stats.work_done == 50 * KILO
+        assert thread.stats.exited_at == 70 * MS
+
+    def test_interrupt_spanning_many_quanta(self, harness):
+        a = harness.spawn_dhrystone("a")
+        b = harness.spawn_dhrystone("b")
+        # one huge 200 ms interrupt: everything freezes, fairness resumes
+        harness.engine.at(50 * MS, lambda: harness.machine.interrupt(200 * MS))
+        harness.machine.run_until(SECOND)
+        assert a.stats.work_done + b.stats.work_done == 800 * KILO
+        assert abs(a.stats.work_done - b.stats.work_done) <= 10 * KILO
+
+
+class TestThreadListBookkeeping:
+    def test_machine_thread_registry(self, harness):
+        threads = [harness.spawn_dhrystone("t%d" % i) for i in range(3)]
+        assert harness.machine.threads == threads
+
+    def test_now_property(self, harness):
+        assert harness.machine.now == 0
+        harness.machine.run_until(123 * MS)
+        assert harness.machine.now == 123 * MS

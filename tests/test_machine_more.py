@@ -1,0 +1,175 @@
+"""Additional machine and hierarchy edge cases."""
+
+import pytest
+
+from repro.core.structure import ADMIN_SET_WEIGHT
+from repro.cpu.interrupts import PeriodicInterruptSource, PoissonInterruptSource
+from repro.errors import NodeBusyError
+from repro.schedulers.sfq_leaf import SfqScheduler
+from repro.sim.rng import make_rng
+from repro.threads.segments import Compute, SleepFor
+from repro.threads.states import ThreadState
+from repro.units import MS, SECOND
+
+from tests.conftest import Harness
+
+KILO = 1000
+
+
+class TestRunHelpers:
+    def test_run_for_advances_relative(self, harness):
+        harness.spawn_dhrystone("t")
+        harness.machine.run_for(100 * MS)
+        assert harness.engine.now == 100 * MS
+        harness.machine.run_for(50 * MS)
+        assert harness.engine.now == 150 * MS
+
+    def test_spawn_at_past_time_runs_now(self, harness):
+        harness.machine.run_until(100 * MS)
+        thread = harness.spawn_segments("late", [Compute(KILO)])
+        harness.machine.run_until(200 * MS)
+        assert thread.stats.created_at == 100 * MS
+
+
+class TestDeepHierarchy:
+    def test_six_level_tree_allocates_correctly(self):
+        harness = Harness()
+        structure = harness.structure
+        # /apps already exists; build /d1/d2/d3/d4/leaf with weight 1 at
+        # the top: the deep leaf competes 1:1 with /apps.
+        parent = structure.root
+        for level in range(4):
+            parent = structure.mknod("d%d" % level, 1, parent=parent)
+        deep_leaf = structure.mknod("deep", 1, parent=parent,
+                                    scheduler=SfqScheduler())
+        shallow = harness.spawn_dhrystone("shallow")
+        deep = harness.spawn_dhrystone("deep", leaf=deep_leaf)
+        harness.machine.run_until(2 * SECOND)
+        assert deep.stats.work_done == pytest.approx(
+            shallow.stats.work_done, rel=0.01)
+
+    def test_nested_weights_multiply(self):
+        harness = Harness()
+        structure = harness.structure
+        # /apps (weight 1) vs /cls (weight 3) -> {x: 1, y: 2}
+        cls = structure.mknod("/cls", 3)
+        leaf_x = structure.mknod("x", 1, parent=cls,
+                                 scheduler=SfqScheduler())
+        leaf_y = structure.mknod("y", 2, parent=cls,
+                                 scheduler=SfqScheduler())
+        base = harness.spawn_dhrystone("base")
+        tx = harness.spawn_dhrystone("tx", leaf=leaf_x)
+        ty = harness.spawn_dhrystone("ty", leaf=leaf_y)
+        harness.machine.run_until(4 * SECOND)
+        total = base.stats.work_done + tx.stats.work_done + ty.stats.work_done
+        # shares: base 1/4; x 3/4 * 1/3 = 1/4; y 3/4 * 2/3 = 1/2
+        assert base.stats.work_done / total == pytest.approx(0.25, abs=0.01)
+        assert tx.stats.work_done / total == pytest.approx(0.25, abs=0.01)
+        assert ty.stats.work_done / total == pytest.approx(0.50, abs=0.01)
+
+
+class TestRuntimeReconfiguration:
+    def test_move_thread_mid_run_via_event(self, harness):
+        fast = harness.structure.mknod("/fast", 9,
+                                       scheduler=SfqScheduler())
+        mover = harness.spawn_dhrystone("mover")
+        anchor = harness.spawn_dhrystone("anchor")
+
+        def migrate():
+            # mover is RUNNABLE or RUNNING; retry at quantum boundaries
+            if mover.state is ThreadState.RUNNING:
+                harness.engine.after(1 * MS, migrate)
+                return
+            harness.structure.move(mover, "/fast")
+
+        harness.engine.at(SECOND, migrate)
+        harness.machine.run_until(3 * SECOND)
+        assert mover.leaf.path == "/fast"
+        # after the move, mover gets 9/10 of the CPU
+        from repro.trace.metrics import throughput_series
+        late = throughput_series(harness.recorder, mover, SECOND,
+                                 3 * SECOND)[-1]
+        assert late == pytest.approx(0.9 * SECOND / 1000, rel=0.05)
+
+    def test_rmnod_runnable_leaf_rejected(self, harness):
+        harness.spawn_dhrystone("t")
+        with pytest.raises(NodeBusyError):
+            harness.structure.rmnod("/apps")
+
+    def test_rmnod_after_threads_exit(self, harness):
+        extra = harness.structure.mknod("/tmp", 1, scheduler=SfqScheduler())
+        thread = harness.spawn_segments("t", [Compute(KILO)], leaf=extra)
+        harness.machine.run_until(SECOND)
+        assert thread.state is ThreadState.EXITED
+        harness.structure.rmnod("/tmp")  # now empty and idle
+
+    def test_weight_change_during_idle_class(self, harness):
+        other = harness.structure.mknod("/other", 1,
+                                        scheduler=SfqScheduler())
+        steady = harness.spawn_dhrystone("steady")
+        sleeper = harness.spawn_segments(
+            "sleeper", [SleepFor(SECOND), Compute(500 * KILO)], leaf=other)
+        harness.engine.at(500 * MS, lambda: harness.structure.admin(
+            "/other", ADMIN_SET_WEIGHT, 3))
+        harness.machine.run_until(2 * SECOND)
+        # after waking at 1 s with weight 3, sleeper gets 75%
+        from repro.trace.metrics import throughput_series
+        sleeper_rate = throughput_series(harness.recorder, sleeper,
+                                         500 * MS, 2 * SECOND)[2]
+        assert sleeper_rate == pytest.approx(0.75 * 500 * KILO, rel=0.05)
+
+
+class TestInterruptsMore:
+    def test_poisson_source_statistics(self, harness):
+        harness.spawn_dhrystone("t")
+        harness.machine.add_interrupt_source(PoissonInterruptSource(
+            mean_interarrival=10 * MS, mean_service=1 * MS,
+            rng=make_rng(5, "p")))
+        harness.machine.run_until(10 * SECOND)
+        # ~1000 interrupts stealing ~1 s total
+        assert harness.machine.stats.interrupts == pytest.approx(1000,
+                                                                 rel=0.15)
+        assert harness.machine.stats.interrupt_time == pytest.approx(
+            SECOND, rel=0.15)
+
+    def test_two_sources_compose(self, harness):
+        thread = harness.spawn_dhrystone("t")
+        harness.machine.add_interrupt_source(
+            PeriodicInterruptSource(period=10 * MS, service=1 * MS))
+        harness.machine.add_interrupt_source(
+            PeriodicInterruptSource(period=20 * MS, service=2 * MS,
+                                    phase=5 * MS))
+        harness.machine.run_until(2 * SECOND)
+        # 10% + 10% stolen
+        assert thread.stats.work_done == pytest.approx(1600 * KILO,
+                                                       rel=0.03)
+
+    def test_interrupt_exactly_at_burst_end(self, harness):
+        thread = harness.spawn_segments("t", [Compute(10 * KILO)])
+        # interrupt fires at the exact instant the segment would complete;
+        # interrupts win the tie (lower priority value)
+        harness.engine.at(10 * MS, lambda: harness.machine.interrupt(3 * MS),
+                          priority=harness.machine.PRIORITY_INTERRUPT)
+        harness.machine.run_until(SECOND)
+        assert thread.stats.work_done == 10 * KILO
+        assert thread.stats.exited_at == 13 * MS
+
+
+class TestRecorderUnderSync:
+    def test_mutex_block_recorded_as_block(self, harness):
+        from repro.sync.mutex import Acquire, Release, SimMutex
+        mutex = SimMutex("m")
+        harness.spawn_segments("holder", [Acquire(mutex),
+                                          Compute(10 * KILO),
+                                          Release(mutex)])
+        waiter = harness.spawn_segments("waiter", [Acquire(mutex),
+                                                   Compute(KILO),
+                                                   Release(mutex)])
+        harness.machine.run_until(SECOND)
+        trace = harness.recorder.trace_of(waiter)
+        assert trace.blocks  # the mutex wait shows up as a block
+        assert trace.wakes   # and the grant as a wake
+        intervals = trace.runnable_intervals(SECOND)
+        # the waiter blocked at spawn (holder won the mutex at t=0), so its
+        # only runnable interval starts at the grant (10 ms)
+        assert intervals == [(10 * MS, 11 * MS)]

@@ -1,0 +1,111 @@
+"""The PREEMPT_LEAF extension: intra-leaf preemption through the hierarchy."""
+
+import pytest
+
+from repro.core.hierarchy import PREEMPT_LEAF, HierarchicalScheduler
+from repro.core.structure import SchedulingStructure
+from repro.cpu.machine import Machine
+from repro.schedulers.edf import EdfScheduler
+from repro.schedulers.sfq_leaf import SfqScheduler
+from repro.sim.engine import Simulator
+from repro.threads.segments import Compute, SegmentListWorkload, SleepFor
+from repro.threads.thread import SimThread
+from repro.trace.recorder import Recorder
+from repro.units import MS, SECOND
+from repro.workloads.dhrystone import DhrystoneWorkload
+from repro.workloads.periodic import PeriodicWorkload
+
+CAPACITY = 1_000_000
+KILO = 1000
+
+
+def build(preempt_policy="none"):
+    structure = SchedulingStructure()
+    rt = structure.mknod("/rt", 1, scheduler=EdfScheduler(quantum=50 * MS))
+    best = structure.mknod("/best", 1, scheduler=SfqScheduler())
+    engine = Simulator()
+    recorder = Recorder()
+    machine = Machine(engine, HierarchicalScheduler(structure,
+                                                    preempt_policy),
+                      capacity_ips=CAPACITY, default_quantum=50 * MS,
+                      tracer=recorder)
+    return structure, rt, best, machine, recorder
+
+
+class TestPreemptLeaf:
+    def test_urgent_job_preempts_within_its_leaf(self):
+        structure, rt, best, machine, recorder = build(PREEMPT_LEAF)
+        long_job = SimThread(
+            "long", SegmentListWorkload([Compute(40 * KILO)]),
+            params={"period": SECOND})
+        urgent = SimThread(
+            "urgent", SegmentListWorkload([SleepFor(5 * MS),
+                                           Compute(KILO)]),
+            params={"period": 20 * MS})
+        rt.attach_thread(long_job)
+        rt.attach_thread(urgent)
+        machine.spawn(long_job)
+        machine.spawn(urgent)
+        machine.run_until(SECOND)
+        # urgent (shorter deadline) preempted long mid-quantum at 5 ms
+        assert urgent.stats.exited_at == 6 * MS
+        assert long_job.stats.preemptions == 1
+
+    def test_no_preemption_in_default_mode(self):
+        structure, rt, best, machine, recorder = build("none")
+        long_job = SimThread(
+            "long", SegmentListWorkload([Compute(40 * KILO)]),
+            params={"period": SECOND})
+        urgent = SimThread(
+            "urgent", SegmentListWorkload([SleepFor(5 * MS),
+                                           Compute(KILO)]),
+            params={"period": 20 * MS})
+        rt.attach_thread(long_job)
+        rt.attach_thread(urgent)
+        machine.spawn(long_job)
+        machine.spawn(urgent)
+        machine.run_until(SECOND)
+        # urgent had to wait for long's entire 40 ms run (one quantum)
+        assert urgent.stats.exited_at == 41 * MS
+        assert long_job.stats.preemptions == 0
+
+    def test_cross_leaf_wakeup_never_preempts(self):
+        structure, rt, best, machine, recorder = build(PREEMPT_LEAF)
+        # one long segment so the 50 ms quantum is the only boundary
+        hog = SimThread("hog", SegmentListWorkload([Compute(200 * KILO)]))
+        best.attach_thread(hog)
+        machine.spawn(hog)
+        urgent = SimThread(
+            "urgent", SegmentListWorkload([SleepFor(5 * MS),
+                                           Compute(KILO)]),
+            params={"period": 20 * MS})
+        rt.attach_thread(urgent)
+        machine.spawn(urgent)
+        machine.run_until(SECOND)
+        # hog is in a different leaf: its quantum completes first (50 ms)
+        assert hog.stats.preemptions == 0
+        assert urgent.stats.exited_at == 51 * MS
+
+    def test_periodic_deadlines_tighten_with_preemption(self):
+        """With intra-leaf preemption the short-period task's worst
+        latency drops below the long task's quantum length."""
+        from repro.trace.metrics import latency_slack
+
+        def run_policy(policy):
+            structure, rt, best, machine, recorder = build(policy)
+            fast_wl = PeriodicWorkload(period=50 * MS, cost=2 * KILO)
+            slow_wl = PeriodicWorkload(period=400 * MS, cost=100 * KILO)
+            fast = SimThread("fast", fast_wl, params={"period": 50 * MS})
+            slow = SimThread("slow", slow_wl, params={"period": 400 * MS})
+            rt.attach_thread(fast)
+            rt.attach_thread(slow)
+            machine.spawn(fast)
+            machine.spawn(slow)
+            machine.run_until(4 * SECOND)
+            results = latency_slack(recorder, fast, fast_wl)
+            return max(latency for __, latency, __ in results)
+
+        preemptive = run_policy(PREEMPT_LEAF)
+        cooperative = run_policy("none")
+        assert preemptive < cooperative
+        assert preemptive <= 1 * MS  # immediate within the leaf

@@ -1,0 +1,153 @@
+"""Priority inheritance for RMA leaves (paper §4's second remedy)."""
+
+import pytest
+
+from repro.core.hierarchy import PREEMPT_LEAF, HierarchicalScheduler
+from repro.core.structure import SchedulingStructure
+from repro.cpu.machine import Machine
+from repro.schedulers.rma import RmaScheduler
+from repro.sim.engine import Simulator
+from repro.sync.inheritance import PriorityInheritanceMutex
+from repro.sync.mutex import Acquire, Release, SimMutex
+from repro.threads.segments import Compute, SegmentListWorkload, SleepFor
+from repro.threads.thread import SimThread
+from repro.trace.recorder import Recorder
+from repro.units import MS, SECOND
+
+CAPACITY = 1_000_000
+KILO = 1000
+
+
+def rma_thread(name, period):
+    return SimThread(name, SegmentListWorkload([]),
+                     params={"period": period})
+
+
+class TestInheritanceUnit:
+    def test_holder_inherits_shortest_waiter_period(self):
+        sched = RmaScheduler()
+        low = rma_thread("low", 1000 * MS)
+        high = rma_thread("high", 10 * MS)
+        for t in (low, high):
+            sched.add_thread(t)
+        mutex = PriorityInheritanceMutex("m", sched)
+        assert mutex.try_acquire(low)
+        mutex.enqueue_waiter(high)
+        assert sched.effective_period_of(low) == 10 * MS
+
+    def test_inheritance_removed_on_release(self):
+        sched = RmaScheduler()
+        low = rma_thread("low", 1000 * MS)
+        high = rma_thread("high", 10 * MS)
+        for t in (low, high):
+            sched.add_thread(t)
+        mutex = PriorityInheritanceMutex("m", sched)
+        mutex.try_acquire(low)
+        mutex.enqueue_waiter(high)
+        mutex.release(low)
+        assert sched.effective_period_of(low) == 1000 * MS
+
+    def test_transitive_to_new_holder(self):
+        sched = RmaScheduler()
+        low = rma_thread("low", 1000 * MS)
+        mid = rma_thread("mid", 100 * MS)
+        high = rma_thread("high", 10 * MS)
+        for t in (low, mid, high):
+            sched.add_thread(t)
+        mutex = PriorityInheritanceMutex("m", sched)
+        mutex.try_acquire(low)
+        mutex.enqueue_waiter(mid)
+        mutex.enqueue_waiter(high)
+        assert sched.effective_period_of(low) == 10 * MS
+        granted = mutex.release(low)
+        assert granted is mid
+        # mid now inherits high's period while high still waits
+        assert sched.effective_period_of(mid) == 10 * MS
+
+    def test_drop_waiter_revises_inheritance(self):
+        sched = RmaScheduler()
+        low = rma_thread("low", 1000 * MS)
+        high = rma_thread("high", 10 * MS)
+        for t in (low, high):
+            sched.add_thread(t)
+        mutex = PriorityInheritanceMutex("m", sched)
+        mutex.try_acquire(low)
+        mutex.enqueue_waiter(high)
+        mutex.drop_waiter(high)
+        assert sched.effective_period_of(low) == 1000 * MS
+
+    def test_foreign_waiter_tolerated(self):
+        sched = RmaScheduler()
+        low = rma_thread("low", 1000 * MS)
+        sched.add_thread(low)
+        outsider = SimThread("outsider", SegmentListWorkload([]))
+        mutex = PriorityInheritanceMutex("m", sched)
+        mutex.try_acquire(low)
+        mutex.enqueue_waiter(outsider)  # not in this RMA leaf: ignored
+        assert sched.effective_period_of(low) == 1000 * MS
+
+    def test_heap_rekeyed_while_runnable(self):
+        sched = RmaScheduler()
+        low = rma_thread("low", 1000 * MS)
+        mid = rma_thread("mid", 100 * MS)
+        high = rma_thread("high", 10 * MS)
+        for t in (low, mid, high):
+            sched.add_thread(t)
+        sched.on_runnable(low, 0)
+        sched.on_runnable(mid, 0)
+        assert sched.pick_next(0) is mid
+        # low inherits high's priority: overtakes mid in the ready heap
+        mutex = PriorityInheritanceMutex("m", sched)
+        mutex.try_acquire(low)
+        mutex.enqueue_waiter(high)
+        assert sched.pick_next(0) is low
+
+
+class TestInheritanceOnMachine:
+    def _run(self, mutex_factory):
+        """The Mars-Pathfinder shape inside one RMA leaf.
+
+        low takes the lock; mid (CPU-bound, no locks) preempts low; high
+        wakes and needs the lock.  Without inheritance, mid starves low,
+        so high waits for mid's entire run; with inheritance, low runs at
+        high's priority and releases quickly.
+        """
+        structure = SchedulingStructure()
+        sched = RmaScheduler(quantum=5 * MS)
+        leaf = structure.mknod("/rt", 1, scheduler=sched)
+        engine = Simulator()
+        machine = Machine(engine,
+                          HierarchicalScheduler(structure, PREEMPT_LEAF),
+                          capacity_ips=CAPACITY, default_quantum=5 * MS,
+                          tracer=Recorder())
+        lock = mutex_factory(sched)
+        low = SimThread("low", SegmentListWorkload(
+            [Acquire(lock), Compute(20 * KILO), Release(lock)]),
+            params={"period": 1000 * MS})
+        mid = SimThread("mid", SegmentListWorkload(
+            [SleepFor(1 * MS), Compute(300 * KILO)]),
+            params={"period": 100 * MS})
+        high = SimThread("high", SegmentListWorkload(
+            [SleepFor(2 * MS), Acquire(lock), Compute(KILO),
+             Release(lock)]),
+            params={"period": 10 * MS})
+        for thread in (low, mid, high):
+            leaf.attach_thread(thread)
+            machine.spawn(thread)
+        machine.run_until(2 * SECOND)
+        return low, mid, high
+
+    def test_without_inheritance_high_is_inverted(self):
+        low, mid, high = self._run(
+            lambda sched: SimMutex("plain"))
+        # mid's 300 ms of higher-priority work blocks low, hence high
+        assert high.stats.exited_at > 250 * MS
+
+    def test_with_inheritance_inversion_collapses(self):
+        low, mid, high = self._run(
+            lambda sched: PriorityInheritanceMutex("pi", sched))
+        # low inherits high's 10 ms priority, preempts mid, and releases
+        # within ~its critical section (20 ms) + small scheduling noise
+        assert high.stats.exited_at < 40 * MS
+        # inheritance fully unwound afterwards
+        assert low.params["period"] == 1000 * MS

@@ -1,0 +1,114 @@
+"""Property-based tests of the hierarchical scheduler's tree bookkeeping."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.hierarchy import HierarchicalScheduler
+from repro.core.node import InternalNode, LeafNode
+from repro.core.structure import SchedulingStructure
+from repro.schedulers.sfq_leaf import SfqScheduler
+from repro.threads.segments import SegmentListWorkload
+from repro.threads.states import ThreadState
+from repro.threads.thread import SimThread
+
+
+def build_random_tree(shape_seed: int):
+    """A deterministic random tree with 4 leaves and up to 3 levels."""
+    import random
+    rng = random.Random(shape_seed)
+    structure = SchedulingStructure()
+    internals = [structure.root]
+    leaves = []
+    for index in range(4):
+        parent = rng.choice(internals)
+        if rng.random() < 0.4 and len(internals) < 4:
+            parent = structure.mknod("i%d" % index, rng.randint(1, 5),
+                                     parent=parent)
+            internals.append(parent)
+        leaf = structure.mknod("leaf%d" % index, rng.randint(1, 5),
+                               parent=parent, scheduler=SfqScheduler())
+        leaves.append(leaf)
+    return structure, leaves
+
+
+def check_tree_invariants(structure):
+    """The runnable flags must exactly mirror the queues' contents."""
+    for node in structure.iter_nodes():
+        if isinstance(node, InternalNode):
+            # an internal node is runnable iff its queue has runnable kids
+            assert node.runnable == node.queue.has_runnable()
+            for child in node.children.values():
+                assert child.runnable == node.queue.is_runnable(child)
+        elif isinstance(node, LeafNode):
+            assert node.runnable == node.scheduler.has_runnable()
+
+
+ops = st.lists(
+    st.tuples(st.sampled_from(["wake", "block", "serve"]),
+              st.integers(0, 7), st.integers(1, 40)),
+    min_size=1, max_size=150)
+
+
+class TestHierarchyProperties:
+    @given(st.integers(0, 50), ops)
+    @settings(max_examples=100, deadline=None)
+    def test_runnable_flags_mirror_queues(self, shape_seed, script):
+        structure, leaves = build_random_tree(shape_seed)
+        scheduler = HierarchicalScheduler(structure)
+        threads = []
+        for index in range(8):
+            thread = SimThread("t%d" % index, SegmentListWorkload([]),
+                               weight=1 + index % 3)
+            leaves[index % len(leaves)].attach_thread(thread)
+            threads.append(thread)
+        for op, index, amount in script:
+            thread = threads[index]
+            if op == "wake":
+                if thread.state is ThreadState.NEW:
+                    thread.transition(ThreadState.RUNNABLE)
+                    scheduler.thread_runnable(thread, 0)
+                elif thread.state is ThreadState.SLEEPING:
+                    thread.transition(ThreadState.RUNNABLE)
+                    scheduler.thread_runnable(thread, 0)
+            elif op == "block":
+                if thread.state is ThreadState.RUNNABLE:
+                    thread.transition(ThreadState.RUNNING)
+                    thread.transition(ThreadState.SLEEPING)
+                    scheduler.thread_blocked(thread, 0)
+            else:
+                if scheduler.has_runnable():
+                    picked = scheduler.pick_next(0)
+                    assert picked is not None
+                    assert picked.state is ThreadState.RUNNABLE
+                    scheduler.charge(picked, amount, 0)
+            check_tree_invariants(structure)
+
+    @given(st.integers(0, 50), ops)
+    @settings(max_examples=60, deadline=None)
+    def test_service_only_to_runnable_threads(self, shape_seed, script):
+        structure, leaves = build_random_tree(shape_seed)
+        scheduler = HierarchicalScheduler(structure)
+        threads = []
+        for index in range(8):
+            thread = SimThread("t%d" % index, SegmentListWorkload([]))
+            leaves[index % len(leaves)].attach_thread(thread)
+            threads.append(thread)
+        runnable = set()
+        for op, index, amount in script:
+            thread = threads[index]
+            if op == "wake" and thread.state in (ThreadState.NEW,
+                                                 ThreadState.SLEEPING):
+                thread.transition(ThreadState.RUNNABLE)
+                scheduler.thread_runnable(thread, 0)
+                runnable.add(thread)
+            elif op == "block" and thread.state is ThreadState.RUNNABLE:
+                thread.transition(ThreadState.RUNNING)
+                thread.transition(ThreadState.SLEEPING)
+                scheduler.thread_blocked(thread, 0)
+                runnable.discard(thread)
+            elif op == "serve":
+                assert scheduler.has_runnable() == bool(runnable)
+                if runnable:
+                    picked = scheduler.pick_next(0)
+                    assert picked in runnable
+                    scheduler.charge(picked, amount, 0)

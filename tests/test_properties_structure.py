@@ -1,0 +1,95 @@
+"""Property-based tests of the scheduling structure and event queue."""
+
+import heapq
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.structure import SchedulingStructure
+from repro.errors import StructureError
+from repro.schedulers.sfq_leaf import SfqScheduler
+from repro.sim.events import EventQueue
+
+names = st.text(alphabet="abcdef", min_size=1, max_size=4)
+
+
+class TestStructureProperties:
+    @given(st.lists(st.tuples(names, st.booleans(), st.integers(1, 9)),
+                    min_size=1, max_size=25))
+    @settings(max_examples=80, deadline=None)
+    def test_random_tree_construction_invariants(self, spec):
+        """Randomly grown trees keep path/parent/resolve consistency."""
+        structure = SchedulingStructure()
+        internals = [structure.root]
+        for name, as_leaf, weight in spec:
+            parent = internals[weight % len(internals)]
+            try:
+                scheduler = SfqScheduler() if as_leaf else None
+                node = structure.mknod(name, weight, parent=parent,
+                                       scheduler=scheduler)
+            except StructureError:
+                continue  # duplicate name under that parent: fine
+            if not as_leaf:
+                internals.append(node)
+        for node in structure.iter_nodes():
+            # resolve by id and by path both give the node back
+            assert structure.resolve(node.node_id) is node
+            assert structure.parse(node.path) is node
+            # child/parent pointers are mutually consistent
+            if node.parent is not None:
+                assert node.parent.children[node.name] is node
+
+    @given(st.lists(st.tuples(names, st.integers(1, 9)),
+                    min_size=1, max_size=15))
+    @settings(max_examples=60, deadline=None)
+    def test_rmnod_undoes_mknod(self, spec):
+        structure = SchedulingStructure()
+        created = []
+        for name, weight in spec:
+            try:
+                created.append(structure.mknod("/" + name, weight))
+            except StructureError:
+                pass
+        for node in reversed(created):
+            structure.rmnod(node)
+        assert list(structure.iter_nodes()) == [structure.root]
+
+
+class TestEventQueueProperties:
+    @given(st.lists(st.tuples(st.integers(0, 1000), st.integers(-5, 5)),
+                    min_size=1, max_size=200))
+    @settings(max_examples=80, deadline=None)
+    def test_pop_order_matches_sorted(self, events):
+        queue = EventQueue()
+        expected = []
+        for seq, (time, priority) in enumerate(events):
+            queue.push(time, lambda: None, priority=priority)
+            heapq.heappush(expected, (time, priority, seq))
+        popped = []
+        while True:
+            handle = queue.pop()
+            if handle is None:
+                break
+            popped.append((handle.time, handle.priority, handle.seq))
+        assert popped == [heapq.heappop(expected)
+                          for __ in range(len(expected))]
+
+    @given(st.lists(st.integers(0, 100), min_size=1, max_size=100),
+           st.sets(st.integers(0, 99)))
+    @settings(max_examples=80, deadline=None)
+    def test_cancellation_removes_exactly_those(self, times, cancel_indices):
+        queue = EventQueue()
+        handles = [queue.push(t, lambda: None) for t in times]
+        for index in cancel_indices:
+            if index < len(handles):
+                queue.discard(handles[index])
+        popped = []
+        while True:
+            handle = queue.pop()
+            if handle is None:
+                break
+            popped.append(handle)
+        surviving = [h for i, h in enumerate(handles)
+                     if i not in cancel_indices]
+        assert sorted(h.seq for h in popped) == \
+            sorted(h.seq for h in surviving)

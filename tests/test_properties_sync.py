@@ -1,0 +1,124 @@
+"""Property-based tests of synchronization invariants (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sync.mutex import SimMutex
+from repro.sync.semaphore import SimSemaphore
+from repro.threads.segments import SegmentListWorkload
+from repro.threads.thread import SimThread
+
+
+def make_thread(index, weight):
+    return SimThread("t%d" % index, SegmentListWorkload([]), weight=weight)
+
+
+#: scripts of (op, thread_index): ops acquire / release
+mutex_scripts = st.lists(
+    st.tuples(st.sampled_from(["acquire", "release"]), st.integers(0, 4)),
+    min_size=1, max_size=120)
+weight_lists = st.lists(st.integers(1, 9), min_size=5, max_size=5)
+
+
+class TestMutexProperties:
+    @given(weight_lists, mutex_scripts, st.booleans())
+    @settings(max_examples=120, deadline=None)
+    def test_single_holder_and_weight_accounting(self, weights, script,
+                                                 donate):
+        """At most one holder; every weight boost is backed by exactly one
+        live donation from a *blocked* (hence non-competing) waiter."""
+        threads = [make_thread(i, w) for i, w in enumerate(weights)]
+        mutex = SimMutex("m", donate_weight=donate)
+        total_weight = sum(weights)
+        blocked = set()
+        for op, index in script:
+            thread = threads[index]
+            if op == "acquire":
+                if thread is mutex.holder or thread in blocked:
+                    continue
+                if not mutex.try_acquire(thread):
+                    mutex.enqueue_waiter(thread)
+                    blocked.add(thread)
+            else:
+                if mutex.holder is thread:
+                    granted = mutex.release(thread)
+                    if granted is not None:
+                        blocked.discard(granted)
+            # invariants after every step
+            live_donations = sum(mutex._donations.values())
+            assert sum(t.weight for t in threads) == \
+                total_weight + live_donations
+            # the *runnable* total never exceeds the original total
+            runnable_total = sum(t.weight for t in threads
+                                 if t not in blocked)
+            assert runnable_total <= total_weight
+            assert (mutex.holder is None) == (not mutex.locked)
+            assert mutex.holder not in mutex.waiters
+            if not donate:
+                assert live_donations == 0
+                for t, w in zip(threads, weights):
+                    assert t.weight == w
+
+    @given(weight_lists, mutex_scripts)
+    @settings(max_examples=80, deadline=None)
+    def test_donation_fully_unwinds(self, weights, script):
+        """Once the mutex drains, every thread has its original weight."""
+        threads = [make_thread(i, w) for i, w in enumerate(weights)]
+        mutex = SimMutex("m", donate_weight=True)
+        blocked = set()
+        for op, index in script:
+            thread = threads[index]
+            if op == "acquire":
+                if thread is mutex.holder or thread in blocked:
+                    continue
+                if not mutex.try_acquire(thread):
+                    mutex.enqueue_waiter(thread)
+                    blocked.add(thread)
+            else:
+                if mutex.holder is thread:
+                    granted = mutex.release(thread)
+                    if granted is not None:
+                        blocked.discard(granted)
+        # drain: release the chain to the end
+        while mutex.holder is not None:
+            granted = mutex.release(mutex.holder)
+            if granted is not None:
+                blocked.discard(granted)
+        for thread, weight in zip(threads, weights):
+            assert thread.weight == weight
+
+
+class TestSemaphoreProperties:
+    @given(st.integers(0, 5),
+           st.lists(st.tuples(st.sampled_from(["down", "up"]),
+                              st.integers(0, 4)),
+                    min_size=1, max_size=120))
+    @settings(max_examples=120, deadline=None)
+    def test_units_conserved(self, initial, script):
+        """count + granted - released == initial at every step;
+        count is never negative; a positive count implies no waiters."""
+        threads = [make_thread(i, 1) for i in range(5)]
+        sem = SimSemaphore("s", initial=initial)
+        blocked = set()
+        grants = 0
+        ups = 0
+        for op, index in script:
+            thread = threads[index]
+            if op == "down":
+                if thread in blocked:
+                    continue
+                if sem.try_down(thread):
+                    grants += 1
+                else:
+                    sem.enqueue_waiter(thread)
+                    blocked.add(thread)
+            else:
+                ups += 1
+                granted = sem.up()
+                if granted is not None:
+                    grants += 1
+                    blocked.discard(granted)
+            assert sem.count >= 0
+            assert sem.count == initial + ups - grants
+            if sem.count > 0:
+                assert not sem.waiters

@@ -1,0 +1,199 @@
+"""QoS: specs, admission control, and the manager."""
+
+import pytest
+
+from repro.core.hierarchy import HierarchicalScheduler
+from repro.core.structure import SchedulingStructure
+from repro.cpu.machine import Machine
+from repro.errors import AdmissionError
+from repro.qos.admission import (
+    edf_admissible,
+    rma_admissible,
+    rma_utilization_bound,
+    statistical_admissible,
+)
+from repro.qos.manager import DemandDrivenRebalancer, QosManager
+from repro.qos.spec import BEST_EFFORT, HARD_RT, SOFT_RT, QosRequest
+from repro.sim.engine import Simulator
+from repro.trace.metrics import latency_slack
+from repro.trace.recorder import Recorder
+from repro.units import MS, SECOND
+from repro.workloads.dhrystone import DhrystoneWorkload
+from repro.workloads.periodic import PeriodicWorkload
+
+CAPACITY = 1_000_000
+KILO = 1000
+
+
+class TestQosRequest:
+    def test_hard_rt_requires_period_and_wcet(self):
+        with pytest.raises(AdmissionError):
+            QosRequest("x", HARD_RT, period=10 * MS)
+
+    def test_hard_rt_wcet_exceeding_period_rejected(self):
+        with pytest.raises(AdmissionError):
+            QosRequest("x", HARD_RT, period=10 * MS, wcet=20 * MS)
+
+    def test_soft_rt_requires_mean_demand(self):
+        with pytest.raises(AdmissionError):
+            QosRequest("x", SOFT_RT)
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(AdmissionError):
+            QosRequest("x", "bulk")
+
+    def test_utilization(self):
+        req = QosRequest("x", HARD_RT, period=100 * MS, wcet=25 * MS)
+        assert req.utilization == 0.25
+        assert QosRequest("y", BEST_EFFORT).utilization == 0.0
+
+
+class TestAdmissionTests:
+    def test_rma_bound_values(self):
+        assert rma_utilization_bound(1) == pytest.approx(1.0)
+        assert rma_utilization_bound(2) == pytest.approx(0.828, abs=0.001)
+        assert rma_utilization_bound(0) == 1.0
+
+    def test_rma_admits_within_bound(self):
+        tasks = [(100, 20), (200, 30)]  # U = 0.35
+        assert rma_admissible(tasks, capacity_fraction=0.5)
+
+    def test_rma_rejects_beyond_bound(self):
+        tasks = [(100, 45), (200, 80)]  # U = 0.85 > 0.828
+        assert not rma_admissible(tasks, capacity_fraction=1.0)
+
+    def test_edf_admits_to_full_share(self):
+        tasks = [(100, 45), (200, 80)]  # U = 0.85
+        assert edf_admissible(tasks, capacity_fraction=0.9)
+        assert not edf_admissible(tasks, capacity_fraction=0.8)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            rma_admissible([(0, 1)], 0.5)
+        with pytest.raises(ValueError):
+            edf_admissible([(100, 10)], 0.0)
+
+    def test_statistical_overbooking(self):
+        # three VBR streams, mean 30k each, std 5k: 90k + 2*8.66k <= 110k
+        assert statistical_admissible([30_000] * 3, [5000] * 3, 110_000)
+        assert not statistical_admissible([30_000] * 3, [5000] * 3, 95_000)
+
+    def test_statistical_validation(self):
+        with pytest.raises(ValueError):
+            statistical_admissible([1], [], 100)
+        with pytest.raises(ValueError):
+            statistical_admissible([1], [0], 0)
+
+
+class ManagerHarness:
+    def __init__(self, class_weights=(2, 3, 5)):
+        self.structure = SchedulingStructure()
+        self.engine = Simulator()
+        self.recorder = Recorder()
+        self.machine = Machine(self.engine,
+                               HierarchicalScheduler(self.structure),
+                               capacity_ips=CAPACITY,
+                               default_quantum=10 * MS,
+                               tracer=self.recorder)
+        self.manager = QosManager(self.machine, self.structure,
+                                  class_weights=class_weights,
+                                  rt_quantum=10 * MS)
+
+
+class TestQosManager:
+    def test_creates_class_nodes(self):
+        h = ManagerHarness()
+        assert h.structure.parse("/hard-rt").is_leaf
+        assert h.structure.parse("/soft-rt").is_leaf
+        assert not h.structure.parse("/best-effort").is_leaf
+
+    def test_best_effort_never_denied_and_user_leaves(self):
+        h = ManagerHarness()
+        t1 = h.manager.submit(QosRequest("job1", BEST_EFFORT, user="alice"),
+                              DhrystoneWorkload())
+        t2 = h.manager.submit(QosRequest("job2", BEST_EFFORT, user="bob"),
+                              DhrystoneWorkload())
+        assert t1.leaf.path == "/best-effort/alice"
+        assert t2.leaf.path == "/best-effort/bob"
+
+    def test_hard_rt_admission_enforced(self):
+        h = ManagerHarness(class_weights=(2, 3, 5))  # hard share = 0.2
+        ok = QosRequest("rt1", HARD_RT, period=100 * MS, wcet=15 * MS)
+        h.manager.submit(ok, PeriodicWorkload(period=100 * MS,
+                                              cost=15 * KILO))
+        too_much = QosRequest("rt2", HARD_RT, period=100 * MS, wcet=50 * MS)
+        with pytest.raises(AdmissionError):
+            h.manager.submit(too_much,
+                             PeriodicWorkload(period=100 * MS,
+                                              cost=50 * KILO))
+
+    def test_soft_rt_admission_enforced(self):
+        h = ManagerHarness(class_weights=(2, 3, 5))  # soft share = 0.3
+        ok = QosRequest("v1", SOFT_RT, mean_demand=200_000, std_demand=10_000)
+        h.manager.submit(ok, DhrystoneWorkload())
+        too_much = QosRequest("v2", SOFT_RT, mean_demand=200_000)
+        with pytest.raises(AdmissionError):
+            h.manager.submit(too_much, DhrystoneWorkload())
+
+    def test_remove_releases_reservation(self):
+        h = ManagerHarness()
+        req = QosRequest("rt", HARD_RT, period=100 * MS, wcet=15 * MS)
+        thread = h.manager.submit(req, PeriodicWorkload(period=100 * MS,
+                                                        cost=15 * KILO,
+                                                        rounds=1))
+        h.machine.run_until(SECOND)
+        h.manager.remove(thread)
+        assert h.manager.admitted_hard_utilization() == 0.0
+        # the same reservation is admittable again
+        h.manager.submit(QosRequest("rt2", HARD_RT, period=100 * MS,
+                                    wcet=15 * MS),
+                         PeriodicWorkload(period=100 * MS, cost=15 * KILO))
+
+    def test_admitted_hard_rt_meets_deadlines_under_load(self):
+        h = ManagerHarness(class_weights=(3, 3, 4))
+        workload = PeriodicWorkload(period=50 * MS, cost=10 * KILO)
+        req = QosRequest("rt", HARD_RT, period=50 * MS, wcet=10 * MS)
+        thread = h.manager.submit(req, workload)
+        # saturate best effort
+        h.manager.submit(QosRequest("hog", BEST_EFFORT),
+                         DhrystoneWorkload())
+        h.machine.run_until(3 * SECOND)
+        results = latency_slack(h.recorder, thread, workload)
+        assert results
+        assert all(slack > 0 for __, __, slack in results)
+
+    def test_soft_rt_overbooking_parameter(self):
+        strict = ManagerHarness()
+        strict.manager.overbooking_sigmas = 10.0
+        req = QosRequest("v", SOFT_RT, mean_demand=250_000, std_demand=20_000)
+        with pytest.raises(AdmissionError):
+            strict.manager.submit(req, DhrystoneWorkload())
+
+
+class TestRebalancer:
+    def test_rebalance_tracks_demand(self):
+        h = ManagerHarness(class_weights=(1, 4, 5))
+        rebalancer = DemandDrivenRebalancer(h.manager, period=SECOND)
+        h.manager.submit(
+            QosRequest("v", SOFT_RT, mean_demand=300_000),
+            DhrystoneWorkload())
+        rebalancer.rebalance()
+        # soft class gets ~30% * headroom of the scale-100 weights
+        assert h.manager.soft_leaf.weight == 36
+        assert h.manager.hard_leaf.weight == 1  # floor
+
+    def test_periodic_rebalancing_on_engine(self):
+        h = ManagerHarness()
+        rebalancer = DemandDrivenRebalancer(h.manager, period=500 * MS)
+        rebalancer.start()
+        h.machine.run_until(2 * SECOND)
+        assert rebalancer.rebalances >= 3
+        rebalancer.stop()
+        count = rebalancer.rebalances
+        h.machine.run_until(3 * SECOND)
+        assert rebalancer.rebalances == count
+
+    def test_invalid_period(self):
+        h = ManagerHarness()
+        with pytest.raises(ValueError):
+            DemandDrivenRebalancer(h.manager, period=0)

@@ -1,0 +1,146 @@
+"""Deeper behavioral tests of individual schedulers on the machine."""
+
+import pytest
+
+from repro.schedulers.eevdf import EevdfScheduler
+from repro.schedulers.fairqueue import ScfqScheduler, WfqScheduler
+from repro.schedulers.lottery import LotteryScheduler
+from repro.schedulers.stride import StrideScheduler
+from repro.schedulers.svr4 import DispatchRow, Svr4TimeSharing, TS_LEVELS
+from repro.sim.rng import make_rng
+from repro.threads.segments import Compute, SleepFor
+from repro.units import MS, SECOND
+
+from tests.conftest import FlatHarness
+
+CAPACITY = 1_000_000
+KILO = 1000
+QW = 10 * KILO
+
+
+class TestWfqBehaviour:
+    def test_assumed_length_penalizes_early_blockers(self):
+        """WFQ's documented drawback: a thread that blocks before using
+        its assumed quantum still pays for the full assumed length."""
+        harness = FlatHarness(WfqScheduler(QW, CAPACITY),
+                              capacity_ips=CAPACITY,
+                              default_quantum=10 * MS)
+        full = harness.spawn_dhrystone("full", weight=1)
+        nibbler_segments = []
+        for __ in range(50):
+            nibbler_segments.append(Compute(KILO))    # uses 1/10 quantum
+            nibbler_segments.append(SleepFor(1 * MS))
+        nibbler = harness.spawn_segments("nibbler", nibbler_segments,
+                                         weight=1)
+        harness.machine.run_until(2 * SECOND)
+        # under SFQ the nibbler's finish tags reflect its small actual
+        # usage; under WFQ each nibble is tagged as a full quantum, so
+        # the nibbler waits one assumed quantum per nibble
+        from tests.conftest import FlatHarness as FH
+        from repro.schedulers.sfq_leaf import SfqScheduler
+        sfq = FH(SfqScheduler(), capacity_ips=CAPACITY,
+                 default_quantum=10 * MS)
+        sfq_full = sfq.spawn_dhrystone("full", weight=1)
+        sfq_nibbler_segments = []
+        for __ in range(50):
+            sfq_nibbler_segments.append(Compute(KILO))
+            sfq_nibbler_segments.append(SleepFor(1 * MS))
+        sfq_nibbler = sfq.spawn_segments("nibbler", sfq_nibbler_segments,
+                                         weight=1)
+        sfq.machine.run_until(2 * SECOND)
+        assert nibbler.stats.exited_at > sfq_nibbler.stats.exited_at
+
+    def test_idle_period_resets_clock(self):
+        harness = FlatHarness(WfqScheduler(QW, CAPACITY),
+                              capacity_ips=CAPACITY,
+                              default_quantum=10 * MS)
+        first = harness.spawn_segments("first", [Compute(5 * KILO)])
+        late = harness.spawn_segments(
+            "late", [SleepFor(500 * MS), Compute(5 * KILO)])
+        harness.machine.run_until(SECOND)
+        # both complete despite the long idle gap between busy periods
+        assert first.stats.exited_at == 5 * MS
+        assert late.stats.exited_at == 505 * MS
+
+
+class TestScfqBehaviour:
+    def test_self_clocked_virtual_time_is_service_based(self):
+        harness = FlatHarness(ScfqScheduler(QW), capacity_ips=CAPACITY,
+                              default_quantum=10 * MS)
+        a = harness.spawn_dhrystone("a", weight=1)
+        b = harness.spawn_dhrystone("b", weight=1)
+        harness.machine.run_until(SECOND)
+        # equal weights: equal split, exactly
+        assert a.stats.work_done == b.stats.work_done
+
+
+class TestEevdfBehaviour:
+    def test_latency_for_low_weight_thread(self):
+        """EEVDF's eligibility keeps a light thread from being starved
+        for long stretches (contrast with strict finish-tag ordering)."""
+        harness = FlatHarness(EevdfScheduler(QW), capacity_ips=CAPACITY,
+                              default_quantum=10 * MS)
+        light = harness.spawn_dhrystone("light", weight=1)
+        for index in range(4):
+            harness.spawn_dhrystone("heavy-%d" % index, weight=5)
+        harness.machine.run_until(2 * SECOND)
+        # light gets its 1/21 share
+        total = sum(t.stats.work_done for t in harness.machine.threads)
+        assert light.stats.work_done / total == pytest.approx(1 / 21,
+                                                              rel=0.1)
+
+
+class TestStrideLotteryBehaviour:
+    def test_stride_handles_weight_change(self):
+        harness = FlatHarness(StrideScheduler(), capacity_ips=CAPACITY,
+                              default_quantum=10 * MS)
+        a = harness.spawn_dhrystone("a", weight=1)
+        b = harness.spawn_dhrystone("b", weight=1)
+        harness.engine.at(SECOND, lambda: a.set_weight(3))
+        harness.machine.run_until(3 * SECOND)
+        # second phase: 3:1 split
+        from repro.trace.metrics import throughput_series
+        late_a = throughput_series(harness.recorder, a, SECOND,
+                                   3 * SECOND)[-1]
+        late_b = throughput_series(harness.recorder, b, SECOND,
+                                   3 * SECOND)[-1]
+        assert late_a / late_b == pytest.approx(3.0, rel=0.05)
+
+    def test_lottery_seed_changes_schedule(self):
+        def run_with(seed):
+            harness = FlatHarness(
+                LotteryScheduler(rng=make_rng(seed, "b")),
+                capacity_ips=CAPACITY, default_quantum=10 * MS)
+            a = harness.spawn_dhrystone("a")
+            harness.spawn_dhrystone("b")
+            harness.machine.run_until(SECOND)
+            return a.stats.work_done
+
+        assert run_with(1) != run_with(2)
+
+
+class TestSvr4CustomTable:
+    def test_flat_table_behaves_like_round_robin(self):
+        # a table with no demotion and uniform quanta degenerates to RR
+        table = [DispatchRow(50 * MS, pri, pri, SECOND * 10**6, pri)
+                 for pri in range(TS_LEVELS)]
+        harness = FlatHarness(Svr4TimeSharing(table=table),
+                              capacity_ips=CAPACITY,
+                              default_quantum=10 * MS)
+        a = harness.spawn_dhrystone("a", params={"priority": 20})
+        b = harness.spawn_dhrystone("b", params={"priority": 20})
+        harness.machine.run_until(2 * SECOND)
+        assert a.stats.work_done == b.stats.work_done
+
+    def test_priority_ladder_without_aging(self):
+        # demotion without aging: both threads sink to priority 0
+        table = [DispatchRow(50 * MS, max(0, pri - 10),
+                             min(TS_LEVELS - 1, pri + 25),
+                             SECOND * 10**6, pri)
+                 for pri in range(TS_LEVELS)]
+        scheduler = Svr4TimeSharing(table=table)
+        harness = FlatHarness(scheduler, capacity_ips=CAPACITY,
+                              default_quantum=10 * MS)
+        a = harness.spawn_dhrystone("a", params={"priority": 45})
+        harness.machine.run_until(2 * SECOND)
+        assert scheduler.priority_of(a) == 0

@@ -1,0 +1,182 @@
+"""Lottery, stride, and the WFQ/SCFQ/FQS fair-queuing baselines."""
+
+import pytest
+
+from repro.schedulers.fairqueue import FqsScheduler, ScfqScheduler, WfqScheduler
+from repro.schedulers.lottery import LotteryScheduler
+from repro.schedulers.stride import STRIDE1, StrideScheduler
+from repro.sim.rng import make_rng
+from repro.threads.segments import SegmentListWorkload
+from repro.threads.states import ThreadState
+from repro.threads.thread import SimThread
+from repro.units import MS, SECOND
+
+from tests.conftest import FlatHarness
+
+KILO = 1000
+
+
+def make_thread(name="t", weight=1):
+    return SimThread(name, SegmentListWorkload([]), weight=weight)
+
+
+class TestLotteryUnit:
+    def test_winner_stable_until_charge(self):
+        sched = LotteryScheduler(rng=make_rng(1, "l"))
+        a, b = make_thread("a"), make_thread("b")
+        for t in (a, b):
+            sched.add_thread(t)
+            sched.on_runnable(t, 0)
+        winner = sched.pick_next(0)
+        assert sched.pick_next(0) is winner
+        sched.charge(winner, 10, 0)
+        # a fresh lottery may or may not pick the same thread; both legal
+
+    def test_blocked_winner_replaced(self):
+        sched = LotteryScheduler(rng=make_rng(1, "l"))
+        a, b = make_thread("a"), make_thread("b")
+        for t in (a, b):
+            sched.add_thread(t)
+            sched.on_runnable(t, 0)
+        winner = sched.pick_next(0)
+        sched.on_block(winner, 0)
+        other = a if winner is b else b
+        assert sched.pick_next(0) is other
+
+    def test_ticket_proportional_wins(self):
+        sched = LotteryScheduler(rng=make_rng(2, "l"))
+        a, b = make_thread("a", 1), make_thread("b", 3)
+        for t in (a, b):
+            sched.add_thread(t)
+            sched.on_runnable(t, 0)
+        wins = {a: 0, b: 0}
+        for __ in range(4000):
+            winner = sched.pick_next(0)
+            wins[winner] += 1
+            sched.charge(winner, 1, 0)
+        assert wins[b] / wins[a] == pytest.approx(3.0, rel=0.15)
+
+    def test_proportional_on_machine(self):
+        harness = FlatHarness(LotteryScheduler(rng=make_rng(3, "l")))
+        a = harness.spawn_dhrystone("a", weight=1)
+        b = harness.spawn_dhrystone("b", weight=2)
+        harness.machine.run_until(20 * SECOND)
+        assert b.stats.work_done / a.stats.work_done == pytest.approx(
+            2.0, rel=0.2)
+
+
+class TestStrideUnit:
+    def test_min_pass_picked(self):
+        sched = StrideScheduler()
+        a, b = make_thread("a", 1), make_thread("b", 1)
+        for t in (a, b):
+            t.transition(ThreadState.RUNNABLE)
+            sched.add_thread(t)
+            sched.on_runnable(t, 0)
+        first = sched.pick_next(0)
+        sched.charge(first, 100, 0)
+        second = sched.pick_next(0)
+        assert second is not first
+
+    def test_pass_advances_by_work_over_tickets(self):
+        sched = StrideScheduler()
+        t = make_thread("t", 4)
+        t.transition(ThreadState.RUNNABLE)
+        sched.add_thread(t)
+        sched.on_runnable(t, 0)
+        sched.pick_next(0)
+        sched.charge(t, 8, 0)
+        assert sched.pass_of(t) == 8 * STRIDE1 // 4
+
+    def test_waker_resumes_at_global_pass(self):
+        sched = StrideScheduler()
+        a, b = make_thread("a"), make_thread("b")
+        for t in (a, b):
+            t.transition(ThreadState.RUNNABLE)
+            sched.add_thread(t)
+            sched.on_runnable(t, 0)
+        sched.on_block(b, 0)
+        for __ in range(10):
+            sched.pick_next(0)
+            sched.charge(a, 100, 0)
+        sched.on_runnable(b, 0)
+        # b resumes at the global pass, not at 0 (no monopolizing catch-up)
+        assert sched.pass_of(b) == sched.pass_of(a) - 100 * STRIDE1
+
+    def test_exact_proportionality_on_machine(self):
+        harness = FlatHarness(StrideScheduler())
+        a = harness.spawn_dhrystone("a", weight=2)
+        b = harness.spawn_dhrystone("b", weight=5)
+        harness.machine.run_until(5 * SECOND)
+        assert b.stats.work_done / a.stats.work_done == pytest.approx(
+            2.5, rel=0.02)
+
+
+QW = 10 * KILO  # assumed quantum work for the fair-queue baselines
+
+
+class TestFairQueueBaselines:
+    @pytest.mark.parametrize("factory", [
+        lambda: WfqScheduler(QW, 1_000_000),
+        lambda: FqsScheduler(QW, 1_000_000),
+        lambda: ScfqScheduler(QW),
+    ])
+    def test_proportional_when_backlogged(self, factory):
+        harness = FlatHarness(factory())
+        a = harness.spawn_dhrystone("a", weight=1)
+        b = harness.spawn_dhrystone("b", weight=2)
+        harness.machine.run_until(5 * SECOND)
+        assert b.stats.work_done / a.stats.work_done == pytest.approx(
+            2.0, rel=0.05)
+
+    def test_wfq_orders_by_finish_tag(self):
+        sched = WfqScheduler(QW, 1_000_000)
+        light = make_thread("light", 10)
+        heavy = make_thread("heavy", 1)
+        for t in (light, heavy):
+            sched.add_thread(t)
+            sched.on_runnable(t, 0)
+        # both start at 0; finish = QW/weight: light finishes earlier
+        assert sched.pick_next(0) is light
+
+    def test_fqs_orders_by_start_tag(self):
+        sched = FqsScheduler(QW, 1_000_000)
+        a = make_thread("a", 1)
+        b = make_thread("b", 10)
+        sched.add_thread(a)
+        sched.add_thread(b)
+        sched.on_runnable(a, 0)
+        sched.on_runnable(b, 0)
+        # equal start tags: arrival order decides (a first), despite b's
+        # earlier finish tag
+        assert sched.pick_next(0) is a
+
+    def test_scfq_virtual_time_follows_service(self):
+        sched = ScfqScheduler(QW)
+        a = make_thread("a", 1)
+        sched.add_thread(a)
+        sched.on_runnable(a, 0)
+        picked = sched.pick_next(0)
+        assert picked is a
+        assert sched._v == QW  # v = finish tag of quantum in service
+
+    def test_new_busy_period_resets_tags(self):
+        sched = WfqScheduler(QW, 1_000_000)
+        a = make_thread("a", 1)
+        sched.add_thread(a)
+        a.transition(ThreadState.RUNNABLE)
+        sched.on_runnable(a, 0)
+        sched.pick_next(0)
+        sched.charge(a, QW, 10 * MS)
+        sched.on_block(a, 10 * MS)
+        # new busy period much later: tags restart from v = 0
+        sched.on_runnable(a, SECOND)
+        rec = sched._record(a)
+        assert rec.start == 0.0
+
+    def test_bad_params_rejected(self):
+        from repro.errors import SchedulingError
+        with pytest.raises(SchedulingError):
+            WfqScheduler(0, 1_000_000)
+        with pytest.raises(SchedulingError):
+            WfqScheduler(QW, 0)

@@ -1,0 +1,154 @@
+"""EDF and RMA real-time schedulers."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.schedulers.edf import EdfScheduler
+from repro.schedulers.rma import RmaScheduler
+from repro.threads.segments import SegmentListWorkload
+from repro.threads.thread import SimThread
+from repro.trace.metrics import latency_slack
+from repro.units import MS, SECOND
+from repro.workloads.periodic import PeriodicWorkload
+
+from tests.conftest import FlatHarness
+
+KILO = 1000
+
+
+def rt_thread(name, period, deadline=None):
+    params = {"period": period}
+    if deadline is not None:
+        params["deadline"] = deadline
+    return SimThread(name, SegmentListWorkload([]), params=params)
+
+
+class TestEdfUnit:
+    def test_requires_period_or_deadline(self):
+        sched = EdfScheduler()
+        with pytest.raises(SchedulingError):
+            sched.add_thread(SimThread("x", SegmentListWorkload([])))
+
+    def test_earliest_deadline_first(self):
+        sched = EdfScheduler()
+        slow = rt_thread("slow", 100 * MS)
+        fast = rt_thread("fast", 10 * MS)
+        for t in (slow, fast):
+            sched.add_thread(t)
+        sched.on_runnable(slow, 0)
+        sched.on_runnable(fast, 0)
+        assert sched.pick_next(0) is fast
+
+    def test_deadline_set_at_release(self):
+        sched = EdfScheduler()
+        t = rt_thread("t", 100 * MS)
+        sched.add_thread(t)
+        sched.on_runnable(t, 50 * MS)
+        assert sched.deadline_of(t) == 150 * MS
+
+    def test_explicit_deadline_overrides_period(self):
+        sched = EdfScheduler()
+        t = rt_thread("t", 100 * MS, deadline=30 * MS)
+        sched.add_thread(t)
+        sched.on_runnable(t, 0)
+        assert sched.deadline_of(t) == 30 * MS
+
+    def test_release_order_beats_arrival_order(self):
+        sched = EdfScheduler()
+        a = rt_thread("a", 100 * MS)
+        b = rt_thread("b", 100 * MS)
+        for t in (a, b):
+            sched.add_thread(t)
+        sched.on_runnable(a, 10 * MS)  # deadline 110
+        sched.on_runnable(b, 0)        # deadline 100
+        assert sched.pick_next(10 * MS) is b
+
+    def test_should_preempt_by_deadline(self):
+        sched = EdfScheduler()
+        a, b = rt_thread("a", 100 * MS), rt_thread("b", 10 * MS)
+        for t in (a, b):
+            sched.add_thread(t)
+        sched.on_runnable(a, 0)
+        sched.on_runnable(b, 0)
+        assert sched.should_preempt(a, b, 0)
+        assert not sched.should_preempt(b, a, 0)
+
+    def test_block_removes_from_heap(self):
+        sched = EdfScheduler()
+        t = rt_thread("t", 10 * MS)
+        sched.add_thread(t)
+        sched.on_runnable(t, 0)
+        sched.on_block(t, 5 * MS)
+        assert sched.pick_next(5 * MS) is None
+        assert not sched.has_runnable()
+
+
+class TestRmaUnit:
+    def test_requires_period(self):
+        sched = RmaScheduler()
+        with pytest.raises(SchedulingError):
+            sched.add_thread(SimThread("x", SegmentListWorkload([])))
+
+    def test_shorter_period_wins(self):
+        sched = RmaScheduler()
+        slow = rt_thread("slow", 960 * MS)
+        fast = rt_thread("fast", 60 * MS)
+        for t in (slow, fast):
+            sched.add_thread(t)
+        sched.on_runnable(slow, 0)
+        sched.on_runnable(fast, 0)
+        assert sched.pick_next(0) is fast
+
+    def test_priority_is_static(self):
+        sched = RmaScheduler()
+        fast = rt_thread("fast", 10 * MS)
+        slow = rt_thread("slow", 100 * MS)
+        for t in (fast, slow):
+            sched.add_thread(t)
+        # regardless of release times, period decides
+        sched.on_runnable(slow, 0)
+        sched.on_runnable(fast, 90 * MS)
+        assert sched.pick_next(90 * MS) is fast
+
+    def test_per_thread_quantum_param(self):
+        sched = RmaScheduler(quantum=25 * MS)
+        t = rt_thread("t", 60 * MS)
+        t.params["quantum"] = 5 * MS
+        sched.add_thread(t)
+        assert sched.quantum_for(t) == 5 * MS
+
+    def test_scheduler_quantum_default(self):
+        sched = RmaScheduler(quantum=25 * MS)
+        t = rt_thread("t", 60 * MS)
+        sched.add_thread(t)
+        assert sched.quantum_for(t) == 25 * MS
+
+
+class TestPeriodicOnMachine:
+    def _run(self, scheduler_cls):
+        harness = FlatHarness(scheduler_cls(quantum=25 * MS),
+                              capacity_ips=1_000_000,
+                              default_quantum=25 * MS)
+        wl1 = PeriodicWorkload(period=60 * MS, cost=10 * KILO)   # 10 ms/60 ms
+        wl2 = PeriodicWorkload(period=960 * MS, cost=150 * KILO)  # 150/960
+        t1 = SimThread("t1", wl1, params={"period": 60 * MS})
+        t2 = SimThread("t2", wl2, params={"period": 960 * MS})
+        harness.machine.spawn(t1)
+        harness.machine.spawn(t2)
+        harness.machine.run_until(5 * SECOND)
+        return harness, t1, wl1, t2, wl2
+
+    @pytest.mark.parametrize("scheduler_cls", [EdfScheduler, RmaScheduler])
+    def test_all_deadlines_met(self, scheduler_cls):
+        harness, t1, wl1, t2, wl2 = self._run(scheduler_cls)
+        for thread, workload in [(t1, wl1), (t2, wl2)]:
+            results = latency_slack(harness.recorder, thread, workload)
+            assert results, "no completed rounds for %s" % thread.name
+            assert all(slack > 0 for __, __, slack in results)
+
+    @pytest.mark.parametrize("scheduler_cls", [EdfScheduler, RmaScheduler])
+    def test_short_period_latency_bounded_by_quantum(self, scheduler_cls):
+        harness, t1, wl1, __, ___ = self._run(scheduler_cls)
+        results = latency_slack(harness.recorder, t1, wl1)
+        # non-preemptive quanta: waits at most one 25 ms quantum
+        assert max(latency for __, latency, __ in results) <= 25 * MS

@@ -1,0 +1,141 @@
+"""Processor capacity reserves (§6 related work [13])."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.schedulers.reserves import ReservesScheduler
+from repro.threads.segments import SegmentListWorkload
+from repro.threads.states import ThreadState
+from repro.threads.thread import SimThread
+from repro.units import MS, SECOND
+
+from tests.conftest import FlatHarness
+
+CAPACITY = 1_000_000
+KILO = 1000
+
+
+def reserved_thread(name, period, reserve):
+    return SimThread(name, SegmentListWorkload([]),
+                     params={"period": period, "reserve": reserve})
+
+
+def background_thread(name="bg"):
+    return SimThread(name, SegmentListWorkload([]))
+
+
+class TestReservesUnit:
+    def test_invalid_capacity(self):
+        with pytest.raises(SchedulingError):
+            ReservesScheduler(0)
+
+    def test_reserve_without_period_rejected(self):
+        sched = ReservesScheduler(CAPACITY)
+        thread = SimThread("t", SegmentListWorkload([]),
+                           params={"reserve": MS})
+        with pytest.raises(SchedulingError):
+            sched.add_thread(thread)
+
+    def test_overcommitted_reserve_rejected(self):
+        sched = ReservesScheduler(CAPACITY)
+        with pytest.raises(SchedulingError):
+            sched.add_thread(reserved_thread("t", 10 * MS, 20 * MS))
+
+    def test_reserved_beats_background(self):
+        sched = ReservesScheduler(CAPACITY)
+        bg = background_thread()
+        rt = reserved_thread("rt", 100 * MS, 10 * MS)
+        for t in (bg, rt):
+            sched.add_thread(t)
+            sched.on_runnable(t, 0)
+        assert sched.pick_next(0) is rt
+
+    def test_budget_depletion_demotes(self):
+        sched = ReservesScheduler(CAPACITY)
+        bg = background_thread()
+        rt = reserved_thread("rt", 100 * MS, 10 * MS)
+        rt.transition(ThreadState.RUNNABLE)
+        bg.transition(ThreadState.RUNNABLE)
+        for t in (bg, rt):
+            sched.add_thread(t)
+            sched.on_runnable(t, 0)
+        sched.pick_next(0)
+        sched.charge(rt, 10 * KILO, 0)  # full 10 ms budget consumed
+        assert sched.budget_of(rt, 0) == 0
+        assert sched.pick_next(0) is bg  # demoted behind background RR
+
+    def test_budget_replenishes_each_period(self):
+        sched = ReservesScheduler(CAPACITY)
+        rt = reserved_thread("rt", 100 * MS, 10 * MS)
+        rt.transition(ThreadState.RUNNABLE)
+        sched.add_thread(rt)
+        sched.on_runnable(rt, 0)
+        sched.pick_next(0)
+        sched.charge(rt, 10 * KILO, 0)
+        assert sched.budget_of(rt, 50 * MS) == 0
+        assert sched.budget_of(rt, 100 * MS) == 10 * KILO
+
+    def test_quantum_capped_at_budget(self):
+        sched = ReservesScheduler(CAPACITY, background_quantum=20 * MS)
+        rt = reserved_thread("rt", 100 * MS, 10 * MS)
+        sched.add_thread(rt)
+        assert sched.quantum_for(rt) == 10 * MS
+        rt.transition(ThreadState.RUNNABLE)
+        sched.on_runnable(rt, 0)
+        sched.pick_next(0)
+        sched.charge(rt, 10 * KILO, 0)
+        assert sched.quantum_for(rt) == 20 * MS  # background quantum
+
+    def test_replenishment_promotes_queued_thread(self):
+        sched = ReservesScheduler(CAPACITY)
+        bg = background_thread()
+        rt = reserved_thread("rt", 100 * MS, 10 * MS)
+        rt.transition(ThreadState.RUNNABLE)
+        bg.transition(ThreadState.RUNNABLE)
+        for t in (bg, rt):
+            sched.add_thread(t)
+            sched.on_runnable(t, 0)
+        sched.pick_next(0)
+        sched.charge(rt, 10 * KILO, 0)
+        assert sched.pick_next(50 * MS) is bg
+        # next period: rt is promoted back to the reserved band
+        assert sched.pick_next(150 * MS) is rt
+
+
+class TestReservesOnMachine:
+    def test_reserved_rate_guaranteed_under_load(self):
+        harness = FlatHarness(
+            ReservesScheduler(CAPACITY, background_quantum=10 * MS),
+            capacity_ips=CAPACITY, default_quantum=10 * MS)
+        # periodic job: needs 10 ms per 50 ms, fully reserved
+        from repro.workloads.periodic import PeriodicWorkload
+        workload = PeriodicWorkload(period=50 * MS, cost=10 * KILO)
+        rt = SimThread("rt", workload,
+                       params={"period": 50 * MS, "reserve": 10 * MS})
+        harness.machine.spawn(rt)
+        for index in range(3):
+            harness.spawn_dhrystone("hog%d" % index)
+        harness.machine.run_until(5 * SECOND)
+        from repro.trace.metrics import latency_slack
+        results = latency_slack(harness.recorder, rt, workload)
+        assert results
+        assert all(slack > 0 for __, __, slack in results)
+
+    def test_overrunning_thread_capped_at_reserve_plus_background(self):
+        harness = FlatHarness(
+            ReservesScheduler(CAPACITY, background_quantum=10 * MS),
+            capacity_ips=CAPACITY, default_quantum=10 * MS)
+        greedy = SimThread(
+            "greedy",
+            __import__("repro.workloads.dhrystone",
+                       fromlist=["DhrystoneWorkload"]).DhrystoneWorkload(
+                           loop_cost=100, batch=10),
+            params={"period": 100 * MS, "reserve": 20 * MS})
+        harness.machine.spawn(greedy)
+        fair_bg = harness.spawn_dhrystone("bg")
+        harness.machine.run_until(4 * SECOND)
+        # greedy gets its 20% reserve plus a ~50% split of the background
+        # band; it cannot monopolize
+        share = greedy.stats.work_done / (
+            greedy.stats.work_done + fair_bg.stats.work_done)
+        assert 0.5 < share < 0.75

@@ -1,0 +1,149 @@
+"""The SVR4/Solaris time-sharing scheduler."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.schedulers.svr4 import (
+    DEFAULT_USER_PRIORITY,
+    TS_LEVELS,
+    DispatchRow,
+    Svr4TimeSharing,
+    default_dispatch_table,
+)
+from repro.threads.segments import Compute, SegmentListWorkload, SleepFor
+from repro.threads.states import ThreadState
+from repro.threads.thread import SimThread
+from repro.units import MS, SECOND
+
+from tests.conftest import FlatHarness
+
+KILO = 1000
+
+
+def make_thread(name="t", priority=None):
+    params = {} if priority is None else {"priority": priority}
+    return SimThread(name, SegmentListWorkload([]), params=params)
+
+
+class TestDispatchTable:
+    def test_sixty_levels(self):
+        assert len(default_dispatch_table()) == TS_LEVELS
+
+    def test_quanta_shrink_with_priority(self):
+        table = default_dispatch_table()
+        assert table[0].quantum == 200 * MS
+        assert table[59].quantum == 50 * MS
+        assert all(table[i].quantum >= table[i + 9].quantum
+                   for i in range(0, 50, 10))
+
+    def test_expiry_demotes(self):
+        table = default_dispatch_table()
+        assert table[29].tqexp == 19
+        assert table[5].tqexp == 0
+
+    def test_sleep_boosts(self):
+        table = default_dispatch_table()
+        assert table[29].slpret == 54
+        assert table[59].slpret == 59
+
+    def test_aging_targets_fifties(self):
+        table = default_dispatch_table()
+        assert 50 <= table[0].lwait < TS_LEVELS
+
+    def test_wrong_table_size_rejected(self):
+        with pytest.raises(SchedulingError):
+            Svr4TimeSharing(table=[DispatchRow(MS, 0, 0, 0, 0)])
+
+
+class TestPriorityMechanics:
+    def test_default_user_priority(self):
+        sched = Svr4TimeSharing()
+        t = make_thread()
+        sched.add_thread(t)
+        assert sched.priority_of(t) == DEFAULT_USER_PRIORITY
+
+    def test_explicit_priority(self):
+        sched = Svr4TimeSharing()
+        t = make_thread(priority=55)
+        sched.add_thread(t)
+        assert sched.priority_of(t) == 55
+
+    def test_invalid_priority_rejected(self):
+        sched = Svr4TimeSharing()
+        with pytest.raises(SchedulingError):
+            sched.add_thread(make_thread(priority=60))
+
+    def test_higher_priority_picked_first(self):
+        sched = Svr4TimeSharing()
+        lo, hi = make_thread("lo", 10), make_thread("hi", 50)
+        for t in (lo, hi):
+            sched.add_thread(t)
+            sched.on_runnable(t, 0)
+        assert sched.pick_next(0) is hi
+
+    def test_quantum_expiry_demotes(self):
+        sched = Svr4TimeSharing()
+        t = make_thread(priority=29)
+        t.transition(ThreadState.RUNNABLE)
+        sched.add_thread(t)
+        sched.on_runnable(t, 0)
+        sched.pick_next(0)
+        sched.charge(t, 100, 0)  # still runnable: quantum expired
+        assert sched.priority_of(t) == 19
+
+    def test_sleep_return_boosts(self):
+        sched = Svr4TimeSharing()
+        t = make_thread(priority=29)
+        sched.add_thread(t)
+        sched.on_runnable(t, 0)
+        sched.on_block(t, 0)
+        sched.on_runnable(t, 0)
+        assert sched.priority_of(t) == 54
+
+    def test_aging_boosts_long_waiters(self):
+        sched = Svr4TimeSharing()
+        waiter = make_thread("w", 10)
+        sched.add_thread(waiter)
+        sched.on_runnable(waiter, 0)
+        # after > 1 s, the once-per-second scan boosts it
+        sched.pick_next(SECOND + 1)
+        assert sched.priority_of(waiter) >= 50
+
+    def test_quantum_follows_priority(self):
+        sched = Svr4TimeSharing()
+        t = make_thread(priority=0)
+        sched.add_thread(t)
+        assert sched.quantum_for(t) == 200 * MS
+
+    def test_remove_runnable(self):
+        sched = Svr4TimeSharing()
+        t = make_thread()
+        sched.add_thread(t)
+        sched.on_runnable(t, 0)
+        sched.remove_thread(t)
+        assert not sched.has_runnable()
+
+
+class TestOnMachine:
+    def test_interactive_thread_dominates_cpu_hog(self):
+        harness = FlatHarness(Svr4TimeSharing())
+        hog = harness.spawn_dhrystone("hog", params={"priority": 29})
+        inter = harness.spawn_segments(
+            "inter", [seg for __ in range(20)
+                      for seg in (Compute(KILO), SleepFor(5 * MS))],
+            params={"priority": 29})
+        harness.machine.run_until(SECOND)
+        # the interactive thread's sleep boosts let it run promptly: its
+        # response time stays near 1 ms of work per burst
+        from repro.trace.metrics import response_times
+        times = response_times(harness.recorder, inter)
+        assert times
+        assert max(times) <= 5 * MS
+
+    def test_cpu_hogs_share_long_run(self):
+        harness = FlatHarness(Svr4TimeSharing())
+        a = harness.spawn_dhrystone("a")
+        b = harness.spawn_dhrystone("b")
+        harness.machine.run_until(10 * SECOND)
+        ratio = a.stats.work_done / b.stats.work_done
+        assert 0.7 < ratio < 1.4  # roughly equal, but not SFQ-exact

@@ -1,0 +1,299 @@
+"""The SFQ queue: the three rules of the paper's Section 3."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.sfq import SfqQueue
+from repro.core.tags import TagMath
+from repro.errors import SchedulingError
+
+
+class Entity:
+    """Minimal weighted entity."""
+
+    def __init__(self, name: str, weight: int = 1) -> None:
+        self.name = name
+        self.weight = weight
+
+    def __repr__(self) -> str:
+        return "Entity(%s)" % self.name
+
+
+@pytest.fixture
+def queue() -> SfqQueue:
+    return SfqQueue()
+
+
+class TestMembership:
+    def test_add_and_contains(self, queue):
+        e = Entity("a")
+        queue.add(e)
+        assert e in queue
+        assert len(queue) == 1
+
+    def test_double_add_rejected(self, queue):
+        e = Entity("a")
+        queue.add(e)
+        with pytest.raises(SchedulingError):
+            queue.add(e)
+
+    def test_remove(self, queue):
+        e = Entity("a")
+        queue.add(e)
+        queue.remove(e)
+        assert e not in queue
+
+    def test_remove_runnable_rejected(self, queue):
+        e = Entity("a")
+        queue.add(e)
+        queue.set_runnable(e)
+        with pytest.raises(SchedulingError):
+            queue.remove(e)
+
+    def test_unknown_entity_rejected(self, queue):
+        with pytest.raises(SchedulingError):
+            queue.set_runnable(Entity("ghost"))
+
+    def test_initial_tags_zero(self, queue):
+        e = Entity("a")
+        queue.add(e)
+        assert queue.start_tag(e) == 0
+        assert queue.finish_tag(e) == 0
+
+
+class TestRule1Stamping:
+    def test_new_entity_stamped_with_virtual_time(self, queue):
+        a, b = Entity("a"), Entity("b")
+        queue.add(a)
+        queue.set_runnable(a)
+        queue.pick()
+        queue.charge(a, 10)
+        queue.pick()
+        # a's start tag (and v) is now 10
+        queue.add(b)
+        queue.set_runnable(b)
+        assert queue.start_tag(b) == 10
+
+    def test_waking_entity_keeps_finish_tag_if_larger(self, queue):
+        a, b = Entity("a"), Entity("b")
+        for e in (a, b):
+            queue.add(e)
+        queue.set_runnable(a)
+        queue.pick()
+        queue.charge(a, 100)  # F_a = 100, then restamped S_a = 100
+        queue.set_blocked(a)
+        # queue idle: v jumps to max finish = 100
+        queue.set_runnable(b)
+        assert queue.start_tag(b) == 100  # max(v=100, F_b=0)
+        queue.set_runnable(a)
+        assert queue.start_tag(a) == 100  # max(v=100, F_a=100)
+
+    def test_double_set_runnable_is_noop(self, queue):
+        a = Entity("a")
+        queue.add(a)
+        queue.set_runnable(a)
+        start = queue.start_tag(a)
+        queue.set_runnable(a)
+        assert queue.start_tag(a) == start
+        assert queue.runnable_count == 1
+
+
+class TestRule2Charging:
+    def test_finish_advances_by_length_over_weight(self, queue):
+        a = Entity("a", weight=4)
+        queue.add(a)
+        queue.set_runnable(a)
+        queue.pick()
+        queue.charge(a, 10)
+        assert queue.finish_tag(a) == Fraction(10, 4)
+
+    def test_runnable_entity_restamped_to_finish(self, queue):
+        a = Entity("a", weight=2)
+        queue.add(a)
+        queue.set_runnable(a)
+        queue.pick()
+        queue.charge(a, 10)
+        assert queue.start_tag(a) == Fraction(5)
+
+    def test_charge_uses_current_weight(self, queue):
+        a = Entity("a", weight=1)
+        queue.add(a)
+        queue.set_runnable(a)
+        queue.pick()
+        a.weight = 5  # dynamic weight change (Figure 11)
+        queue.charge(a, 10)
+        assert queue.finish_tag(a) == Fraction(2)
+
+    def test_explicit_weight_overrides(self, queue):
+        a = Entity("a", weight=1)
+        queue.add(a)
+        queue.set_runnable(a)
+        queue.pick()
+        queue.charge(a, 10, weight=10)
+        assert queue.finish_tag(a) == Fraction(1)
+
+    def test_negative_charge_rejected(self, queue):
+        a = Entity("a")
+        queue.add(a)
+        queue.set_runnable(a)
+        with pytest.raises(SchedulingError):
+            queue.charge(a, -1)
+
+    def test_zero_charge_keeps_position(self, queue):
+        a = Entity("a")
+        queue.add(a)
+        queue.set_runnable(a)
+        queue.pick()
+        queue.charge(a, 0)
+        assert queue.finish_tag(a) == 0
+        assert queue.pick() is a
+
+
+class TestRule3Dispatch:
+    def test_picks_min_start_tag(self, queue):
+        a, b = Entity("a", 1), Entity("b", 1)
+        queue.add(a)
+        queue.add(b)
+        queue.set_runnable(a)
+        queue.set_runnable(b)
+        assert queue.pick() is a  # tie broken by arrival order
+        queue.charge(a, 10)       # S_a = 10 > S_b = 0
+        assert queue.pick() is b
+
+    def test_empty_pick_returns_none(self, queue):
+        assert queue.pick() is None
+
+    def test_blocked_entity_never_picked(self, queue):
+        a, b = Entity("a"), Entity("b")
+        queue.add(a)
+        queue.add(b)
+        queue.set_runnable(a)
+        queue.set_runnable(b)
+        queue.set_blocked(a)
+        assert queue.pick() is b
+
+    def test_proportional_share_two_to_one(self, queue):
+        a, b = Entity("a", 1), Entity("b", 2)
+        queue.add(a)
+        queue.add(b)
+        queue.set_runnable(a)
+        queue.set_runnable(b)
+        picks = {a: 0, b: 0}
+        for __ in range(300):
+            e = queue.pick()
+            picks[e] += 1
+            queue.charge(e, 10)
+        assert picks[b] == pytest.approx(2 * picks[a], abs=2)
+
+    def test_variable_quantum_lengths_stay_fair(self, queue):
+        # a is charged twice the length per quantum; service stays 1:1
+        # per unit weight because tags reflect actual lengths.
+        a, b = Entity("a", 1), Entity("b", 1)
+        queue.add(a)
+        queue.add(b)
+        queue.set_runnable(a)
+        queue.set_runnable(b)
+        work = {a: 0, b: 0}
+        for __ in range(300):
+            e = queue.pick()
+            length = 20 if e is a else 10
+            work[e] += length
+            queue.charge(e, length)
+        assert work[a] == pytest.approx(work[b], rel=0.02)
+
+
+class TestVirtualTime:
+    def test_virtual_time_tracks_in_service_start(self, queue):
+        a, b = Entity("a"), Entity("b")
+        queue.add(a)
+        queue.add(b)
+        queue.set_runnable(a)
+        queue.set_runnable(b)
+        queue.pick()
+        assert queue.virtual_time == 0
+        queue.charge(a, 10)
+        queue.pick()  # b with start 0
+        assert queue.virtual_time == 0
+        queue.charge(b, 10)
+        queue.pick()
+        assert queue.virtual_time == 10
+
+    def test_idle_jumps_to_max_finish(self, queue):
+        a = Entity("a")
+        queue.add(a)
+        queue.set_runnable(a)
+        queue.pick()
+        queue.charge(a, 42)
+        queue.set_blocked(a)
+        assert queue.virtual_time == 42
+
+    def test_virtual_time_monotone(self, queue):
+        import random
+        rng = random.Random(5)
+        entities = [Entity("e%d" % i, rng.randint(1, 5)) for i in range(4)]
+        for e in entities:
+            queue.add(e)
+        last_v = queue.virtual_time
+        for __ in range(500):
+            action = rng.random()
+            e = rng.choice(entities)
+            if action < 0.3:
+                queue.set_runnable(e)
+            elif action < 0.4:
+                if queue.is_runnable(e):
+                    queue.set_blocked(e)
+            else:
+                picked = queue.pick()
+                if picked is not None:
+                    queue.charge(picked, rng.randint(1, 30))
+            assert queue.virtual_time >= last_v
+            last_v = queue.virtual_time
+
+
+class TestFloatMode:
+    def test_float_tags(self):
+        queue = SfqQueue(TagMath(exact=False))
+        a = Entity("a", 3)
+        queue.add(a)
+        queue.set_runnable(a)
+        queue.pick()
+        queue.charge(a, 10)
+        assert isinstance(queue.finish_tag(a), float)
+        assert queue.finish_tag(a) == pytest.approx(10 / 3)
+
+
+class TestPaperExample:
+    """The worked example of §3 at queue level (Figure 3)."""
+
+    def test_tag_sequence(self):
+        queue = SfqQueue()
+        a, b = Entity("A", 1), Entity("B", 2)
+        queue.add(a)
+        queue.add(b)
+        queue.set_runnable(a)
+        queue.set_runnable(b)
+        order = []
+        # 0-60 ms: A, B, B, A, B, B (each quantum length 10)
+        for __ in range(6):
+            e = queue.pick()
+            order.append(e.name)
+            queue.charge(e, 10)
+        assert order == ["A", "B", "B", "A", "B", "B"]
+        assert queue.finish_tag(a) == 20
+        assert queue.finish_tag(b) == 20
+        # B blocks; A runs alone three more quanta then blocks.
+        queue.set_blocked(b)
+        for __ in range(3):
+            assert queue.pick() is a
+            queue.charge(a, 10)
+        assert queue.finish_tag(a) == 50
+        queue.set_blocked(a)
+        # idle: v jumps to the max finish tag
+        assert queue.virtual_time == 50
+        # A returns first, then B: both stamped 50
+        queue.set_runnable(a)
+        assert queue.start_tag(a) == 50
+        assert queue.pick() is a
+        queue.set_runnable(b)
+        assert queue.start_tag(b) == 50

@@ -1,0 +1,143 @@
+"""Additional SFQ queue coverage: weight dynamics, float ties, removal."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.sfq import SfqQueue
+from repro.core.tags import TagMath
+from repro.errors import SchedulingError
+
+
+class Entity:
+    def __init__(self, name, weight=1):
+        self.name = name
+        self.weight = weight
+
+    def __repr__(self):
+        return "E(%s)" % self.name
+
+
+class TestWeightDynamics:
+    def test_weight_increase_slows_tag_growth(self):
+        queue = SfqQueue()
+        e = Entity("e", 1)
+        queue.add(e)
+        queue.set_runnable(e)
+        queue.pick()
+        queue.charge(e, 10)          # F = 10
+        e.weight = 10
+        queue.pick()
+        queue.charge(e, 10)          # F = 10 + 1
+        assert queue.finish_tag(e) == Fraction(11)
+
+    def test_figure11_style_ratio_shift(self):
+        queue = SfqQueue()
+        a, b = Entity("a", 4), Entity("b", 4)
+        for e in (a, b):
+            queue.add(e)
+            queue.set_runnable(e)
+        served = {a: 0, b: 0}
+        for __ in range(100):
+            e = queue.pick()
+            served[e] += 1
+            queue.charge(e, 10)
+        assert served[a] == served[b]
+        # now a doubles its weight: from here it gets 2x
+        a.weight = 8
+        served = {a: 0, b: 0}
+        for __ in range(300):
+            e = queue.pick()
+            served[e] += 1
+            queue.charge(e, 10)
+        assert served[a] == pytest.approx(2 * served[b], abs=2)
+
+
+class TestRemovalPaths:
+    def test_remove_after_block_allows_reuse(self):
+        queue = SfqQueue()
+        e = Entity("e")
+        queue.add(e)
+        queue.set_runnable(e)
+        queue.pick()
+        queue.charge(e, 5)
+        queue.set_blocked(e)
+        queue.remove(e)
+        # re-adding starts from a clean record (finish tag 0)
+        queue.add(e)
+        assert queue.finish_tag(e) == 0
+
+    def test_stale_heap_entries_ignored_after_remove(self):
+        queue = SfqQueue()
+        a, b = Entity("a"), Entity("b")
+        queue.add(a)
+        queue.add(b)
+        queue.set_runnable(a)
+        queue.set_runnable(b)
+        queue.set_blocked(a)
+        queue.remove(a)
+        assert queue.pick() is b
+
+    def test_charge_unknown_entity_rejected(self):
+        queue = SfqQueue()
+        with pytest.raises(SchedulingError):
+            queue.charge(Entity("ghost"), 1)
+
+
+class TestFloatModeDeterminism:
+    def test_ties_resolved_by_arrival_order(self):
+        queue = SfqQueue(TagMath(exact=False))
+        entities = [Entity(str(i)) for i in range(5)]
+        for e in entities:
+            queue.add(e)
+            queue.set_runnable(e)
+        order = []
+        for __ in range(5):
+            e = queue.pick()
+            order.append(e.name)
+            queue.charge(e, 7)
+        assert order == ["0", "1", "2", "3", "4"]
+
+    def test_float_and_exact_agree_on_simple_script(self):
+        def run(exact):
+            queue = SfqQueue(TagMath(exact=exact))
+            a, b = Entity("a", 2), Entity("b", 3)
+            for e in (a, b):
+                queue.add(e)
+                queue.set_runnable(e)
+            order = []
+            for __ in range(20):
+                e = queue.pick()
+                order.append(e.name)
+                queue.charge(e, 6)
+            return order
+
+        assert run(True) == run(False)
+
+
+class TestIdleTransitions:
+    def test_multiple_idle_periods_keep_monotone_v(self):
+        queue = SfqQueue()
+        e = Entity("e")
+        queue.add(e)
+        v_values = [queue.virtual_time]
+        for round_index in range(5):
+            queue.set_runnable(e)
+            queue.pick()
+            queue.charge(e, 10)
+            queue.set_blocked(e)
+            v_values.append(queue.virtual_time)
+        assert v_values == sorted(v_values)
+        assert queue.virtual_time == 50
+
+    def test_runnable_count_tracks(self):
+        queue = SfqQueue()
+        entities = [Entity(str(i)) for i in range(3)]
+        for e in entities:
+            queue.add(e)
+        assert queue.runnable_count == 0
+        for index, e in enumerate(entities):
+            queue.set_runnable(e)
+            assert queue.runnable_count == index + 1
+        queue.set_blocked(entities[0])
+        assert queue.runnable_count == 2

@@ -1,0 +1,118 @@
+"""The simulation engine: clock, scheduling, run loops."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self, engine):
+        assert engine.now == 0
+
+    def test_at_fires_at_time(self, engine):
+        times = []
+        engine.at(100, lambda: times.append(engine.now))
+        engine.run_until(200)
+        assert times == [100]
+
+    def test_after_is_relative(self, engine):
+        engine.at(50, lambda: engine.after(25, lambda: seen.append(engine.now)))
+        seen = []
+        engine.run_until(100)
+        assert seen == [75]
+
+    def test_arg_passed_to_callback(self, engine):
+        seen = []
+        engine.at(10, seen.append, "payload")
+        engine.run_until(10)
+        assert seen == ["payload"]
+
+    def test_past_scheduling_rejected(self, engine):
+        engine.run_until(100)
+        with pytest.raises(SimulationError):
+            engine.at(50, lambda: None)
+
+    def test_negative_delay_rejected(self, engine):
+        with pytest.raises(SimulationError):
+            engine.after(-1, lambda: None)
+
+    def test_cancel_prevents_firing(self, engine):
+        seen = []
+        handle = engine.at(10, lambda: seen.append(1))
+        engine.cancel(handle)
+        engine.run_until(20)
+        assert seen == []
+
+
+class TestRunUntil:
+    def test_clock_ends_at_horizon(self, engine):
+        engine.run_until(500)
+        assert engine.now == 500
+
+    def test_events_at_horizon_fire(self, engine):
+        seen = []
+        engine.at(100, lambda: seen.append(1))
+        engine.run_until(100)
+        assert seen == [1]
+
+    def test_events_beyond_horizon_deferred(self, engine):
+        seen = []
+        engine.at(101, lambda: seen.append(1))
+        engine.run_until(100)
+        assert seen == []
+        engine.run_until(101)
+        assert seen == [1]
+
+    def test_backwards_run_rejected(self, engine):
+        engine.run_until(100)
+        with pytest.raises(SimulationError):
+            engine.run_until(50)
+
+    def test_callbacks_see_advancing_clock(self, engine):
+        times = []
+        for t in [30, 10, 20]:
+            engine.at(t, lambda: times.append(engine.now))
+        engine.run_until(100)
+        assert times == [10, 20, 30]
+
+    def test_reentrant_run_rejected(self, engine):
+        def reenter():
+            engine.run_until(50)
+        engine.at(10, reenter)
+        with pytest.raises(SimulationError):
+            engine.run_until(20)
+
+
+class TestRunAll:
+    def test_returns_event_count(self, engine):
+        for t in range(5):
+            engine.at(t, lambda: None)
+        assert engine.run_all() == 5
+
+    def test_limit_guards_runaway(self, engine):
+        def reschedule():
+            engine.after(1, reschedule)
+        engine.at(0, reschedule)
+        with pytest.raises(SimulationError):
+            engine.run_all(limit=100)
+
+    def test_pending_events_counter(self, engine):
+        engine.at(1, lambda: None)
+        engine.at(2, lambda: None)
+        assert engine.pending_events == 2
+        engine.run_all()
+        assert engine.pending_events == 0
+
+
+class TestStep:
+    def test_step_fires_one_event(self, engine):
+        seen = []
+        engine.at(5, lambda: seen.append(1))
+        engine.at(6, lambda: seen.append(2))
+        assert engine.step() is True
+        assert seen == [1]
+        assert engine.now == 5
+
+    def test_step_empty_returns_false(self, engine):
+        assert engine.step() is False

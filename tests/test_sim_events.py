@@ -1,0 +1,106 @@
+"""The event queue: ordering, stability, cancellation."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.events import EventQueue
+
+
+def collect(queue):
+    fired = []
+    while True:
+        handle = queue.pop()
+        if handle is None:
+            return fired
+        fired.append(handle)
+
+
+class TestOrdering:
+    def test_pops_in_time_order(self):
+        q = EventQueue()
+        q.push(30, lambda: None)
+        q.push(10, lambda: None)
+        q.push(20, lambda: None)
+        assert [h.time for h in collect(q)] == [10, 20, 30]
+
+    def test_same_time_fifo(self):
+        q = EventQueue()
+        first = q.push(5, lambda: None)
+        second = q.push(5, lambda: None)
+        popped = collect(q)
+        assert popped[0].seq == first.seq
+        assert popped[1].seq == second.seq
+
+    def test_priority_breaks_time_ties(self):
+        q = EventQueue()
+        low = q.push(5, lambda: None, priority=10)
+        high = q.push(5, lambda: None, priority=-10)
+        popped = collect(q)
+        assert popped[0] is high
+        assert popped[1] is low
+
+    def test_peek_time(self):
+        q = EventQueue()
+        assert q.peek_time() is None
+        q.push(42, lambda: None)
+        assert q.peek_time() == 42
+
+    def test_negative_time_rejected(self):
+        q = EventQueue()
+        with pytest.raises(SimulationError):
+            q.push(-1, lambda: None)
+
+
+class TestCancellation:
+    def test_cancelled_event_not_popped(self):
+        q = EventQueue()
+        handle = q.push(10, lambda: None)
+        keep = q.push(20, lambda: None)
+        q.discard(handle)
+        assert collect(q) == [keep]
+
+    def test_len_counts_live_events(self):
+        q = EventQueue()
+        a = q.push(1, lambda: None)
+        q.push(2, lambda: None)
+        assert len(q) == 2
+        q.discard(a)
+        assert len(q) == 1
+
+    def test_discard_none_is_noop(self):
+        q = EventQueue()
+        q.discard(None)
+        assert len(q) == 0
+
+    def test_double_discard_safe(self):
+        q = EventQueue()
+        handle = q.push(1, lambda: None)
+        q.discard(handle)
+        q.discard(handle)
+        assert len(q) == 0
+
+    def test_cancel_releases_callback(self):
+        q = EventQueue()
+        handle = q.push(1, lambda: None, arg=object())
+        handle.cancel()
+        assert handle.callback is None
+        assert handle.arg is None
+
+    def test_peek_skips_cancelled_head(self):
+        q = EventQueue()
+        first = q.push(1, lambda: None)
+        q.push(2, lambda: None)
+        q.discard(first)
+        assert q.peek_time() == 2
+
+    def test_pop_empty_returns_none(self):
+        assert EventQueue().pop() is None
+
+
+class TestHandleRepr:
+    def test_repr_mentions_state(self):
+        q = EventQueue()
+        handle = q.push(7, lambda: None)
+        assert "pending" in repr(handle)
+        handle.cancel()
+        assert "cancelled" in repr(handle)

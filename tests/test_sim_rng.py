@@ -1,0 +1,23 @@
+"""Seeded randomness streams."""
+
+from repro.sim.rng import make_rng
+
+
+class TestMakeRng:
+    def test_deterministic_for_same_seed_and_label(self):
+        a = make_rng(1, "x")
+        b = make_rng(1, "x")
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_different_labels_differ(self):
+        a = make_rng(1, "x")
+        b = make_rng(1, "y")
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+    def test_different_seeds_differ(self):
+        a = make_rng(1, "x")
+        b = make_rng(2, "x")
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+    def test_default_label(self):
+        assert make_rng(7).random() == make_rng(7).random()

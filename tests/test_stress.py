@@ -1,0 +1,138 @@
+"""Long-running mixed-workload stress scenarios with invariant sweeps."""
+
+import pytest
+
+from repro.core.structure import ADMIN_SET_WEIGHT
+from repro.cpu.interrupts import PeriodicInterruptSource, PoissonInterruptSource
+from repro.schedulers.edf import EdfScheduler
+from repro.schedulers.sfq_leaf import SfqScheduler
+from repro.schedulers.svr4 import Svr4TimeSharing
+from repro.sim.rng import make_rng
+from repro.threads.states import ThreadState
+from repro.threads.thread import SimThread
+from repro.units import MS, SECOND
+from repro.workloads.bursty import BurstyWorkload
+from repro.workloads.dhrystone import DhrystoneWorkload
+from repro.workloads.interactive import InteractiveWorkload
+from repro.workloads.mpeg import MpegDecodeWorkload, MpegVbrModel
+from repro.workloads.periodic import PeriodicWorkload
+
+from tests.conftest import Harness
+
+KILO = 1000
+
+
+def build_everything(harness: Harness):
+    """A kitchen-sink machine: every leaf scheduler, every workload kind."""
+    structure = harness.structure
+    rt = structure.mknod("/rt", 2, scheduler=EdfScheduler(quantum=5 * MS))
+    media = structure.mknod("/media", 3, scheduler=SfqScheduler())
+    ts = structure.mknod("/ts", 2, scheduler=Svr4TimeSharing())
+    threads = []
+
+    def spawn(name, workload, leaf, weight=1, params=None):
+        thread = SimThread(name, workload, weight=weight, params=params)
+        leaf.attach_thread(thread)
+        harness.machine.spawn(thread)
+        threads.append(thread)
+        return thread
+
+    rt_wl = PeriodicWorkload(period=40 * MS, cost=2 * KILO)
+    spawn("periodic", rt_wl, rt, params={"period": 40 * MS})
+    spawn("video", MpegDecodeWorkload(
+        MpegVbrModel(seed=3, mean_cost=3 * KILO), paced=True), media,
+        weight=3)
+    spawn("burst", BurstyWorkload(20 * KILO, 50 * MS,
+                                  rng=make_rng(4, "s")), media)
+    spawn("hog", DhrystoneWorkload(loop_cost=100, batch=10),
+          harness.leaf)
+    spawn("editor", InteractiveWorkload(2 * KILO, 80 * MS,
+                                        rng=make_rng(5, "s")), ts,
+          params={"priority": 40})
+    spawn("cruncher", DhrystoneWorkload(loop_cost=100, batch=10), ts,
+          params={"priority": 20})
+    return threads, rt_wl
+
+
+class TestKitchenSink:
+    def test_long_mixed_run_invariants(self):
+        harness = Harness()
+        threads, rt_wl = build_everything(harness)
+        harness.machine.add_interrupt_source(
+            PeriodicInterruptSource(period=10 * MS, service=200_000))
+        harness.machine.add_interrupt_source(PoissonInterruptSource(
+            mean_interarrival=7 * MS, mean_service=100_000,
+            rng=make_rng(6, "s"), exponential_service=True))
+        # weight churn while running
+        for second in range(1, 20, 3):
+            harness.engine.at(second * SECOND,
+                              (lambda s=second: harness.structure.admin(
+                                  "/media", ADMIN_SET_WEIGHT,
+                                  1 + s % 5)))
+        harness.machine.run_until(20 * SECOND)
+
+        stats = harness.machine.stats
+        now = harness.engine.now
+        # time partition holds to the nanosecond
+        assert (stats.busy_time + stats.interrupt_time + stats.overhead_time
+                + stats.idle_time(now)) == now
+        # every thread made progress
+        for thread in threads:
+            assert thread.stats.work_done > 0
+        # execution slices never overlap across all threads
+        slices = []
+        for thread in threads:
+            slices.extend(
+                (t0, t1) for t0, t1, __ in
+                harness.recorder.trace_of(thread).slices)
+        slices.sort()
+        for (a0, a1), (b0, b1) in zip(slices, slices[1:]):
+            assert a1 <= b0
+        # recorder totals match thread stats
+        for thread in threads:
+            assert harness.recorder.trace_of(thread).total_work == \
+                thread.stats.work_done
+
+    def test_rt_deadlines_survive_the_chaos(self):
+        harness = Harness()
+        threads, rt_wl = build_everything(harness)
+        harness.machine.run_until(20 * SECOND)
+        from repro.trace.metrics import latency_slack
+        rt_thread = threads[0]
+        results = latency_slack(harness.recorder, rt_thread, rt_wl)
+        assert len(results) > 400
+        misses = sum(1 for __, __, slack in results if slack <= 0)
+        assert misses == 0
+
+    def test_churning_thread_population(self):
+        """Threads spawn and exit continuously; nothing leaks or wedges."""
+        harness = Harness()
+        anchor = harness.spawn_dhrystone("anchor")
+        generation = []
+
+        def spawn_generation(index):
+            from repro.threads.segments import (Compute,
+                                                SegmentListWorkload,
+                                                SleepFor)
+            for k in range(3):
+                thread = SimThread(
+                    "g%d-%d" % (index, k),
+                    SegmentListWorkload([Compute(5 * KILO),
+                                         SleepFor(20 * MS),
+                                         Compute(5 * KILO)]))
+                harness.leaf.attach_thread(thread)
+                harness.machine.spawn(thread)
+                generation.append(thread)
+
+        for index in range(20):
+            harness.engine.at(index * 200 * MS,
+                              (lambda i=index: spawn_generation(i)))
+        harness.machine.run_until(10 * SECOND)
+        assert all(t.state is ThreadState.EXITED for t in generation)
+        assert len(generation) == 60
+        # the leaf's SFQ queue is empty of exited threads
+        assert len(harness.leaf.scheduler.queue) == 1  # just the anchor
+        # anchor absorbed all remaining capacity
+        total = anchor.stats.work_done + sum(
+            t.stats.work_done for t in generation)
+        assert total == pytest.approx(10_000 * KILO, rel=0.001)

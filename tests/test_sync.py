@@ -1,0 +1,172 @@
+"""Mutexes and weight-donation priority-inversion avoidance (paper §4)."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.sync.mutex import Acquire, Release, SimMutex
+from repro.threads.segments import Compute, SegmentListWorkload, SleepFor
+from repro.threads.states import ThreadState
+from repro.threads.thread import SimThread
+from repro.units import MS, SECOND
+
+from tests.conftest import Harness
+
+KILO = 1000
+
+
+def make_thread(name="t", weight=1):
+    return SimThread(name, SegmentListWorkload([]), weight=weight)
+
+
+class TestMutexUnit:
+    def test_uncontended_acquire(self):
+        mutex = SimMutex("m")
+        t = make_thread()
+        assert mutex.try_acquire(t)
+        assert mutex.locked
+        assert mutex.holder is t
+
+    def test_contended_acquire_returns_false(self):
+        mutex = SimMutex("m")
+        a, b = make_thread("a"), make_thread("b")
+        mutex.try_acquire(a)
+        assert not mutex.try_acquire(b)
+
+    def test_reentrant_acquire_rejected(self):
+        mutex = SimMutex("m")
+        t = make_thread()
+        mutex.try_acquire(t)
+        with pytest.raises(SchedulingError):
+            mutex.try_acquire(t)
+
+    def test_release_grants_fifo(self):
+        mutex = SimMutex("m")
+        a, b, c = make_thread("a"), make_thread("b"), make_thread("c")
+        mutex.try_acquire(a)
+        mutex.enqueue_waiter(b)
+        mutex.enqueue_waiter(c)
+        assert mutex.release(a) is b
+        assert mutex.release(b) is c
+        assert mutex.release(c) is None
+        assert not mutex.locked
+
+    def test_release_by_non_holder_rejected(self):
+        mutex = SimMutex("m")
+        a, b = make_thread("a"), make_thread("b")
+        mutex.try_acquire(a)
+        with pytest.raises(SchedulingError):
+            mutex.release(b)
+
+    def test_donation_boosts_holder(self):
+        mutex = SimMutex("m", donate_weight=True)
+        holder = make_thread("h", weight=1)
+        waiter = make_thread("w", weight=9)
+        mutex.try_acquire(holder)
+        mutex.enqueue_waiter(waiter)
+        assert holder.weight == 10
+
+    def test_donation_withdrawn_on_release(self):
+        mutex = SimMutex("m", donate_weight=True)
+        holder = make_thread("h", weight=1)
+        waiter = make_thread("w", weight=9)
+        mutex.try_acquire(holder)
+        mutex.enqueue_waiter(waiter)
+        granted = mutex.release(holder)
+        assert holder.weight == 1
+        assert granted is waiter
+        assert waiter.weight == 9  # no self-donation
+
+    def test_donation_restacks_on_new_holder(self):
+        mutex = SimMutex("m", donate_weight=True)
+        holder = make_thread("h", weight=1)
+        w1 = make_thread("w1", weight=4)
+        w2 = make_thread("w2", weight=6)
+        mutex.try_acquire(holder)
+        mutex.enqueue_waiter(w1)
+        mutex.enqueue_waiter(w2)
+        assert holder.weight == 11
+        granted = mutex.release(holder)
+        assert holder.weight == 1
+        assert granted is w1
+        assert w1.weight == 10  # w2 now donates to w1
+
+    def test_drop_waiter_returns_donation(self):
+        mutex = SimMutex("m", donate_weight=True)
+        holder = make_thread("h", weight=1)
+        waiter = make_thread("w", weight=9)
+        mutex.try_acquire(holder)
+        mutex.enqueue_waiter(waiter)
+        mutex.drop_waiter(waiter)
+        assert holder.weight == 1
+        assert not mutex.waiters
+
+
+class TestMutexOnMachine:
+    def test_critical_sections_serialize(self, harness):
+        mutex = SimMutex("m")
+        a = harness.spawn_segments("a", [Acquire(mutex), Compute(20 * KILO),
+                                         Release(mutex)])
+        b = harness.spawn_segments("b", [Acquire(mutex), Compute(20 * KILO),
+                                         Release(mutex)])
+        harness.machine.run_until(SECOND)
+        # without the mutex, SFQ alternates a/b; with it, a finishes first
+        from repro.trace.timeline import execution_order
+        assert execution_order(harness.recorder, [a, b]) == ["a", "b"]
+        assert a.stats.exited_at == 20 * MS
+        assert b.stats.exited_at == 40 * MS
+
+    def test_waiter_granted_on_release(self, harness):
+        mutex = SimMutex("m")
+        a = harness.spawn_segments(
+            "a", [Acquire(mutex), Compute(5 * KILO), Release(mutex),
+                  Compute(5 * KILO)])
+        b = harness.spawn_segments(
+            "b", [Acquire(mutex), Compute(5 * KILO), Release(mutex)])
+        harness.machine.run_until(SECOND)
+        assert a.state is ThreadState.EXITED
+        assert b.state is ThreadState.EXITED
+        assert not mutex.locked
+
+    def test_exit_releases_held_mutex(self, harness):
+        mutex = SimMutex("m")
+        holder = harness.spawn_segments(
+            "holder", [Acquire(mutex), Compute(KILO)])  # exits holding it
+        waiter = harness.spawn_segments(
+            "waiter", [Acquire(mutex), Compute(KILO), Release(mutex)])
+        harness.machine.run_until(SECOND)
+        assert holder.state is ThreadState.EXITED
+        assert waiter.state is ThreadState.EXITED
+        assert not mutex.locked
+
+    def test_priority_inversion_without_donation(self, harness):
+        """Classic inversion: a middle hog delays the high-weight thread."""
+        mutex = SimMutex("m", donate_weight=False)
+        # low acquires, computes slowly; high waits on the mutex; a hog
+        # with large weight starves low, which starves high transitively.
+        low = harness.spawn_segments(
+            "low", [Acquire(mutex), Compute(50 * KILO), Release(mutex)],
+            weight=1)
+        hog = harness.spawn_dhrystone("hog", weight=8)
+        high = harness.spawn_segments(
+            "high", [SleepFor(1 * MS), Acquire(mutex), Compute(KILO),
+                     Release(mutex)], weight=8)
+        harness.machine.run_until(2 * SECOND)
+        # low runs at 1/9 share: ~50 KILO takes ~450 ms; high inverted
+        assert high.stats.exited_at > 300 * MS
+
+    def test_priority_inversion_with_donation(self, harness):
+        """Weight transfer bounds the inversion (paper §4's remedy)."""
+        mutex = SimMutex("m", donate_weight=True)
+        low = harness.spawn_segments(
+            "low", [Acquire(mutex), Compute(50 * KILO), Release(mutex)],
+            weight=1)
+        hog = harness.spawn_dhrystone("hog", weight=8)
+        high = harness.spawn_segments(
+            "high", [SleepFor(1 * MS), Acquire(mutex), Compute(KILO),
+                     Release(mutex)], weight=8)
+        harness.machine.run_until(2 * SECOND)
+        # low inherits high's weight (9 vs hog's 8): ~53% share, so the
+        # critical section drains in ~100 ms instead of ~450 ms
+        assert high.stats.exited_at < 200 * MS
+        # donation fully withdrawn afterwards
+        assert low.weight == 1

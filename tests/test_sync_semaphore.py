@@ -1,0 +1,151 @@
+"""Semaphores and wait queues on the machine."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.sync.semaphore import (
+    Down,
+    Notify,
+    SimSemaphore,
+    Up,
+    WaitOn,
+    WaitQueue,
+)
+from repro.threads.segments import Compute, SegmentListWorkload, SleepFor
+from repro.threads.states import ThreadState
+from repro.threads.thread import SimThread
+from repro.units import MS, SECOND
+
+KILO = 1000
+
+
+def make_thread(name="t"):
+    return SimThread(name, SegmentListWorkload([]))
+
+
+class TestSemaphoreUnit:
+    def test_initial_count(self):
+        sem = SimSemaphore("s", initial=2)
+        t = make_thread()
+        assert sem.try_down(t)
+        assert sem.try_down(t)
+        assert not sem.try_down(t)
+
+    def test_negative_initial_rejected(self):
+        with pytest.raises(SchedulingError):
+            SimSemaphore(initial=-1)
+
+    def test_up_grants_to_waiter_directly(self):
+        sem = SimSemaphore("s", initial=0)
+        waiter = make_thread("w")
+        sem.enqueue_waiter(waiter)
+        assert sem.up() is waiter
+        assert sem.count == 0  # handed over, not banked
+
+    def test_up_banks_without_waiters(self):
+        sem = SimSemaphore("s", initial=0)
+        assert sem.up() is None
+        assert sem.count == 1
+
+    def test_fifo_grant_order(self):
+        sem = SimSemaphore("s")
+        a, b = make_thread("a"), make_thread("b")
+        sem.enqueue_waiter(a)
+        sem.enqueue_waiter(b)
+        assert sem.up() is a
+        assert sem.up() is b
+
+    def test_drop_waiter(self):
+        sem = SimSemaphore("s")
+        a = make_thread("a")
+        sem.enqueue_waiter(a)
+        sem.drop_waiter(a)
+        assert sem.up() is None
+
+
+class TestWaitQueueUnit:
+    def test_notify_count(self):
+        wq = WaitQueue("q")
+        threads = [make_thread(str(i)) for i in range(3)]
+        for t in threads:
+            wq.enqueue_waiter(t)
+        assert wq.notify(2) == threads[:2]
+        assert wq.notify_all() == threads[2:]
+
+    def test_notify_empty(self):
+        assert WaitQueue("q").notify() == []
+
+    def test_notify_segment_validates_count(self):
+        with pytest.raises(SchedulingError):
+            Notify(WaitQueue("q"), 0)
+
+
+class TestSemaphoreOnMachine:
+    def test_down_blocks_until_up(self, harness):
+        sem = SimSemaphore("s", initial=0)
+        consumer = harness.spawn_segments(
+            "consumer", [Down(sem), Compute(KILO)])
+        producer = harness.spawn_segments(
+            "producer", [Compute(5 * KILO), Up(sem)])
+        harness.machine.run_until(SECOND)
+        assert consumer.state is ThreadState.EXITED
+        # consumer could only start after the producer's Up at 5 ms
+        assert consumer.stats.exited_at == 6 * MS
+
+    def test_banked_units_pass_straight_through(self, harness):
+        sem = SimSemaphore("s", initial=3)
+        t = harness.spawn_segments(
+            "t", [Down(sem), Down(sem), Down(sem), Compute(KILO)])
+        harness.machine.run_until(SECOND)
+        assert t.stats.exited_at == 1 * MS
+
+    def test_bounded_buffer_pipeline(self, harness):
+        """Producer/consumer through a 2-slot bounded buffer."""
+        empty = SimSemaphore("empty", initial=2)
+        full = SimSemaphore("full", initial=0)
+        items = 5
+        producer_segments = []
+        consumer_segments = []
+        for __ in range(items):
+            producer_segments += [Down(empty), Compute(2 * KILO), Up(full)]
+            consumer_segments += [Down(full), Compute(4 * KILO), Up(empty)]
+        producer = harness.spawn_segments("producer", producer_segments)
+        consumer = harness.spawn_segments("consumer", consumer_segments)
+        harness.machine.run_until(SECOND)
+        assert producer.state is ThreadState.EXITED
+        assert consumer.state is ThreadState.EXITED
+        # one CPU serializes the stages: total work = 5*(2+4) ms, with the
+        # semaphores only ordering it (no deadlock, no idle gaps)
+        assert consumer.stats.exited_at == 30 * MS
+        assert harness.machine.stats.idle_time(harness.engine.now) == \
+            harness.engine.now - 30 * MS
+        assert empty.count == 2
+        assert full.count == 0
+
+    def test_waiton_notify(self, harness):
+        wq = WaitQueue("barrier")
+        waiter = harness.spawn_segments(
+            "waiter", [WaitOn(wq), Compute(KILO)])
+        notifier = harness.spawn_segments(
+            "notifier", [SleepFor(10 * MS), Notify(wq)])
+        harness.machine.run_until(SECOND)
+        assert waiter.state is ThreadState.EXITED
+        assert waiter.stats.exited_at == 11 * MS
+
+    def test_notify_wakes_multiple(self, harness):
+        wq = WaitQueue("barrier")
+        waiters = [
+            harness.spawn_segments("w%d" % i, [WaitOn(wq), Compute(KILO)])
+            for i in range(3)
+        ]
+        harness.spawn_segments(
+            "boss", [SleepFor(5 * MS), Notify(wq, count=3)])
+        harness.machine.run_until(SECOND)
+        assert all(w.state is ThreadState.EXITED for w in waiters)
+
+    def test_unnotified_waiter_stays_asleep(self, harness):
+        wq = WaitQueue("never")
+        waiter = harness.spawn_segments("w", [WaitOn(wq), Compute(KILO)])
+        harness.machine.run_until(SECOND)
+        assert waiter.state is ThreadState.SLEEPING
+        assert waiter.stats.work_done == 0

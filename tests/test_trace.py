@@ -1,0 +1,154 @@
+"""Tracing: recorder, metrics, timeline."""
+
+import pytest
+
+from repro.threads.segments import Compute, SleepFor
+from repro.trace.metrics import (
+    common_runnable_intervals,
+    cumulative_work_series,
+    marker_rate,
+    node_work,
+    response_times,
+    throughput_series,
+)
+from repro.trace.recorder import Recorder, ThreadTrace
+from repro.trace.timeline import execution_order, merge_timeline
+from repro.units import MS, SECOND
+
+KILO = 1000
+
+
+class TestServiceCurve:
+    def make_trace(self):
+        trace = ThreadTrace(None)
+        trace.add_slice(0, 10 * MS, 10 * KILO)
+        trace.add_slice(20 * MS, 30 * MS, 10 * KILO)
+        return trace
+
+    def test_total_work(self):
+        assert self.make_trace().total_work == 20 * KILO
+
+    def test_service_at_boundaries(self):
+        trace = self.make_trace()
+        assert trace.service_at(0) == 0
+        assert trace.service_at(10 * MS) == 10 * KILO
+        assert trace.service_at(15 * MS) == 10 * KILO  # idle gap
+        assert trace.service_at(30 * MS) == 20 * KILO
+        assert trace.service_at(SECOND) == 20 * KILO
+
+    def test_service_interpolates_inside_slice(self):
+        trace = self.make_trace()
+        assert trace.service_at(5 * MS) == pytest.approx(5 * KILO)
+        assert trace.service_at(25 * MS) == pytest.approx(15 * KILO)
+
+    def test_service_before_first_slice(self):
+        trace = self.make_trace()
+        assert trace.service_at(-1) == 0
+
+    def test_work_in_interval(self):
+        trace = self.make_trace()
+        assert trace.work_in(0, 30 * MS) == 20 * KILO
+        assert trace.work_in(5 * MS, 25 * MS) == pytest.approx(10 * KILO)
+        with pytest.raises(ValueError):
+            trace.work_in(10, 5)
+
+
+class TestRunnableIntervals:
+    def test_open_interval_closed_at_horizon(self):
+        trace = ThreadTrace(None)
+        trace.runnables = [10]
+        assert trace.runnable_intervals(100) == [(10, 100)]
+
+    def test_paired_with_blocks(self):
+        trace = ThreadTrace(None)
+        trace.runnables = [10, 50]
+        trace.blocks = [30]
+        assert trace.runnable_intervals(100) == [(10, 30), (50, 100)]
+
+    def test_exit_ends_interval(self):
+        trace = ThreadTrace(None)
+        trace.runnables = [10]
+        trace.exited_at = 40
+        assert trace.runnable_intervals(100) == [(10, 40)]
+
+    def test_common_intervals(self):
+        a = ThreadTrace(None)
+        b = ThreadTrace(None)
+        a.runnables, a.blocks = [0, 60], [30]
+        b.runnables, b.blocks = [10], [80]
+        assert common_runnable_intervals(a, b, 100) == [(10, 30), (60, 80)]
+
+
+class TestMetricsOnMachine:
+    def run_two(self):
+        from tests.conftest import Harness
+        harness = Harness()
+        a = harness.spawn_dhrystone("a", weight=1)
+        b = harness.spawn_dhrystone("b", weight=1)
+        harness.machine.run_until(SECOND)
+        return harness, a, b
+
+    def test_throughput_series_sums_to_capacity(self):
+        harness, a, b = self.run_two()
+        sa = throughput_series(harness.recorder, a, 100 * MS, SECOND)
+        sb = throughput_series(harness.recorder, b, 100 * MS, SECOND)
+        for wa, wb in zip(sa, sb):
+            assert wa + wb == pytest.approx(100 * KILO, rel=0.01)
+
+    def test_cumulative_series_monotone(self):
+        harness, a, __ = self.run_two()
+        series = cumulative_work_series(harness.recorder, a, 100 * MS, SECOND)
+        values = [w for __, w in series]
+        assert values == sorted(values)
+        assert len(series) == 11
+
+    def test_node_work_aggregates(self):
+        harness, a, b = self.run_two()
+        total = node_work(harness.recorder, [a, b], 0, SECOND)
+        assert total == pytest.approx(1000 * KILO, rel=0.01)
+
+    def test_marker_rate(self):
+        harness, a, __ = self.run_two()
+        a.stats.markers["frames"] = 50
+        assert marker_rate(a, "frames", SECOND) == 50.0
+        assert marker_rate(a, "missing", SECOND) == 0.0
+
+    def test_response_times(self):
+        from tests.conftest import Harness
+        harness = Harness()
+        segments = []
+        for __ in range(5):
+            segments.append(Compute(KILO))
+            segments.append(SleepFor(20 * MS))
+        t = harness.spawn_segments("i", segments)
+        harness.machine.run_until(SECOND)
+        times = response_times(harness.recorder, t)
+        assert len(times) == 4  # 4 wakeups followed by a completion
+        assert all(rt == 1 * MS for rt in times)
+
+
+class TestTimeline:
+    def test_merge_coalesces_adjacent_same_thread(self):
+        from tests.conftest import Harness
+        harness = Harness()
+        # single thread: many quanta but one coalesced run
+        t = harness.spawn_segments("solo", [Compute(50 * KILO)])
+        harness.machine.run_until(SECOND)
+        merged = merge_timeline(harness.recorder, [t])
+        assert merged == [(0, 50 * MS, t)]
+
+    def test_execution_order_alternation(self):
+        from tests.conftest import Harness
+        harness = Harness()
+        a = harness.spawn_segments("a", [Compute(20 * KILO)])
+        b = harness.spawn_segments("b", [Compute(20 * KILO)])
+        harness.machine.run_until(SECOND)
+        assert execution_order(harness.recorder, [a, b]) == \
+            ["a", "b", "a", "b"]
+
+    def test_recorder_interrupt_totals(self):
+        recorder = Recorder()
+        recorder.on_interrupt(0, 5)
+        recorder.on_interrupt(10, 7)
+        assert recorder.total_interrupt_time() == 12
+        assert recorder.interrupts == [(0, 5), (10, 7)]

@@ -1,0 +1,78 @@
+"""Trace export to JSON and CSV."""
+
+import json
+
+import pytest
+
+from repro.threads.segments import Compute, SleepFor
+from repro.trace.export import (
+    SCHEMA_VERSION,
+    load_trace_dict,
+    slices_to_csv,
+    trace_to_dict,
+    trace_to_json,
+)
+from repro.units import MS, SECOND
+
+KILO = 1000
+
+
+@pytest.fixture
+def run(harness):
+    a = harness.spawn_segments("a", [Compute(5 * KILO), SleepFor(2 * MS),
+                                     Compute(5 * KILO)])
+    b = harness.spawn_dhrystone("b")
+    harness.machine.run_until(100 * MS)
+    return harness, a, b
+
+
+class TestJsonExport:
+    def test_schema_and_threads(self, run):
+        harness, a, b = run
+        payload = trace_to_dict(harness.recorder, [a, b])
+        assert payload["schema"] == SCHEMA_VERSION
+        assert [t["name"] for t in payload["threads"]] == ["a", "b"]
+
+    def test_totals_match_stats(self, run):
+        harness, a, b = run
+        payload = trace_to_dict(harness.recorder, [a, b])
+        for entry, thread in zip(payload["threads"], [a, b]):
+            assert entry["total_work"] == thread.stats.work_done
+            assert entry["tid"] == thread.tid
+
+    def test_json_round_trip(self, run):
+        harness, a, b = run
+        text = trace_to_json(harness.recorder, [a, b], indent=2)
+        payload = load_trace_dict(json.loads(text))
+        assert payload["threads"][0]["slices"]
+
+    def test_lifecycle_events_present(self, run):
+        harness, a, b = run
+        payload = trace_to_dict(harness.recorder, [a])
+        entry = payload["threads"][0]
+        assert entry["blocks"] and entry["wakes"]
+        assert entry["exited_at"] is not None
+
+    def test_schema_validation(self):
+        with pytest.raises(ValueError):
+            load_trace_dict({"schema": 999})
+        with pytest.raises(ValueError):
+            load_trace_dict({"schema": SCHEMA_VERSION})
+
+
+class TestCsvExport:
+    def test_header_and_time_order(self, run):
+        harness, a, b = run
+        text = slices_to_csv(harness.recorder, [a, b])
+        lines = text.strip().splitlines()
+        assert lines[0] == ("thread,tid,t_start_ns,t_end_ns,"
+                            "work_instructions")
+        starts = [int(line.split(",")[2]) for line in lines[1:]]
+        assert starts == sorted(starts)
+
+    def test_work_column_sums(self, run):
+        harness, a, b = run
+        text = slices_to_csv(harness.recorder, [a, b])
+        total = sum(int(line.split(",")[4])
+                    for line in text.strip().splitlines()[1:])
+        assert total == a.stats.work_done + b.stats.work_done

@@ -1,0 +1,81 @@
+"""Unit conversions."""
+
+import pytest
+
+from repro.units import (
+    MS,
+    SECOND,
+    US,
+    ms_from_ns,
+    ns_from_ms,
+    ns_from_s,
+    ns_from_us,
+    s_from_ns,
+    time_from_work,
+    work_from_time,
+)
+
+
+class TestConstants:
+    def test_second_is_1e9_ns(self):
+        assert SECOND == 1_000_000_000
+
+    def test_ms_us_ordering(self):
+        assert US * 1000 == MS
+        assert MS * 1000 == SECOND
+
+
+class TestConversions:
+    def test_ns_from_ms(self):
+        assert ns_from_ms(20) == 20 * MS
+
+    def test_ns_from_ms_fractional(self):
+        assert ns_from_ms(0.5) == 500 * US
+
+    def test_ns_from_us(self):
+        assert ns_from_us(3) == 3 * US
+
+    def test_ns_from_s(self):
+        assert ns_from_s(2.5) == 2 * SECOND + 500 * MS
+
+    def test_roundtrip_seconds(self):
+        assert s_from_ns(ns_from_s(1.25)) == pytest.approx(1.25)
+
+    def test_ms_from_ns(self):
+        assert ms_from_ns(1500000) == 1.5
+
+
+class TestWorkTimeConversion:
+    def test_work_from_time_exact(self):
+        # 1 second at 100 inst/s = 100 instructions
+        assert work_from_time(SECOND, 100) == 100
+
+    def test_work_from_time_rounds_down(self):
+        # half an instruction is not completed work
+        assert work_from_time(SECOND // 2, 1) == 0
+
+    def test_time_from_work_rounds_up(self):
+        # 1 instruction at 3 inst/s needs ceil(1e9/3) ns
+        assert time_from_work(1, 3) == (SECOND + 2) // 3
+
+    def test_roundtrip_never_loses_work(self):
+        for work in [1, 7, 99, 12345]:
+            for capacity in [3, 1000, 999_937]:
+                t = time_from_work(work, capacity)
+                assert work_from_time(t, capacity) >= work
+
+    def test_zero_work_zero_time(self):
+        assert time_from_work(0, 1000) == 0
+        assert work_from_time(0, 1000) == 0
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            work_from_time(-1, 100)
+
+    def test_negative_work_rejected(self):
+        with pytest.raises(ValueError):
+            time_from_work(-1, 100)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            time_from_work(10, 0)

@@ -1,0 +1,74 @@
+"""Text visualization: tables, charts, sparklines."""
+
+import pytest
+
+from repro.viz.ascii_chart import line_chart, sparkline
+from repro.viz.table import format_table
+
+
+class TestTable:
+    def test_alignment_and_headers(self):
+        out = format_table(["name", "value"], [["a", 1], ["long-name", 22]])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", " "}
+        assert len(lines) == 4
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # all rows padded to the same width
+
+    def test_title(self):
+        out = format_table(["h"], [[1]], title="My Title")
+        assert out.splitlines()[0] == "My Title"
+
+    def test_float_formatting(self):
+        out = format_table(["v"], [[0.123456], [1234.5678], [2.5]])
+        assert "0.1235" in out
+        assert "1235" in out
+        assert "2.500" in out
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_length_capped_at_width(self):
+        assert len(sparkline(list(range(1000)), width=40)) == 40
+
+    def test_short_series_kept(self):
+        assert len(sparkline([1, 2, 3], width=40)) == 3
+
+    def test_monotone_series_monotone_chars(self):
+        from repro.viz.ascii_chart import _SPARK_LEVELS
+        chars = sparkline([0, 1, 2, 3, 4, 5, 6, 7, 8, 9])
+        levels = [_SPARK_LEVELS.index(c) for c in chars]
+        assert levels == sorted(levels)
+
+    def test_flat_series(self):
+        assert set(sparkline([5, 5, 5])) <= {" "}
+
+
+class TestLineChart:
+    def test_contains_series_marks_and_legend(self):
+        out = line_chart({"up": [0, 1, 2, 3], "down": [3, 2, 1, 0]},
+                         height=6, width=20)
+        assert "u=up" in out
+        assert "d=down" in out
+        assert "u" in out
+        assert "d" in out
+
+    def test_empty_series(self):
+        assert line_chart({}) == ""
+        assert line_chart({"x": []}, title="t") == "t"
+
+    def test_dimensions(self):
+        out = line_chart({"a": [1, 2]}, height=5, width=10, title="T")
+        lines = out.splitlines()
+        # title + max + 5 rows + axis + min + legend
+        assert len(lines) == 10
+        chart_rows = [l for l in lines if l.startswith("|")]
+        assert len(chart_rows) == 5
+        assert all(len(l) == 11 for l in chart_rows)

@@ -1,0 +1,102 @@
+"""Gantt rendering and trace-file workloads."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.threads.segments import Compute
+from repro.units import MS, SECOND
+from repro.viz.gantt import gantt_chart
+from repro.workloads.tracefile import (
+    load_frame_trace,
+    save_frame_trace,
+    workload_from_trace,
+)
+
+KILO = 1000
+
+
+class TestGantt:
+    def test_alternating_threads_render(self, harness):
+        a = harness.spawn_segments("aa", [Compute(20 * KILO)])
+        b = harness.spawn_segments("bb", [Compute(20 * KILO)])
+        harness.machine.run_until(SECOND)
+        chart = gantt_chart(harness.recorder, [a, b], start=0,
+                            end=40 * MS, width=40, title="cpu")
+        lines = chart.splitlines()
+        assert lines[0] == "cpu"
+        row_a = lines[1]
+        row_b = lines[2]
+        assert row_a.startswith("aa |")
+        # a runs the 1st and 3rd quarter; b the 2nd and 4th
+        strip_a = row_a.split("|")[1]
+        strip_b = row_b.split("|")[1]
+        assert strip_a[:10].count("#") == 10
+        assert strip_b[:10].count(".") == 10
+        assert strip_b[10:20].count("#") == 10
+
+    def test_default_end_covers_timeline(self, harness):
+        a = harness.spawn_segments("a", [Compute(5 * KILO)])
+        harness.machine.run_until(SECOND)
+        chart = gantt_chart(harness.recorder, [a])
+        assert "#" in chart
+
+
+class TestTraceFile:
+    def test_plain_round_trip(self, tmp_path):
+        path = str(tmp_path / "trace.txt")
+        save_frame_trace(path, [100, 200, 300], header_comment="test clip")
+        assert load_frame_trace(path) == [100, 200, 300]
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = str(tmp_path / "trace.txt")
+        with open(path, "w") as handle:
+            handle.write("# header\n100\n\n200  # inline\n")
+        assert load_frame_trace(path) == [100, 200]
+
+    def test_csv_column(self, tmp_path):
+        path = str(tmp_path / "trace.csv")
+        with open(path, "w") as handle:
+            handle.write("frame,cost\n0,1000\n1,2000\n")
+        assert load_frame_trace(path, column="cost") == [1000, 2000]
+
+    def test_missing_csv_column(self, tmp_path):
+        path = str(tmp_path / "trace.csv")
+        with open(path, "w") as handle:
+            handle.write("frame,cost\n0,1000\n")
+        with pytest.raises(WorkloadError):
+            load_frame_trace(path, column="cycles")
+
+    def test_scale(self, tmp_path):
+        path = str(tmp_path / "trace.txt")
+        save_frame_trace(path, [100])
+        assert load_frame_trace(path, scale=2.5) == [250]
+
+    def test_bad_values_rejected(self, tmp_path):
+        path = str(tmp_path / "trace.txt")
+        with open(path, "w") as handle:
+            handle.write("abc\n")
+        with pytest.raises(WorkloadError):
+            load_frame_trace(path)
+        with open(path, "w") as handle:
+            handle.write("0\n")
+        with pytest.raises(WorkloadError):
+            load_frame_trace(path)
+
+    def test_empty_rejected(self, tmp_path):
+        path = str(tmp_path / "trace.txt")
+        with open(path, "w") as handle:
+            handle.write("# nothing\n")
+        with pytest.raises(WorkloadError):
+            load_frame_trace(path)
+
+    def test_workload_from_trace_runs_on_machine(self, tmp_path, harness):
+        path = str(tmp_path / "trace.txt")
+        save_frame_trace(path, [KILO, 2 * KILO])
+        workload = workload_from_trace(path, loop=3)
+        from repro.threads.thread import SimThread
+        thread = SimThread("player", workload)
+        harness.leaf.attach_thread(thread)
+        harness.machine.spawn(thread)
+        harness.machine.run_until(SECOND)
+        assert thread.stats.markers["frames"] == 6
+        assert thread.stats.work_done == 3 * (KILO + 2 * KILO)

@@ -1,0 +1,61 @@
+"""Tree rendering and the Figure 6 descriptor experiment."""
+
+from repro.core.structure import SchedulingStructure
+from repro.experiments import figure6
+from repro.schedulers.sfq_leaf import SfqScheduler
+from repro.schedulers.svr4 import Svr4TimeSharing
+from repro.threads.segments import SegmentListWorkload
+from repro.threads.thread import SimThread
+from repro.viz.tree import render_structure
+
+
+class TestRenderStructure:
+    def build(self):
+        structure = SchedulingStructure()
+        structure.mknod("/rt", 1, scheduler=SfqScheduler())
+        best = structure.mknod("/best", 6)
+        structure.mknod("u1", 1, parent=best, scheduler=SfqScheduler())
+        structure.mknod("u2", 1, parent=best, scheduler=Svr4TimeSharing())
+        return structure
+
+    def test_one_line_per_node(self):
+        structure = self.build()
+        lines = render_structure(structure).splitlines()
+        assert len(lines) == 5  # root + 4 nodes
+
+    def test_shows_weights_and_algorithms(self):
+        text = render_structure(self.build())
+        assert "w=6" in text
+        assert "[sfq]" in text
+        assert "[svr4-ts]" in text
+
+    def test_nesting_markers(self):
+        text = render_structure(self.build())
+        assert "├── " in text
+        assert "└── " in text
+        assert "│   " in text or "    └── " in text
+
+    def test_threads_listed(self):
+        structure = self.build()
+        leaf = structure.parse("/rt")
+        leaf.attach_thread(SimThread("audio", SegmentListWorkload([])))
+        text = render_structure(structure)
+        assert "{audio}" in text
+
+    def test_runnable_marker(self):
+        structure = self.build()
+        leaf = structure.parse("/rt")
+        leaf.runnable = True
+        assert "[sfq] *" in render_structure(structure)
+
+
+class TestFigure6Experiment:
+    def test_lists_paper_nodes(self):
+        result = figure6.run()
+        paths = result.column("node")
+        assert paths == ["/SFQ-1", "/SFQ-2", "/SVR4"]
+        assert result.column("weight") == [2, 6, 1]
+
+    def test_render_included(self):
+        result = figure6.run()
+        assert any("└── SVR4" in note for note in result.notes)

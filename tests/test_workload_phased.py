@@ -1,0 +1,73 @@
+"""The deterministic phased workload."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.threads.segments import Compute, SleepUntil
+from repro.threads.thread import SimThread
+from repro.units import MS, SECOND
+from repro.workloads.phased import PhasedWorkload
+
+from tests.conftest import Harness
+
+KILO = 1000
+
+
+def dummy(workload):
+    return SimThread("t", workload)
+
+
+class TestPhasedWorkload:
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            PhasedWorkload(on=0, cycle=SECOND, batch=1)
+        with pytest.raises(WorkloadError):
+            PhasedWorkload(on=2 * SECOND, cycle=SECOND, batch=1)
+        with pytest.raises(WorkloadError):
+            PhasedWorkload(on=SECOND, cycle=SECOND, batch=0)
+
+    def test_computes_during_on_phase(self):
+        wl = PhasedWorkload(on=700 * MS, cycle=SECOND, batch=KILO)
+        thread = dummy(wl)
+        assert isinstance(wl.next_segment(0, thread), Compute)
+        assert isinstance(wl.next_segment(699 * MS, thread), Compute)
+
+    def test_sleeps_to_next_cycle(self):
+        wl = PhasedWorkload(on=700 * MS, cycle=SECOND, batch=KILO)
+        thread = dummy(wl)
+        segment = wl.next_segment(800 * MS, thread)
+        assert isinstance(segment, SleepUntil)
+        assert segment.wakeup == SECOND
+
+    def test_always_on(self):
+        wl = PhasedWorkload(on=SECOND, cycle=SECOND, batch=KILO)
+        thread = dummy(wl)
+        for t in (0, 500 * MS, 999 * MS):
+            assert isinstance(wl.next_segment(t, thread), Compute)
+
+    def test_phase_offset(self):
+        wl = PhasedWorkload(on=500 * MS, cycle=SECOND, batch=KILO,
+                            phase=500 * MS)
+        thread = dummy(wl)
+        # with a half-cycle offset, t=0 is already in the off window
+        assert isinstance(wl.next_segment(0, thread), SleepUntil)
+        assert isinstance(wl.next_segment(600 * MS, thread), Compute)
+
+    def test_is_on_and_window_fully_on(self):
+        wl = PhasedWorkload(on=700 * MS, cycle=SECOND, batch=KILO)
+        assert wl.is_on(0)
+        assert wl.is_on(699 * MS)
+        assert not wl.is_on(700 * MS)
+        assert wl.window_fully_on(100 * MS, 600 * MS)
+        assert not wl.window_fully_on(600 * MS, 800 * MS)
+        assert wl.window_fully_on(SECOND, SECOND + 100 * MS)
+
+    def test_demand_on_machine(self, harness):
+        wl = PhasedWorkload(on=300 * MS, cycle=SECOND, batch=KILO)
+        thread = SimThread("phased", wl)
+        harness.leaf.attach_thread(thread)
+        harness.machine.spawn(thread)
+        harness.machine.run_until(5 * SECOND)
+        # alone on the machine: exactly 30% duty cycle
+        assert thread.stats.work_done == pytest.approx(1500 * KILO,
+                                                       rel=0.01)

@@ -1,0 +1,236 @@
+"""Workload generators: Dhrystone, MPEG, periodic, interactive, bursty."""
+
+import pytest
+
+from repro.analysis.stats import coefficient_of_variation, mean
+from repro.errors import WorkloadError
+from repro.sim.rng import make_rng
+from repro.threads.segments import Compute, Exit, SleepFor, SleepUntil
+from repro.threads.thread import SimThread
+from repro.units import MS, SECOND
+from repro.workloads.bursty import BurstyWorkload
+from repro.workloads.dhrystone import DhrystoneWorkload, loops_completed
+from repro.workloads.interactive import InteractiveWorkload
+from repro.workloads.mpeg import MpegDecodeWorkload, MpegVbrModel
+from repro.workloads.periodic import PeriodicWorkload
+
+from tests.conftest import FlatHarness
+from repro.schedulers.fifo import FifoScheduler
+
+KILO = 1000
+
+
+def dummy_thread(workload):
+    return SimThread("t", workload)
+
+
+class TestDhrystone:
+    def test_emits_compute_batches(self):
+        wl = DhrystoneWorkload(loop_cost=300, batch=100)
+        thread = dummy_thread(wl)
+        seg = wl.next_segment(0, thread)
+        assert isinstance(seg, Compute)
+        assert seg.work == 30_000
+
+    def test_loops_from_work(self):
+        wl = DhrystoneWorkload(loop_cost=300)
+        thread = dummy_thread(wl)
+        thread.stats.work_done = 3100
+        assert loops_completed(thread) == 10
+
+    def test_loops_requires_dhrystone(self):
+        thread = dummy_thread(BurstyWorkload(1, 1))
+        with pytest.raises(WorkloadError):
+            loops_completed(thread)
+
+    def test_invalid_params(self):
+        with pytest.raises(WorkloadError):
+            DhrystoneWorkload(loop_cost=0)
+
+
+class TestMpegModel:
+    def test_deterministic_given_seed(self):
+        assert MpegVbrModel(seed=4).frame_costs(50) == \
+            MpegVbrModel(seed=4).frame_costs(50)
+
+    def test_seeds_differ(self):
+        assert MpegVbrModel(seed=4).frame_costs(50) != \
+            MpegVbrModel(seed=5).frame_costs(50)
+
+    def test_mean_cost_calibration(self):
+        model = MpegVbrModel(seed=1, mean_cost=2_000_000)
+        costs = model.frame_costs(5000)
+        assert mean(costs) == pytest.approx(2_000_000, rel=0.15)
+
+    def test_frame_type_ordering(self):
+        model = MpegVbrModel(seed=2)
+        costs = model.frame_costs(2400)
+        groups = {"I": [], "P": [], "B": []}
+        for index, cost in enumerate(costs):
+            groups[model.frame_type(index)].append(cost)
+        assert mean(groups["I"]) > mean(groups["P"]) > mean(groups["B"])
+
+    def test_two_timescale_variability(self):
+        model = MpegVbrModel(seed=3)
+        costs = model.frame_costs(3000)
+        frame_cov = coefficient_of_variation(costs)
+        per_second = [mean(costs[i:i + 30]) for i in range(0, 2970, 30)]
+        scene_cov = coefficient_of_variation(per_second)
+        assert frame_cov > 0.3       # frame-to-frame (GOP) variation
+        assert scene_cov > 0.05      # scene-to-scene variation
+        assert scene_cov < frame_cov
+
+    def test_gop_validation(self):
+        with pytest.raises(WorkloadError):
+            MpegVbrModel(gop="IXP")
+
+    def test_frame_period(self):
+        assert MpegVbrModel(frame_rate=30).frame_period == SECOND // 30
+
+
+class TestMpegDecodeWorkload:
+    def test_unpaced_decodes_back_to_back(self):
+        wl = MpegDecodeWorkload([100, 200, 300])
+        thread = dummy_thread(wl)
+        segs = [wl.next_segment(0, thread) for __ in range(4)]
+        assert [s.work for s in segs[:3]] == [100, 200, 300]
+        assert isinstance(segs[3], Exit)
+        assert wl.frames_decoded == 3
+        assert thread.stats.markers["frames"] == 3
+
+    def test_frame_count_limit(self):
+        model = MpegVbrModel(seed=1)
+        wl = MpegDecodeWorkload(model, frame_count=2)
+        thread = dummy_thread(wl)
+        assert isinstance(wl.next_segment(0, thread), Compute)
+        assert isinstance(wl.next_segment(0, thread), Compute)
+        assert isinstance(wl.next_segment(0, thread), Exit)
+
+    def test_frame_count_exceeding_list_rejected(self):
+        with pytest.raises(WorkloadError):
+            MpegDecodeWorkload([1, 2], frame_count=3)
+
+    def test_paced_sleeps_when_ahead(self):
+        wl = MpegDecodeWorkload([100] * 100, paced=True, lookahead=2,
+                                frame_period=33 * MS)
+        thread = dummy_thread(wl)
+        segs = []
+        now = 0
+        for __ in range(4):
+            seg = wl.next_segment(now, thread)
+            segs.append(seg)
+            now += 1 * MS
+        # after decoding 2 frames at t ~ 0, it is lookahead ahead: sleeps
+        assert isinstance(segs[0], Compute)
+        assert isinstance(segs[1], Compute)
+        assert isinstance(segs[2], SleepUntil)
+
+    def test_paced_on_machine_tracks_display_rate(self):
+        harness = FlatHarness(FifoScheduler(), capacity_ips=1_000_000)
+        model_costs = [1 * KILO] * 400  # 1 ms decode per 33 ms frame
+        wl = MpegDecodeWorkload(model_costs, paced=True,
+                                frame_period=33 * MS)
+        thread = SimThread("player", wl)
+        harness.machine.spawn(thread)
+        harness.machine.run_until(2 * SECOND)
+        # ~30 fps for 2 s plus the lookahead buffer
+        assert thread.stats.markers["frames"] == pytest.approx(64, abs=6)
+
+    def test_reset(self):
+        wl = MpegDecodeWorkload([100, 200])
+        thread = dummy_thread(wl)
+        wl.next_segment(0, thread)
+        wl.reset()
+        assert wl.frames_decoded == 0
+
+
+class TestPeriodic:
+    def test_release_sleep_compute_cycle(self):
+        wl = PeriodicWorkload(period=100 * MS, cost=5 * KILO,
+                              offset=10 * MS)
+        thread = dummy_thread(wl)
+        seg = wl.next_segment(0, thread)
+        assert isinstance(seg, SleepUntil)
+        assert seg.wakeup == 10 * MS
+        seg = wl.next_segment(10 * MS, thread)
+        assert isinstance(seg, Compute)
+        seg = wl.next_segment(15 * MS, thread)
+        assert isinstance(seg, SleepUntil)
+        assert seg.wakeup == 110 * MS
+
+    def test_releases_recorded(self):
+        wl = PeriodicWorkload(period=100 * MS, cost=KILO)
+        thread = dummy_thread(wl)
+        wl.next_segment(0, thread)  # immediate release at offset 0
+        assert wl.releases == [0]
+
+    def test_deadline_is_next_release(self):
+        wl = PeriodicWorkload(period=100 * MS, cost=KILO, offset=50 * MS)
+        assert wl.deadline(0) == 150 * MS
+        assert wl.deadline(3) == 450 * MS
+
+    def test_rounds_limit(self):
+        wl = PeriodicWorkload(period=10 * MS, cost=KILO, rounds=2)
+        thread = dummy_thread(wl)
+        segments = [wl.next_segment(i * 10 * MS, thread) for i in range(6)]
+        assert any(isinstance(s, Exit) for s in segments)
+
+    def test_callable_cost(self):
+        wl = PeriodicWorkload(period=10 * MS, cost=lambda k: (k + 1) * 100)
+        thread = dummy_thread(wl)
+        seg = wl.next_segment(0, thread)
+        assert seg.work == 100
+
+    def test_overrun_computes_immediately(self):
+        wl = PeriodicWorkload(period=10 * MS, cost=KILO)
+        thread = dummy_thread(wl)
+        wl.next_segment(0, thread)          # round 0 at release 0
+        seg = wl.next_segment(25 * MS, thread)  # round 1 released at 10 ms
+        assert isinstance(seg, Compute)     # overrun: no sleep
+
+    def test_invalid_params(self):
+        with pytest.raises(WorkloadError):
+            PeriodicWorkload(period=0, cost=1)
+        with pytest.raises(WorkloadError):
+            PeriodicWorkload(period=10, cost=0)
+
+
+class TestInteractiveAndBursty:
+    def test_interactive_alternates(self):
+        wl = InteractiveWorkload(burst_work=KILO, think_time=10 * MS,
+                                 rng=make_rng(1, "i"))
+        thread = dummy_thread(wl)
+        assert isinstance(wl.next_segment(0, thread), Compute)
+        assert isinstance(wl.next_segment(0, thread), SleepFor)
+        assert isinstance(wl.next_segment(0, thread), Compute)
+
+    def test_interactive_limit(self):
+        wl = InteractiveWorkload(burst_work=KILO, think_time=MS,
+                                 rng=make_rng(1, "i"), interactions=1)
+        thread = dummy_thread(wl)
+        wl.next_segment(0, thread)
+        wl.next_segment(0, thread)
+        assert isinstance(wl.next_segment(0, thread), Exit)
+
+    def test_bursty_alternates(self):
+        wl = BurstyWorkload(mean_busy_work=KILO, mean_idle_time=MS,
+                            rng=make_rng(2, "b"))
+        thread = dummy_thread(wl)
+        assert isinstance(wl.next_segment(0, thread), Compute)
+        assert isinstance(wl.next_segment(0, thread), SleepFor)
+
+    def test_bursty_mean_calibration(self):
+        wl = BurstyWorkload(mean_busy_work=10 * KILO, mean_idle_time=MS,
+                            rng=make_rng(3, "b"))
+        thread = dummy_thread(wl)
+        works = []
+        for __ in range(600):
+            works.append(wl.next_segment(0, thread).work)
+            wl.next_segment(0, thread)
+        assert mean(works) == pytest.approx(10 * KILO, rel=0.15)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            InteractiveWorkload(0, 1)
+        with pytest.raises(WorkloadError):
+            BurstyWorkload(1, 0)
