@@ -1,12 +1,23 @@
 # Convenience targets; plain pytest works too.
 
-.PHONY: install test bench experiments quick-experiments examples clean
+.PHONY: install test test-schedsan lint bench experiments quick-experiments examples clean
 
 install:
 	pip install -e .
 
 test:
 	pytest tests/ -q
+
+test-schedsan:
+	REPRO_SCHEDSAN=1 pytest tests/ -q
+
+lint:
+	PYTHONPATH=src python -m repro.devtools.schedlint src/
+	@if command -v mypy >/dev/null 2>&1; then \
+		mypy --config-file setup.cfg; \
+	else \
+		echo "mypy not installed; skipping typed-core check"; \
+	fi
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -30,6 +30,7 @@ from typing import List, Optional
 from repro.cpu.costs import SchedulingCostModel
 from repro.cpu.interface import TopScheduler
 from repro.cpu.interrupts import InterruptSource
+from repro.devtools.schedsan import maybe_wrap as _schedsan_wrap
 from repro.errors import SchedulingError, SimulationError, WorkloadError
 from repro.sim.engine import Simulator
 from repro.sync.mutex import Acquire, Release
@@ -86,6 +87,9 @@ class Machine:
         if default_quantum <= 0:
             raise SimulationError("default quantum must be positive")
         self.engine = engine
+        # Opt-in sanitizer (REPRO_SCHEDSAN=1): audits every scheduler
+        # interaction below; a no-op pass-through when disabled.
+        scheduler = _schedsan_wrap(scheduler)
         self.scheduler = scheduler
         self.capacity_ips = capacity_ips
         self.default_quantum = default_quantum

@@ -1,0 +1,20 @@
+"""Correctness tooling for the reproduction.
+
+Two independent layers guard the properties everything else relies on —
+determinism of the simulator and the SFQ / leaf-scheduler contracts:
+
+* :mod:`repro.devtools.schedlint` — a static (AST) checker with per-rule
+  codes (``SL001``...), run as ``python -m repro.devtools.schedlint src/``.
+  It catches the regressions a diff reviewer cannot see: wall-clock reads,
+  unseeded randomness, unordered-set iteration in dispatch paths, float
+  drift in tag arithmetic, and leaf schedulers silently departing from the
+  :class:`~repro.schedulers.base.LeafScheduler` contract.
+* :mod:`repro.devtools.schedsan` — SCHEDSAN, an opt-in runtime sanitizer
+  (``REPRO_SCHEDSAN=1``) that audits every scheduler interaction a machine
+  makes and reports invariant violations with the offending node path and
+  simulation time.
+
+Neither layer imports anything outside the standard library, and neither
+costs anything when not in use: schedlint runs offline, SCHEDSAN is a
+no-op unless the environment variable is set.
+"""

@@ -1,0 +1,261 @@
+"""schedlint: a domain-specific static checker for the scheduler codebase.
+
+The simulator's value rests on two properties no unit test can fully
+guarantee: every run is *deterministic*, and every scheduler honours the
+SFQ invariants and the :class:`~repro.schedulers.base.LeafScheduler`
+lifecycle contract.  schedlint enforces the code patterns those properties
+depend on, using only the standard :mod:`ast` module.
+
+Rules (see :mod:`repro.devtools.schedlint.rules` and
+:mod:`repro.devtools.schedlint.contract` for the implementations):
+
+========  ==============================================================
+code       meaning
+========  ==============================================================
+SL001      wall-clock or entropy read inside the simulator
+SL002      unseeded randomness outside ``repro.sim.rng``
+SL003      iteration over an unordered set in a dispatch-path module
+SL004      float literal or true division in a tag-arithmetic module
+SL005      ``LeafScheduler`` subclass departs from the contract
+========  ==============================================================
+
+Suppressions
+------------
+
+Append ``# schedlint: disable=SL001`` (comma-separate several codes, or
+use ``all``) to a line to silence findings reported *on that line*.  A
+line containing ``# schedlint: disable-file=SL004`` anywhere in a file
+silences the code for the whole file.  Suppressions are deliberate,
+reviewable markers — the catalogue in ``docs/STATIC_ANALYSIS.md``
+explains when each is legitimate.
+
+Fixture files (and any file living outside ``src/repro``) may declare the
+module they stand in for with a first-line directive::
+
+    # schedlint-fixture-module: repro/schedulers/example.py
+
+so path-scoped rules apply as if the code lived at that path.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Finding",
+    "FileContext",
+    "LintError",
+    "all_rules",
+    "module_path_for",
+    "check_source",
+    "check_file",
+    "check_paths",
+]
+
+_SUPPRESS_RE = re.compile(r"#\s*schedlint:\s*disable=([A-Za-z0-9_,\s]+)")
+_SUPPRESS_FILE_RE = re.compile(r"#\s*schedlint:\s*disable-file=([A-Za-z0-9_,\s]+)")
+_FIXTURE_MODULE_RE = re.compile(r"#\s*schedlint-fixture-module:\s*(\S+)")
+
+
+class LintError(Exception):
+    """A file could not be checked (I/O or syntax error)."""
+
+
+class Finding:
+    """One rule violation at a source location."""
+
+    __slots__ = ("path", "line", "col", "code", "message")
+
+    def __init__(self, path: str, line: int, col: int, code: str,
+                 message: str) -> None:
+        self.path = path
+        self.line = line
+        self.col = col
+        self.code = code
+        self.message = message
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        """Stable ordering: by path, then line, column, and code."""
+        return (self.path, self.line, self.col, self.code)
+
+    def __repr__(self) -> str:
+        return "Finding(%s:%d:%d %s)" % (self.path, self.line, self.col, self.code)
+
+    def __str__(self) -> str:
+        return "%s:%d:%d: %s %s" % (
+            self.path, self.line, self.col, self.code, self.message)
+
+
+class FileContext:
+    """Everything a rule needs to know about one file under check."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module,
+                 module: Optional[str]) -> None:
+        self.path = path
+        self.source = source
+        self.tree = tree
+        #: path relative to the package root, e.g. ``repro/core/sfq.py``;
+        #: ``None`` when the file does not belong to the package tree.
+        self.module = module
+
+    def finding(self, node: ast.AST, code: str, message: str) -> Finding:
+        """Build a :class:`Finding` located at ``node``."""
+        return Finding(self.path, getattr(node, "lineno", 1),
+                       getattr(node, "col_offset", 0), code, message)
+
+    # --- module-scope helpers used by the rules ---------------------------
+
+    def in_module(self, *prefixes: str) -> bool:
+        """True when this file's module path starts with any of ``prefixes``.
+
+        A prefix ending in ``.py`` must match exactly; otherwise it names a
+        package directory.
+        """
+        if self.module is None:
+            return False
+        for prefix in prefixes:
+            if prefix.endswith(".py"):
+                if self.module == prefix:
+                    return True
+            elif self.module.startswith(prefix):
+                return True
+        return False
+
+
+class Rule:
+    """A named check producing :class:`Finding` objects for a file."""
+
+    code = "SL000"
+    name = "abstract"
+    summary = ""
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Yield findings for ``ctx``; suppression filtering happens later."""
+        raise NotImplementedError
+
+
+_REGISTRY: List[Rule] = []
+
+
+def register(rule_cls: Callable[[], Rule]) -> Callable[[], Rule]:
+    """Class decorator adding a rule (by instance) to the global registry."""
+    rule = rule_cls()
+    for existing in _REGISTRY:
+        if existing.code == rule.code:
+            raise ValueError("duplicate rule code %s" % rule.code)
+    _REGISTRY.append(rule)
+    return rule_cls
+
+
+def all_rules() -> Sequence[Rule]:
+    """The registered rules, importing the built-in rule modules on demand."""
+    # Import for the side effect of registration; kept lazy so the
+    # framework itself stays importable from the rule modules.
+    from repro.devtools.schedlint import contract, rules  # noqa: F401
+    return tuple(sorted(_REGISTRY, key=lambda rule: rule.code))
+
+
+# --- suppression handling ----------------------------------------------------
+
+
+def _parse_codes(raw: str) -> List[str]:
+    return [code.strip().upper() for code in raw.split(",") if code.strip()]
+
+
+def _suppressions(source: str):
+    """Return (per-line, whole-file) suppression maps for ``source``."""
+    per_line = {}
+    whole_file: List[str] = []
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(line)
+        if match:
+            per_line.setdefault(lineno, []).extend(_parse_codes(match.group(1)))
+        match = _SUPPRESS_FILE_RE.search(line)
+        if match:
+            whole_file.extend(_parse_codes(match.group(1)))
+    return per_line, whole_file
+
+
+def _suppressed(finding: Finding, per_line, whole_file) -> bool:
+    codes = per_line.get(finding.line, []) + whole_file
+    return finding.code in codes or "ALL" in codes
+
+
+# --- module-path resolution --------------------------------------------------
+
+
+def module_path_for(path: str) -> Optional[str]:
+    """Map a filesystem path to a ``repro/...`` module path, if possible.
+
+    The last ``repro`` component in the path anchors the package root, so
+    ``src/repro/core/sfq.py``, ``/abs/src/repro/core/sfq.py`` and
+    ``repro/core/sfq.py`` all resolve to ``repro/core/sfq.py``.
+    """
+    parts = path.replace("\\", "/").split("/")
+    for index in range(len(parts) - 1, -1, -1):
+        if parts[index] == "repro":
+            return "/".join(parts[index:])
+    return None
+
+
+# --- entry points ------------------------------------------------------------
+
+
+def check_source(source: str, path: str = "<string>",
+                 module: Optional[str] = None,
+                 rules: Optional[Iterable[Rule]] = None) -> List[Finding]:
+    """Check a source string; returns findings surviving suppressions."""
+    directive = _FIXTURE_MODULE_RE.search(source)
+    if directive is not None:
+        module = directive.group(1)
+    elif module is None:
+        module = module_path_for(path)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        raise LintError("%s: syntax error: %s" % (path, exc)) from exc
+    ctx = FileContext(path, source, tree, module)
+    per_line, whole_file = _suppressions(source)
+    findings: List[Finding] = []
+    for rule in (all_rules() if rules is None else rules):
+        for finding in rule.check(ctx):
+            if not _suppressed(finding, per_line, whole_file):
+                findings.append(finding)
+    findings.sort(key=Finding.sort_key)
+    return findings
+
+
+def check_file(path: str, rules: Optional[Iterable[Rule]] = None) -> List[Finding]:
+    """Check one file on disk."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+    except OSError as exc:
+        raise LintError("%s: %s" % (path, exc)) from exc
+    return check_source(source, path=path, rules=rules)
+
+
+def check_paths(paths: Iterable[str],
+                rules: Optional[Iterable[Rule]] = None) -> List[Finding]:
+    """Check files and directories (recursed for ``*.py``), sorted output."""
+    import os
+
+    files: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(
+                    d for d in dirnames
+                    if d not in ("__pycache__", ".git") and not d.endswith(".egg-info"))
+                for filename in sorted(filenames):
+                    if filename.endswith(".py"):
+                        files.append(os.path.join(dirpath, filename))
+        else:
+            files.append(path)
+    findings: List[Finding] = []
+    for filename in files:
+        findings.extend(check_file(filename, rules=rules))
+    findings.sort(key=Finding.sort_key)
+    return findings

@@ -1,0 +1,8 @@
+"""Entry point for ``python -m repro.devtools.schedlint``."""
+
+import sys
+
+from repro.devtools.schedlint.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

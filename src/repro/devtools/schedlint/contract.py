@@ -1,0 +1,195 @@
+"""SL005: static conformance to the ``LeafScheduler`` contract.
+
+``repro/schedulers/base.py`` spells out the lifecycle every leaf scheduler
+must honour; the runtime half is checked by the conformance test suite and
+by SCHEDSAN.  This rule catches the static half at review time: a subclass
+that forgets to override part of the required method set, renames a
+parameter (breaking keyword callers and the documented signatures), or
+ships without an ``algorithm`` name would otherwise surface as a confusing
+``NotImplementedError`` deep inside a simulation.
+
+Inheritance is resolved *within the checked file*: a concrete scheduler may
+take any required method from an in-file base class or mixin (see
+``repro/schedulers/fairqueue.py``).  Classes whose names start with an
+underscore are treated as abstract bases and are themselves not required to
+be complete.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.devtools.schedlint import FileContext, Finding, Rule, register
+
+#: method name -> required positional parameter names (including ``self``)
+REQUIRED_METHODS: Dict[str, Tuple[str, ...]] = {
+    "add_thread": ("self", "thread"),
+    "remove_thread": ("self", "thread"),
+    "on_runnable": ("self", "thread", "now"),
+    "on_block": ("self", "thread", "now"),
+    "pick_next": ("self", "now"),
+    "charge": ("self", "thread", "work", "now"),
+    "has_runnable": ("self",),
+}
+
+#: optional overrides still checked for signature fidelity when present
+OPTIONAL_METHODS: Dict[str, Tuple[str, ...]] = {
+    "quantum_for": ("self", "thread"),
+    "should_preempt": ("self", "current", "candidate", "now"),
+}
+
+_BASE_NAME = "LeafScheduler"
+
+
+def _base_names(node: ast.ClassDef) -> List[str]:
+    names = []
+    for base in node.bases:
+        if isinstance(base, ast.Name):
+            names.append(base.id)
+        elif isinstance(base, ast.Attribute):
+            names.append(base.attr)
+    return names
+
+
+class _ClassInfo:
+    __slots__ = ("node", "bases", "methods", "algorithm")
+
+    def __init__(self, node: ast.ClassDef) -> None:
+        self.node = node
+        self.bases = _base_names(node)
+        self.methods: Dict[str, ast.FunctionDef] = {}
+        self.algorithm: Optional[str] = None
+        for stmt in node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.methods[stmt.name] = stmt  # type: ignore[assignment]
+            elif isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name) and target.id == "algorithm":
+                        if isinstance(stmt.value, ast.Constant) and isinstance(
+                                stmt.value.value, str):
+                            self.algorithm = stmt.value.value
+                        else:
+                            self.algorithm = "<dynamic>"
+            elif isinstance(stmt, ast.AnnAssign):
+                if (isinstance(stmt.target, ast.Name)
+                        and stmt.target.id == "algorithm"
+                        and stmt.value is not None):
+                    if isinstance(stmt.value, ast.Constant) and isinstance(
+                            stmt.value.value, str):
+                        self.algorithm = stmt.value.value
+                    else:
+                        self.algorithm = "<dynamic>"
+
+
+def _positional_params(func: ast.FunctionDef) -> Tuple[str, ...]:
+    args = func.args
+    return tuple(arg.arg for arg in args.posonlyargs + args.args)
+
+
+@register
+class LeafContractRule(Rule):
+    """SL005: every concrete ``LeafScheduler`` subclass implements the
+    full required-method set with the documented signatures and names its
+    ``algorithm``."""
+
+    code = "SL005"
+    name = "leaf-contract"
+    summary = "LeafScheduler subclass departs from the contract"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        classes: Dict[str, _ClassInfo] = {}
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                classes[node.name] = _ClassInfo(node)
+
+        # The defining module is the contract itself, not a subclass.
+        if ctx.in_module("repro/schedulers/base.py"):
+            return
+
+        def is_leaf_subclass(name: str, seen: Optional[set] = None) -> bool:
+            if name == _BASE_NAME:
+                return True
+            info = classes.get(name)
+            if info is None:
+                return False
+            if seen is None:
+                seen = set()
+            if name in seen:
+                return False
+            seen.add(name)
+            return any(is_leaf_subclass(base, seen) for base in info.bases)
+
+        def resolve(name: str, seen: Optional[set] = None):
+            """Depth-first, left-to-right method/attribute resolution over
+            the in-file class graph (an MRO approximation sufficient for
+            this codebase's single-file hierarchies)."""
+            methods: Dict[str, ast.FunctionDef] = {}
+            algorithm: Optional[str] = None
+            info = classes.get(name)
+            if info is None:
+                return methods, algorithm
+            if seen is None:
+                seen = set()
+            if name in seen:
+                return methods, algorithm
+            seen.add(name)
+            methods.update(info.methods)
+            algorithm = info.algorithm
+            for base in info.bases:
+                base_methods, base_algorithm = resolve(base, seen)
+                for method_name, func in base_methods.items():
+                    methods.setdefault(method_name, func)
+                if algorithm is None:
+                    algorithm = base_algorithm
+            return methods, algorithm
+
+        for name, info in sorted(classes.items()):
+            if name == _BASE_NAME or not is_leaf_subclass(name):
+                continue
+            if name.startswith("_"):
+                continue  # abstract base / mixin by convention
+            methods, algorithm = resolve(name)
+
+            for method_name, expected in REQUIRED_METHODS.items():
+                func = methods.get(method_name)
+                if func is None:
+                    yield ctx.finding(
+                        info.node, self.code,
+                        "%s does not implement required LeafScheduler method "
+                        "%s(%s)" % (name, method_name, ", ".join(expected[1:])))
+                    continue
+                yield from self._check_signature(ctx, name, func, expected)
+
+            for method_name, expected in OPTIONAL_METHODS.items():
+                func = info.methods.get(method_name)
+                if func is not None:
+                    yield from self._check_signature(ctx, name, func, expected)
+
+            if algorithm is None or algorithm == "abstract":
+                yield ctx.finding(
+                    info.node, self.code,
+                    "%s must define a non-'abstract' `algorithm` class "
+                    "attribute (used in experiment output)" % name)
+
+    def _check_signature(self, ctx: FileContext, class_name: str,
+                         func: ast.FunctionDef,
+                         expected: Tuple[str, ...]) -> Iterator[Finding]:
+        if isinstance(func, ast.AsyncFunctionDef):
+            yield ctx.finding(
+                func, self.code,
+                "%s.%s must not be async: the machine calls it synchronously"
+                % (class_name, func.name))
+            return
+        actual = _positional_params(func)
+        if actual != expected:
+            yield ctx.finding(
+                func, self.code,
+                "%s.%s has signature (%s); the contract requires (%s)"
+                % (class_name, func.name, ", ".join(actual),
+                   ", ".join(expected)))
+        if func.args.vararg is not None or func.args.kwarg is not None:
+            yield ctx.finding(
+                func, self.code,
+                "%s.%s must not use *args/**kwargs; the contract signature "
+                "is fixed" % (class_name, func.name))

@@ -30,7 +30,7 @@ class LeafScheduler:
     """Base class for leaf schedulers; subclass and override."""
 
     #: human-readable algorithm name used in experiment output
-    algorithm = "abstract"
+    algorithm: str = "abstract"
 
     def add_thread(self, thread: "SimThread") -> None:
         """Register a thread with this scheduler (initially not runnable)."""

@@ -19,9 +19,9 @@ class Simulator:
     """A discrete-event simulator with an integer-nanosecond clock."""
 
     def __init__(self) -> None:
-        self._queue = EventQueue()
-        self._now = 0
-        self._running = False
+        self._queue: EventQueue = EventQueue()
+        self._now: int = 0
+        self._running: bool = False
 
     @property
     def now(self) -> int:

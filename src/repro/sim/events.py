@@ -30,12 +30,12 @@ class EventHandle:
 
     def __init__(self, time: int, priority: int, seq: int,
                  callback: Callable[..., None], arg: Any) -> None:
-        self.time = time
-        self.priority = priority
-        self.seq = seq
+        self.time: int = time
+        self.priority: int = priority
+        self.seq: int = seq
         self.callback: Optional[Callable[..., None]] = callback
-        self.arg = arg
-        self._cancelled = False
+        self.arg: Any = arg
+        self._cancelled: bool = False
 
     @property
     def cancelled(self) -> bool:
@@ -64,8 +64,8 @@ class EventQueue:
 
     def __init__(self) -> None:
         self._heap: List[Tuple[int, int, int, EventHandle]] = []
-        self._seq = 0
-        self._live = 0
+        self._seq: int = 0
+        self._live: int = 0
 
     def __len__(self) -> int:
         """Number of live (non-cancelled) events still queued."""

@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.cpu.interface import TopScheduler
+from repro.devtools.schedsan import maybe_wrap as _schedsan_wrap
 from repro.errors import SchedulingError, SimulationError, WorkloadError
 from repro.sim.engine import Simulator
 from repro.sync.mutex import Acquire, Release
@@ -64,6 +65,8 @@ class SmpMachine:
         if capacity_ips <= 0 or default_quantum <= 0:
             raise SimulationError("capacity and quantum must be positive")
         self.engine = engine
+        # Opt-in sanitizer (REPRO_SCHEDSAN=1); pass-through when disabled.
+        scheduler = _schedsan_wrap(scheduler)
         self.scheduler = scheduler
         self.capacity_ips = capacity_ips  # per CPU
         self.default_quantum = default_quantum
@@ -100,8 +103,8 @@ class SmpMachine:
     def utilization(self) -> float:
         """Mean fraction of CPU-time spent executing threads."""
         if self.engine.now == 0:
-            return 0.0
-        return self.busy_time / (self.engine.now * self.num_cpus)
+            return 0.0  # derived metric, not state  # schedlint: disable=SL004
+        return self.busy_time / (self.engine.now * self.num_cpus)  # schedlint: disable=SL004
 
     # --- spawning / workload ------------------------------------------------
 

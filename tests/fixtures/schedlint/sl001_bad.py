@@ -1,0 +1,16 @@
+# schedlint-fixture-module: repro/workloads/example.py
+"""Negative fixture: wall-clock and entropy reads (SL001)."""
+
+import datetime
+import os
+import time
+from datetime import datetime as dt
+
+
+def stamp_event():
+    started = time.time()          # SL001: wall clock
+    tick = time.monotonic()        # SL001: host clock
+    when = datetime.datetime.now()  # SL001: wall clock
+    also = dt.utcnow()             # SL001: wall clock, via from-import alias
+    seed = os.urandom(8)           # SL001: OS entropy
+    return started, tick, when, also, seed

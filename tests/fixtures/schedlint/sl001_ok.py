@@ -1,0 +1,15 @@
+# schedlint-fixture-module: repro/experiments/example.py
+"""Positive fixture: the sanctioned ways to deal with time (SL001).
+
+Simulation time comes from the engine; ``perf_counter`` is allowed for
+measuring how long an experiment took to *compute* (reporting only).
+"""
+
+import time
+
+
+def run(engine, machine):
+    started = time.perf_counter()   # allowed: benchmarking, not state
+    machine.run_until(engine.now + 1_000_000)
+    elapsed = time.perf_counter() - started
+    return engine.now, elapsed

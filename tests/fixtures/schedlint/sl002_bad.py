@@ -1,0 +1,14 @@
+# schedlint-fixture-module: repro/workloads/example.py
+"""Negative fixture: unseeded randomness outside repro.sim.rng (SL002)."""
+
+import random
+from random import randint
+
+
+def jitter():
+    a = random.random()        # SL002: global unseeded generator
+    b = randint(1, 6)          # SL002: same, via from-import
+    rng = random.Random()      # SL002: Random() without a seed
+    sys_rng = random.SystemRandom()  # SL002: unseedable
+    random.shuffle([1, 2, 3])  # SL002: global generator
+    return a, b, rng, sys_rng

@@ -1,0 +1,13 @@
+# schedlint-fixture-module: repro/workloads/example.py
+"""Positive fixture: seeded randomness (SL002)."""
+
+import random
+
+from repro.sim.rng import make_rng
+
+
+def draws(seed):
+    rng = make_rng(seed, "example")     # the preferred route
+    explicit = random.Random(42)        # allowed: explicit seed
+    keyword = random.Random(x=seed)     # allowed: explicit seed by keyword
+    return rng.random(), explicit.random(), keyword.random()

@@ -1,0 +1,21 @@
+# schedlint-fixture-module: repro/schedulers/example.py
+"""Negative fixture: set iteration in a dispatch-path module (SL003)."""
+
+from typing import Set
+
+
+class Picker:
+    def __init__(self):
+        self.waiting = set()
+        self.ready: Set[int] = set()
+
+    def drain(self, extras):
+        for item in self.waiting:          # SL003: attribute bound to set()
+            print(item)
+        names = [t for t in self.ready]    # SL003: annotated set attribute
+        pool = {1, 2, 3}
+        for item in pool:                  # SL003: local set literal
+            print(item)
+        for item in set(extras):           # SL003: set(...) call
+            print(item)
+        return names

@@ -1,0 +1,20 @@
+# schedlint-fixture-module: repro/schedulers/example.py
+"""Positive fixture: deterministic iteration patterns (SL003)."""
+
+
+class Picker:
+    def __init__(self):
+        self.waiting = set()
+        self.order = []          # lists iterate in insertion order
+        self.index = {}          # dicts too
+
+    def drain(self):
+        for item in sorted(self.waiting):      # sorted() fixes the order
+            print(item)
+        for item in self.order:
+            print(item)
+        for key, value in self.index.items():
+            print(key, value)
+        total = sum(x for x in self.waiting)   # order-insensitive reducer
+        present = 3 in self.waiting            # membership is fine
+        return total, present

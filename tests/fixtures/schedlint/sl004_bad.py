@@ -1,0 +1,13 @@
+# schedlint-fixture-module: repro/core/example.py
+"""Negative fixture: float state in a tag-arithmetic module (SL004)."""
+
+
+class Tagged:
+    def __init__(self):
+        self.finish = 0.0                      # SL004: float literal
+
+    def charge(self, length, weight):
+        self.finish += length / weight         # SL004: true division
+        share = length
+        share /= weight                        # SL004: /= division
+        return share

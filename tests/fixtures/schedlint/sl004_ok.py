@@ -1,0 +1,18 @@
+# schedlint-fixture-module: repro/core/example.py
+"""Positive fixture: integral / exact tag arithmetic (SL004)."""
+
+from fractions import Fraction
+
+from repro.units import SECOND
+
+
+class Tagged:
+    def __init__(self, tags):
+        self.tags = tags
+        self.finish = Fraction(0)
+
+    def charge(self, length, weight):
+        self.finish = self.tags.advance(self.finish, length, weight)
+        whole_quanta = length // weight        # floor division is fine
+        duration = -((-length * SECOND) // weight)  # ceil-div idiom
+        return whole_quanta, duration

@@ -1,0 +1,46 @@
+# schedlint-fixture-module: repro/schedulers/example.py
+"""Negative fixture: contract-breaking LeafScheduler subclasses (SL005)."""
+
+from typing import Optional
+
+from repro.schedulers.base import LeafScheduler
+
+
+class MissingMethods(LeafScheduler):
+    """SL005: defines no algorithm and misses most of the required set."""
+
+    def add_thread(self, thread) -> None:
+        pass
+
+    def has_runnable(self) -> bool:
+        return False
+
+
+class WrongSignatures(LeafScheduler):
+    """SL005: full method set, but renamed/reordered parameters."""
+
+    algorithm = "wrong-signatures"
+
+    def add_thread(self, t) -> None:            # SL005: 'thread' renamed
+        pass
+
+    def remove_thread(self, thread) -> None:
+        pass
+
+    def on_runnable(self, thread, when) -> None:  # SL005: 'now' renamed
+        pass
+
+    def on_block(self, now, thread) -> None:    # SL005: reordered
+        pass
+
+    def pick_next(self, now):
+        return None
+
+    def charge(self, thread, work, now, *extra) -> None:  # SL005: *args
+        pass
+
+    def has_runnable(self) -> bool:
+        return False
+
+    def quantum_for(self, thread, now) -> Optional[int]:  # SL005: extra param
+        return None

@@ -1,0 +1,78 @@
+# schedlint-fixture-module: repro/schedulers/example.py
+"""Positive fixture: conforming LeafScheduler subclasses (SL005).
+
+Includes the in-file inheritance pattern used by the WFQ family: an
+underscore-prefixed abstract base supplies the machinery, concrete
+subclasses supply ``algorithm`` (and may override selectively).
+"""
+
+from typing import Optional
+
+from repro.schedulers.base import LeafScheduler
+
+
+class CompleteScheduler(LeafScheduler):
+    """Implements the full contract directly."""
+
+    algorithm = "complete"
+
+    def add_thread(self, thread) -> None:
+        pass
+
+    def remove_thread(self, thread) -> None:
+        pass
+
+    def on_runnable(self, thread, now) -> None:
+        pass
+
+    def on_block(self, thread, now) -> None:
+        pass
+
+    def pick_next(self, now):
+        return None
+
+    def charge(self, thread, work, now) -> None:
+        pass
+
+    def has_runnable(self) -> bool:
+        return False
+
+    def quantum_for(self, thread) -> Optional[int]:
+        return None
+
+    def should_preempt(self, current, candidate, now) -> bool:
+        return False
+
+
+class _SharedBase(LeafScheduler):
+    """Abstract by convention (leading underscore): not itself checked."""
+
+    def add_thread(self, thread) -> None:
+        pass
+
+    def remove_thread(self, thread) -> None:
+        pass
+
+    def on_runnable(self, thread, now) -> None:
+        pass
+
+    def on_block(self, thread, now) -> None:
+        pass
+
+    def pick_next(self, now):
+        return None
+
+    def charge(self, thread, work, now) -> None:
+        pass
+
+    def has_runnable(self) -> bool:
+        return False
+
+
+class InheritingScheduler(_SharedBase):
+    """Concrete subclass completing the contract through its base."""
+
+    algorithm = "inheriting"
+
+    def on_block(self, thread, now) -> None:
+        pass

@@ -1,0 +1,13 @@
+# schedlint-fixture-module: repro/core/example.py
+# schedlint: disable-file=SL003
+"""Positive fixture: suppression syntax silences findings (all rules)."""
+
+import time
+
+
+def measure():
+    started = time.time()  # justified here  # schedlint: disable=SL001
+    ratio = 1.0  # derived metric  # schedlint: disable=SL004,SL002
+    for item in {1, 2, 3}:  # silenced by the disable-file line above
+        print(item)
+    return started, ratio

@@ -1,0 +1,186 @@
+"""Tests for the schedlint static checker (repro.devtools.schedlint).
+
+Fixture convention (tests/fixtures/schedlint/):
+
+* ``slNNN_bad*.py`` must trigger at least one finding with code SLNNN
+  (and the CLI must exit non-zero on it);
+* ``*_ok.py`` must lint completely clean.
+
+Fixtures carry a ``# schedlint-fixture-module:`` directive so that the
+path-scoped rules (SL003/SL004) treat them as if they lived inside the
+``repro`` package.
+"""
+
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.devtools.schedlint import (
+    Finding,
+    all_rules,
+    check_file,
+    check_paths,
+    check_source,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+FIXTURES = REPO_ROOT / "tests" / "fixtures" / "schedlint"
+SRC = REPO_ROOT / "src"
+
+BAD_FIXTURES = sorted(FIXTURES.glob("sl*_bad*.py"))
+OK_FIXTURES = sorted(FIXTURES.glob("*_ok.py"))
+
+
+def _expected_code(path):
+    """Extract the rule code a bad fixture is expected to trigger."""
+    match = re.match(r"(sl\d+)_bad", path.stem)
+    assert match, f"bad fixture {path.name} does not follow slNNN_bad*.py"
+    return match.group(1).upper()
+
+
+def _run_cli(*args):
+    """Run ``python -m repro.devtools.schedlint`` as a subprocess."""
+    return subprocess.run(
+        [sys.executable, "-m", "repro.devtools.schedlint", *args],
+        capture_output=True,
+        text=True,
+        cwd=str(REPO_ROOT),
+        env={"PYTHONPATH": str(SRC), "PATH": "/usr/bin:/bin:/usr/local/bin"},
+    )
+
+
+class TestFixtures:
+    """Each rule has fixtures that trigger it and fixtures that don't."""
+
+    def test_fixture_inventory(self):
+        """Every rule code has at least one bad and one ok fixture."""
+        codes = {rule.code for rule in all_rules()}
+        bad_codes = {_expected_code(p) for p in BAD_FIXTURES}
+        assert bad_codes == codes
+        ok_stems = {p.stem for p in OK_FIXTURES}
+        for code in codes:
+            assert f"{code.lower()}_ok" in ok_stems
+
+    @pytest.mark.parametrize("path", BAD_FIXTURES, ids=lambda p: p.name)
+    def test_bad_fixture_triggers_its_code(self, path):
+        findings = check_file(path)
+        codes = {f.code for f in findings}
+        expected = _expected_code(path)
+        assert expected in codes, f"{path.name} produced {codes or 'nothing'}"
+        # Bad fixtures are targeted: they must not trip unrelated rules.
+        assert codes == {expected}, f"{path.name} also tripped {codes - {expected}}"
+
+    @pytest.mark.parametrize("path", OK_FIXTURES, ids=lambda p: p.name)
+    def test_ok_fixture_is_clean(self, path):
+        findings = check_file(path)
+        assert findings == [], "\n".join(str(f) for f in findings)
+
+    def test_findings_carry_location_and_message(self):
+        findings = check_file(FIXTURES / "sl001_bad.py")
+        assert findings
+        for finding in findings:
+            assert isinstance(finding, Finding)
+            assert finding.line > 0
+            assert finding.code == "SL001"
+            rendered = str(finding)
+            assert f":{finding.line}:" in rendered
+            assert "SL001" in rendered
+
+
+class TestScoping:
+    """Path-scoped rules only fire inside their declared module scope."""
+
+    def test_sl003_ignores_modules_outside_dispatch_scope(self):
+        source = "items = {1, 2}\nfor x in items:\n    print(x)\n"
+        in_scope = check_source(source, "x.py", module="repro/schedulers/x.py")
+        out_of_scope = check_source(source, "x.py", module="repro/workloads/x.py")
+        assert any(f.code == "SL003" for f in in_scope)
+        assert not any(f.code == "SL003" for f in out_of_scope)
+
+    def test_sl004_exempts_float_baseline_module(self):
+        source = "RATE = 1.5\n"
+        in_scope = check_source(source, "x.py", module="repro/core/x.py")
+        exempt = check_source(
+            source, "x.py", module="repro/schedulers/fairqueue.py"
+        )
+        assert any(f.code == "SL004" for f in in_scope)
+        assert not any(f.code == "SL004" for f in exempt)
+
+    def test_sl002_allowed_inside_rng_home(self):
+        source = "import random\nvalue = random.random()\n"
+        outside = check_source(source, "x.py", module="repro/workloads/x.py")
+        inside = check_source(source, "rng.py", module="repro/sim/rng.py")
+        assert any(f.code == "SL002" for f in outside)
+        assert not any(f.code == "SL002" for f in inside)
+
+
+class TestSuppressions:
+    def test_inline_disable_silences_one_line(self):
+        noisy = "import time\nt = time.time()\n"
+        quiet = "import time\nt = time.time()  # schedlint: disable=SL001\n"
+        assert any(f.code == "SL001" for f in check_source(noisy, "x.py"))
+        assert check_source(quiet, "x.py") == []
+
+    def test_inline_disable_all(self):
+        source = "import time\nt = time.time()  # schedlint: disable=all\n"
+        assert check_source(source, "x.py") == []
+
+    def test_file_level_disable(self):
+        source = (
+            "# schedlint: disable-file=SL001\n"
+            "import time\n"
+            "a = time.time()\n"
+            "b = time.monotonic()\n"
+        )
+        assert check_source(source, "x.py") == []
+
+    def test_disable_only_silences_named_codes(self):
+        source = (
+            "import time, random\n"
+            "t = time.time()  # schedlint: disable=SL002\n"
+        )
+        codes = {f.code for f in check_source(source, "x.py")}
+        assert codes == {"SL001"}
+
+
+class TestRealTree:
+    def test_src_repro_lints_clean(self):
+        """The flagship guarantee: the real package has zero findings."""
+        findings = check_paths([SRC / "repro"])
+        assert findings == [], "\n".join(str(f) for f in findings)
+
+    def test_rule_registry_is_stable(self):
+        codes = [rule.code for rule in all_rules()]
+        assert codes == ["SL001", "SL002", "SL003", "SL004", "SL005"]
+        assert codes == sorted(codes)
+
+
+class TestCli:
+    def test_cli_clean_tree_exits_zero(self):
+        result = _run_cli("src/repro/sim")
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "clean" in result.stdout
+
+    @pytest.mark.parametrize("path", BAD_FIXTURES, ids=lambda p: p.name)
+    def test_cli_bad_fixture_exits_nonzero(self, path):
+        result = _run_cli(str(path.relative_to(REPO_ROOT)))
+        assert result.returncode == 1, result.stdout + result.stderr
+        assert _expected_code(path) in result.stdout
+
+    def test_cli_select_filters_rules(self):
+        path = FIXTURES / "sl001_bad.py"
+        result = _run_cli("--select", "SL002", str(path.relative_to(REPO_ROOT)))
+        assert result.returncode == 0, result.stdout + result.stderr
+
+    def test_cli_list_rules(self):
+        result = _run_cli("--list-rules")
+        assert result.returncode == 0
+        for code in ("SL001", "SL002", "SL003", "SL004", "SL005"):
+            assert code in result.stdout
+
+    def test_cli_missing_path_exits_two(self):
+        result = _run_cli("no/such/path.py")
+        assert result.returncode == 2
