@@ -1,6 +1,6 @@
 # Convenience targets; plain pytest works too.
 
-.PHONY: install test test-schedsan lint bench experiments quick-experiments examples clean
+.PHONY: install test test-schedsan test-obs lint bench experiments quick-experiments examples obs-demo clean
 
 install:
 	pip install -e .
@@ -10,6 +10,9 @@ test:
 
 test-schedsan:
 	REPRO_SCHEDSAN=1 pytest tests/ -q
+
+test-obs:
+	REPRO_OBS=1 pytest tests/ -q
 
 lint:
 	PYTHONPATH=src python -m repro.devtools.schedlint src/
@@ -33,6 +36,10 @@ examples:
 		echo "== $$f =="; \
 		python $$f || exit 1; \
 	done
+
+obs-demo:
+	python -m repro.obs demo --out obs-trace.json
+	python -m repro.obs report obs-trace.json
 
 clean:
 	rm -rf build dist src/repro.egg-info .pytest_cache

@@ -1,0 +1,50 @@
+"""EXP-OBS — instrumentation overhead of the observability event bus.
+
+Runs the Figure-5 workload (five Dhrystones plus interactive daemons,
+both scheduler variants) twice: with no bus subscriber — every emit site
+reduced to one ``BUS.active`` attribute read — and with the full
+collector stack attached (per-node schedstats plus the Chrome-trace
+builder, the heaviest consumer).  The measured pair grounds the claim in
+docs/OBSERVABILITY.md: traced-off runs pay ~nothing, traced-on runs pay
+for what they record.
+
+Both variants must produce the *identical* experiment result — the bus
+observes, never steers — which is also asserted here at benchmark scale.
+"""
+
+from repro.experiments import figure5
+from repro.obs import events as ev
+from repro.obs.chrometrace import ChromeTraceBuilder
+from repro.obs.schedstat import SchedStat
+from repro.units import SECOND
+
+from benchmarks.conftest import run_once
+
+#: long enough to dominate setup cost, short enough for CI
+DURATION = 10 * SECOND
+
+
+def run_plain():
+    assert not ev.BUS.active
+    return figure5.run(duration=DURATION)
+
+
+def run_observed():
+    stats = SchedStat()
+    builder = ChromeTraceBuilder()
+    with ev.BUS.subscription(stats), ev.BUS.subscription(builder):
+        result = figure5.run(duration=DURATION)
+    return result, stats, builder
+
+
+def test_obs_off_baseline(benchmark):
+    result = run_once(benchmark, run_plain)
+    assert result.rows  # the experiment actually ran
+
+
+def test_obs_on_full_stack(benchmark):
+    result, stats, builder = run_once(benchmark, run_observed)
+    assert builder.event_count > 1000, "collectors saw the run"
+    assert stats.nodes["/"].charges > 0
+    # Observing must not steer: identical results with and without the bus.
+    assert result.rows == run_plain().rows

@@ -20,6 +20,7 @@ from repro.core.node import InternalNode, LeafNode, require_leaf
 from repro.core.structure import SchedulingStructure
 from repro.cpu.interface import TopScheduler
 from repro.errors import SchedulingError
+from repro.obs import events as obs
 from repro.threads.states import ThreadState
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -91,6 +92,9 @@ class HierarchicalScheduler(TopScheduler):
                 raise SchedulingError(
                     "node %r is marked runnable but has no runnable children"
                     % (node.path,))
+            if obs.BUS.active:
+                obs.BUS.emit(obs.VTIME_ADVANCE, now, node=node.path,
+                             v=float(node.queue.virtual_time))
             node = child
             depth += 1
         leaf = require_leaf(node)
@@ -107,8 +111,16 @@ class HierarchicalScheduler(TopScheduler):
         leaf.scheduler.charge(thread, work, now)
         node = leaf
         while node.parent is not None:
-            node.parent.queue.charge(node, work)
-            node = node.parent
+            parent = node.parent
+            parent.queue.charge(node, work)
+            if obs.BUS.active:
+                obs.BUS.emit(obs.TAG_UPDATE, now, node=node.path,
+                             start=float(parent.queue.start_tag(node)),
+                             finish=float(parent.queue.finish_tag(node)),
+                             work=work)
+                obs.BUS.emit(obs.VTIME_ADVANCE, now, node=parent.path,
+                             v=float(parent.queue.virtual_time))
+            node = parent
 
     def quantum_for(self, thread: "SimThread") -> Optional[int]:
         return require_leaf(thread.leaf).scheduler.quantum_for(thread)
@@ -138,6 +150,11 @@ class HierarchicalScheduler(TopScheduler):
         while node.parent is not None:
             parent = node.parent
             parent.queue.set_runnable(node)
+            if obs.BUS.active:
+                obs.BUS.emit(obs.TAG_UPDATE, self.clock(), node=node.path,
+                             start=float(parent.queue.start_tag(node)),
+                             finish=float(parent.queue.finish_tag(node)),
+                             work=0)
             if parent.runnable:
                 break
             parent.runnable = True

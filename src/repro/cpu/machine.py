@@ -32,6 +32,7 @@ from repro.cpu.interface import TopScheduler
 from repro.cpu.interrupts import InterruptSource
 from repro.devtools.schedsan import maybe_wrap as _schedsan_wrap
 from repro.errors import SchedulingError, SimulationError, WorkloadError
+from repro.obs import events as obs
 from repro.sim.engine import Simulator
 from repro.sync.mutex import Acquire, Release
 from repro.sync.semaphore import Down, Notify, Up, WaitOn
@@ -47,6 +48,12 @@ _OUTCOME_EXIT = "exit"
 
 #: safety bound on consecutive zero-length segments from one workload
 _MAX_SEGMENT_PULLS = 1000
+
+
+def _leaf_path(thread: SimThread) -> str:
+    """Pathname of the thread's leaf node, "/" for flat schedulers."""
+    leaf = thread.leaf
+    return leaf.path if leaf is not None else "/"
 
 
 class MachineStats:
@@ -171,6 +178,9 @@ class Machine:
         self.scheduler.admit(thread)
         if self.tracer is not None:
             self.tracer.on_spawn(thread, now)
+        if obs.BUS.active:
+            obs.BUS.emit(obs.SPAWN, now, tid=thread.tid, name=thread.name,
+                         node=_leaf_path(thread), weight=thread.weight)
         self._settle(thread)
 
     def _settle(self, thread: SimThread) -> None:
@@ -191,10 +201,16 @@ class Machine:
                 thread.transition(ThreadState.SLEEPING)
             if self.tracer is not None:
                 self.tracer.on_block(thread, now, -1)
+            if obs.BUS.active:
+                obs.BUS.emit(obs.BLOCK, now, tid=thread.tid,
+                             node=_leaf_path(thread), wake=-1)
         else:
             thread.transition(ThreadState.EXITED)
             thread.stats.exited_at = now
             self._release_held_mutexes(thread)
+            if obs.BUS.active:
+                obs.BUS.emit(obs.EXIT, now, tid=thread.tid,
+                             node=_leaf_path(thread))
             self.scheduler.retire(thread, now)
             if self.tracer is not None:
                 self.tracer.on_exit(thread, now)
@@ -256,6 +272,9 @@ class Machine:
         thread.last_runnable_at = now
         if self.tracer is not None:
             self.tracer.on_runnable(thread, now)
+        if obs.BUS.active:
+            obs.BUS.emit(obs.RUNNABLE, now, tid=thread.tid,
+                         node=_leaf_path(thread))
         self.scheduler.thread_runnable(thread, now)
         if (self.current is not None
                 and not self._paused
@@ -268,6 +287,9 @@ class Machine:
     def _schedule_wakeup(self, thread: SimThread, wake_time: int) -> None:
         if self.tracer is not None:
             self.tracer.on_block(thread, self.engine.now, wake_time)
+        if obs.BUS.active:
+            obs.BUS.emit(obs.BLOCK, self.engine.now, tid=thread.tid,
+                         node=_leaf_path(thread), wake=wake_time)
         thread.wakeup_handle = self.engine.at(
             wake_time, self._on_wakeup, thread, priority=self.PRIORITY_WAKEUP)
 
@@ -276,6 +298,9 @@ class Machine:
         thread.stats.wakeups += 1
         if self.tracer is not None:
             self.tracer.on_wake(thread, self.engine.now)
+        if obs.BUS.active:
+            obs.BUS.emit(obs.WAKE, self.engine.now, tid=thread.tid,
+                         node=_leaf_path(thread))
         if thread.remaining_work > 0:
             # Woke with unfinished compute (blocked mid-segment cannot
             # happen today, but a moved/suspended thread resumes here).
@@ -322,6 +347,12 @@ class Machine:
         self._quantum_work_done = 0
         if self.tracer is not None:
             self.tracer.on_dispatch(thread, now)
+        if obs.BUS.active:
+            obs.BUS.emit(obs.DISPATCH, now, tid=thread.tid,
+                         name=thread.name, node=_leaf_path(thread), cpu=0,
+                         depth=self.scheduler.decision_depth,
+                         switched=switched, overhead_ns=overhead,
+                         quantum_work=self._quantum_work_left)
         self._begin_burst(overhead)
 
     def _defer_dispatch(self, at_time: int) -> None:
@@ -368,6 +399,10 @@ class Machine:
         self.stats.busy_time += elapsed
         if self.tracer is not None:
             self.tracer.on_slice(thread, self._burst_compute_start, now, executed)
+        if obs.BUS.active:
+            obs.BUS.emit(obs.SLICE, now, tid=thread.tid, name=thread.name,
+                         node=_leaf_path(thread), cpu=0,
+                         start=self._burst_compute_start, work=executed)
 
     def _on_burst_complete(self) -> None:
         self._burst_handle = None
@@ -402,6 +437,9 @@ class Machine:
         assert self.current is not None
         self.stats.preemptions += 1
         self.current.stats.preemptions += 1
+        if obs.BUS.active:
+            obs.BUS.emit(obs.PREEMPT, self.engine.now, tid=self.current.tid,
+                         node=_leaf_path(self.current))
         self._stop_burst()
         self._finish_dispatch()
 
@@ -436,6 +474,10 @@ class Machine:
             self.scheduler.charge(thread, self._quantum_work_done, now)
             if self.tracer is not None:
                 self.tracer.on_charge(thread, now, self._quantum_work_done)
+            if obs.BUS.active:
+                obs.BUS.emit(obs.CHARGE, now, tid=thread.tid,
+                             node=_leaf_path(thread),
+                             work=self._quantum_work_done)
         self._quantum_work_done = 0
         self._quantum_work_left = 0
 
@@ -446,8 +488,14 @@ class Machine:
             self.scheduler.thread_blocked(thread, now)
             if self.tracer is not None:
                 self.tracer.on_block(thread, now, -1)
+            if obs.BUS.active:
+                obs.BUS.emit(obs.BLOCK, now, tid=thread.tid,
+                             node=_leaf_path(thread), wake=-1)
         elif outcome == _OUTCOME_EXIT:
             self._release_held_mutexes(thread)
+            if obs.BUS.active:
+                obs.BUS.emit(obs.EXIT, now, tid=thread.tid,
+                             node=_leaf_path(thread))
             self.scheduler.retire(thread, now)
             if self.tracer is not None:
                 self.tracer.on_exit(thread, now)
@@ -492,6 +540,8 @@ class Machine:
         self._intr_busy_until = busy_until
         if self.tracer is not None:
             self.tracer.on_interrupt(now, service)
+        if obs.BUS.active:
+            obs.BUS.emit(obs.INTERRUPT, now, cpu=0, service=service)
         if self.current is not None:
             if not self._paused:
                 self.stats.pauses += 1

@@ -39,6 +39,7 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from repro.cpu.interface import TopScheduler
 from repro.errors import SchedulingError
+from repro.obs import events as obs
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.node import InternalNode, LeafNode, Node
@@ -145,6 +146,9 @@ class SchedsanScheduler(TopScheduler):
                  message: str) -> None:
         time = self._clock() if now is None else now
         violation = Violation(rule, path, time, message)
+        if obs.BUS.active:
+            obs.BUS.emit(obs.VIOLATION, time, rule=rule, node=path,
+                         message=message)
         if len(self.violations) < MAX_COLLECTED:
             self.violations.append(violation)
         if self._mode == "raise":

@@ -26,6 +26,7 @@ from repro.core.structure import (
     SchedulingStructure,
 )
 from repro.errors import StructureError
+from repro.obs import events as obs
 from repro.schedulers.edf import EdfScheduler
 from repro.schedulers.fifo import FifoScheduler
 from repro.schedulers.rma import RmaScheduler
@@ -68,6 +69,12 @@ HSFQ_ADMIN_SETWEIGHT = ADMIN_SET_WEIGHT
 HSFQ_ADMIN_INFO = ADMIN_INFO
 
 
+def _obs_now(structure: SchedulingStructure) -> int:
+    """Current simulation time for observability stamps (0 off-machine)."""
+    hierarchy = structure.hierarchy
+    return hierarchy.clock() if hierarchy is not None else 0
+
+
 def hsfq_mknod(structure: SchedulingStructure, name: str, parent: int,
                weight: int, flag: int = HSFQ_INTERNAL,
                sid: int = SCHED_SFQ) -> int:
@@ -88,6 +95,9 @@ def hsfq_mknod(structure: SchedulingStructure, name: str, parent: int,
     else:
         raise StructureError("unknown mknod flag %r" % (flag,))
     node = structure.mknod(name, weight, parent=parent, scheduler=scheduler)
+    if obs.BUS.active:
+        obs.BUS.emit(obs.NODE_CREATE, _obs_now(structure), node=node.path,
+                     weight=weight, leaf=flag == HSFQ_LEAF, sid=sid)
     return node.node_id
 
 
@@ -101,16 +111,33 @@ def hsfq_rmnod(structure: SchedulingStructure, node_id: int,
                mode: int = 0) -> None:
     """Remove node ``node_id`` (must be childless and idle)."""
     del mode  # the paper reserves a mode word; no modes are defined
+    path = structure.resolve(node_id).path
     structure.rmnod(node_id)
+    if obs.BUS.active:
+        obs.BUS.emit(obs.NODE_REMOVE, _obs_now(structure), node=path)
 
 
 def hsfq_move(structure: SchedulingStructure, thread: "SimThread",
               to: int) -> None:
     """Move ``thread`` to the leaf with id ``to``."""
+    source = thread.leaf
     structure.move(thread, to)
+    if obs.BUS.active:
+        obs.BUS.emit(obs.THREAD_MOVE, _obs_now(structure), tid=thread.tid,
+                     name=thread.name,
+                     node=structure.resolve(to).path,
+                     source=source.path if source is not None else "")
 
 
 def hsfq_admin(structure: SchedulingStructure, node_id: int, cmd: str,
                args=None):
     """Administrative operations; see HSFQ_ADMIN_* commands."""
-    return structure.admin(node_id, cmd, args)
+    old_weight = 0
+    if cmd == HSFQ_ADMIN_SETWEIGHT:
+        old_weight = structure.resolve(node_id).weight
+    result = structure.admin(node_id, cmd, args)
+    if cmd == HSFQ_ADMIN_SETWEIGHT and obs.BUS.active:
+        node = structure.resolve(node_id)
+        obs.BUS.emit(obs.WEIGHT_CHANGE, _obs_now(structure), node=node.path,
+                     weight=node.weight, old_weight=old_weight)
+    return result

@@ -1,0 +1,45 @@
+"""repro.obs — runtime observability for the hierarchical scheduler.
+
+The package provides four layers, designed so that an un-instrumented run
+pays (almost) nothing:
+
+* :mod:`repro.obs.events` — a process-wide **event bus** of typed,
+  timestamped structured events (dispatch, preempt, block, wake, charge,
+  tag-update, vtime-advance, interrupt, sanitizer-violation, ...).  Emit
+  sites in the machines, the hierarchy, and the fair-queuing baselines are
+  guarded by ``BUS.active``, so with no subscriber attached no event object
+  is ever constructed and simulation results are byte-identical to an
+  un-instrumented build.
+* :mod:`repro.obs.metrics` — counters, gauges, and fixed-bucket latency
+  histograms with a ``snapshot()`` API, plus :class:`SchedulerMetrics`, a
+  bus subscriber that derives dispatch latency, run delay, and quantum
+  statistics from the event stream.
+* :mod:`repro.obs.schedstat` — per-node cumulative scheduling statistics
+  rendered as a ``/proc/schedstat``-style text tree from the live
+  scheduling structure.
+* :mod:`repro.obs.chrometrace` — Trace Event Format (Chrome tracing /
+  Perfetto) export of an event stream; the JSON loads directly in
+  ``ui.perfetto.dev``.
+
+``python -m repro.obs demo`` runs a hierarchical example with everything
+attached; ``python -m repro.obs report trace.json`` summarizes a previously
+exported trace.  See ``docs/OBSERVABILITY.md``.
+
+Only the dependency-free submodules are imported here (the emit sites in
+``repro.core`` and the machines import :mod:`repro.obs.events`, so this
+package initializer must not import them back).
+"""
+
+from repro.obs.events import BUS, Event, EventBus
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    SchedulerMetrics,
+)
+
+__all__ = [
+    "BUS", "Event", "EventBus",
+    "Counter", "Gauge", "Histogram", "MetricsRegistry", "SchedulerMetrics",
+]

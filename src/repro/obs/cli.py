@@ -1,0 +1,172 @@
+"""Command-line interface: ``python -m repro.obs``.
+
+Two subcommands:
+
+* ``demo`` — build a hierarchical example (the Figure-2 skeleton with a
+  soft real-time MPEG-like decoder, two best-effort users, interactive
+  load, and periodic device interrupts), run it with the full
+  observability stack attached, print the per-node schedstat tree and the
+  derived metrics, and optionally export a Perfetto-loadable Chrome trace
+  (``--out trace.json``).
+* ``report FILE`` — validate a previously exported Chrome-trace JSON and
+  print per-track occupancy, instant counts, and counter-track summaries.
+
+Both commands print to stdout and return a process exit code; errors in
+``report`` (malformed JSON, schema violations) exit 1 with a one-line
+diagnostic.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Tuple
+
+from repro.obs import events as ev
+from repro.obs.chrometrace import ChromeTraceBuilder, summarize_chrome_trace
+from repro.obs.metrics import SchedulerMetrics
+from repro.obs.schedstat import SchedStat, render_schedstat
+
+
+def build_demo(duration_ms: int = 2000):
+    """Build the demo machine; returns ``(machine, structure, threads)``.
+
+    The scenario exercises every event source: a hierarchical SFQ tree
+    (tag-update / vtime-advance), CPU-bound and interactive threads
+    (dispatch / block / wake / charge), and a periodic interrupt source
+    (interrupt / preempt-free pauses).
+    """
+    from repro.core.hierarchy import HierarchicalScheduler
+    from repro.core.structure import SchedulingStructure
+    from repro.cpu.interrupts import PeriodicInterruptSource
+    from repro.cpu.machine import Machine
+    from repro.schedulers.sfq_leaf import SfqScheduler
+    from repro.sim.engine import Simulator
+    from repro.sim.rng import make_rng
+    from repro.threads.thread import SimThread
+    from repro.units import MS
+    from repro.workloads.dhrystone import DhrystoneWorkload
+    from repro.workloads.interactive import InteractiveWorkload
+
+    del duration_ms  # scenario shape is duration-independent
+    structure = SchedulingStructure()
+    structure.mknod("/soft-rt", 3, scheduler=SfqScheduler())
+    structure.mknod("/best-effort", 6)
+    structure.mknod("/best-effort/user1", 1, scheduler=SfqScheduler())
+    structure.mknod("/best-effort/user2", 1, scheduler=SfqScheduler())
+
+    engine = Simulator()
+    machine = Machine(engine, HierarchicalScheduler(structure),
+                      capacity_ips=100_000_000, default_quantum=10 * MS)
+    machine.add_interrupt_source(
+        PeriodicInterruptSource(period=25 * MS, service=500_000))
+
+    threads = []
+    for path, name in (("/soft-rt", "decoder"),
+                       ("/best-effort/user1", "compile"),
+                       ("/best-effort/user2", "render")):
+        thread = SimThread(name, DhrystoneWorkload())
+        structure.parse(path).attach_thread(thread)
+        machine.spawn(thread)
+        threads.append(thread)
+    shell = SimThread("shell", InteractiveWorkload(
+        burst_work=300_000, think_time=40 * MS,
+        rng=make_rng(7, "obs-demo/shell")))
+    structure.parse("/best-effort/user1").attach_thread(shell)
+    machine.spawn(shell)
+    threads.append(shell)
+    return machine, structure, threads
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    """Run the demo scenario with the observability stack attached."""
+    from repro.units import MS
+
+    machine, structure, threads = build_demo(args.duration_ms)
+    stats = SchedStat()
+    metrics = SchedulerMetrics()
+    builder = ChromeTraceBuilder()
+    with ev.BUS.subscription(stats), ev.BUS.subscription(metrics), \
+            ev.BUS.subscription(builder):
+        machine.run_until(args.duration_ms * MS)
+
+    print(render_schedstat(structure, stats))
+    print()
+    print("-- metrics " + "-" * 45)
+    print(metrics.registry.render())
+    print()
+    print("-- threads " + "-" * 45)
+    for thread in threads:
+        print("%-10s work=%-12d dispatches=%-6d blocks=%d"
+              % (thread.name, thread.stats.work_done,
+                 thread.stats.dispatches, thread.stats.blocks))
+    print()
+    print("events emitted: %d" % builder.event_count)
+    if args.out:
+        builder.write(args.out, indent=args.indent)
+        payload = builder.to_dict()
+        print("wrote %s (%d trace events) — open in ui.perfetto.dev"
+              % (args.out, len(payload["traceEvents"])))
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Validate and summarize an exported Chrome-trace JSON file."""
+    try:
+        with open(args.trace) as handle:
+            payload = json.load(handle)
+        summary = summarize_chrome_trace(payload)
+    except (OSError, ValueError) as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 1
+    print("%s: %d trace events, valid Trace Event Format"
+          % (args.trace, summary["events"]))
+    print()
+    print("%-28s %10s %14s" % ("track", "slices", "busy (us)"))
+    for row in summary["tracks"]:
+        print("%-28s %10d %14.1f"
+              % (row["track"], row["slices"], row["busy_us"]))
+    if summary["instants"]:
+        print()
+        print("instant events:")
+        for name in sorted(summary["instants"]):
+            print("  %-26s %d" % (name, summary["instants"][name]))
+    if summary["counters"]:
+        print()
+        print("counter tracks:")
+        for name in sorted(summary["counters"]):
+            print("  %-26s %d samples" % (name, summary["counters"][name]))
+    return 0
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Observability tools for the hierarchical scheduler "
+                    "reproduction (see docs/OBSERVABILITY.md).")
+    sub = parser.add_subparsers(dest="command")
+    demo = sub.add_parser(
+        "demo", help="run a hierarchical example with tracing attached")
+    demo.add_argument("--duration-ms", type=int, default=2000,
+                      help="simulated milliseconds to run (default 2000)")
+    demo.add_argument("--out", default="",
+                      help="write a Perfetto-loadable Chrome trace JSON here")
+    demo.add_argument("--indent", type=int, default=0,
+                      help="JSON indent for --out (default compact)")
+    demo.set_defaults(func=cmd_demo)
+    report = sub.add_parser(
+        "report", help="validate and summarize an exported Chrome trace")
+    report.add_argument("trace", help="path to a Chrome-trace JSON file")
+    report.set_defaults(func=cmd_report)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = _parser()
+    args = parser.parse_args(argv)
+    if not getattr(args, "func", None):
+        parser.print_help()
+        return 2
+    return args.func(args)

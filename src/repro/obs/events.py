@@ -1,0 +1,173 @@
+"""The observability event bus: typed, timestamped structured events.
+
+The bus is the kernel-tracepoint analogue of this reproduction: emit sites
+are compiled into the machines, the hierarchy, the ``hsfq`` system-call
+layer, the fair-queuing baselines, and SCHEDSAN, but every site is guarded
+by :attr:`EventBus.active`::
+
+    if BUS.active:
+        BUS.emit(DISPATCH, now, tid=thread.tid, node=leaf.path, ...)
+
+With no subscriber attached the guard is a single attribute read and no
+event object (or keyword dict) is ever constructed, so traced-off runs are
+byte-identical to an un-instrumented build.  Subscribers are plain
+callables invoked synchronously, in subscription order, with one
+:class:`Event`; they must observe, never mutate, simulation state.
+
+The process-wide default bus is :data:`BUS`.  A module-level bus (rather
+than one plumbed through every constructor) mirrors how kernel tracepoints
+work and lets deeply nested components (SFQ queues, leaf schedulers) emit
+without API changes; tests that subscribe temporarily should use
+:meth:`EventBus.subscription` so the bus is always left clean.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Any, Callable, Dict, Iterator, List
+
+# --- event kinds (the catalogue; see docs/OBSERVABILITY.md) ------------------
+
+#: thread created and admitted to its scheduler
+SPAWN = "spawn"
+#: thread became eligible to run
+RUNNABLE = "runnable"
+#: thread was given a CPU (fields: tid, node, cpu, depth, switched,
+#: overhead_ns, quantum_work)
+DISPATCH = "dispatch"
+#: a contiguous run of execution finished (fields: tid, node, cpu, start, work)
+SLICE = "slice"
+#: the running thread was preempted mid-quantum
+PREEMPT = "preempt"
+#: thread blocked (fields: tid, node, wake; wake == -1 means a sync wait)
+BLOCK = "block"
+#: thread woke up
+WAKE = "wake"
+#: a completed quantum was charged to the scheduler (fields: tid, node, work)
+CHARGE = "charge"
+#: thread exited
+EXIT = "exit"
+#: an interrupt stole CPU time (fields: cpu, service)
+INTERRUPT = "interrupt"
+#: an SFQ (or fair-queuing) start/finish tag was restamped
+#: (fields: node, start, finish, weight; tags as floats, for reporting only)
+TAG_UPDATE = "tag-update"
+#: a queue's virtual time moved forward (fields: node, v)
+VTIME_ADVANCE = "vtime-advance"
+#: SCHEDSAN detected an invariant violation (fields: rule, node, message)
+VIOLATION = "sanitizer-violation"
+#: a scheduling-structure node was created (hsfq_mknod)
+NODE_CREATE = "node-create"
+#: a scheduling-structure node was removed (hsfq_rmnod)
+NODE_REMOVE = "node-remove"
+#: a thread was moved between leaves (hsfq_move)
+THREAD_MOVE = "thread-move"
+#: a node's weight changed (hsfq_admin SETWEIGHT)
+WEIGHT_CHANGE = "weight-change"
+
+#: every event kind the instrumented tree can emit
+KINDS = (
+    SPAWN, RUNNABLE, DISPATCH, SLICE, PREEMPT, BLOCK, WAKE, CHARGE, EXIT,
+    INTERRUPT, TAG_UPDATE, VTIME_ADVANCE, VIOLATION, NODE_CREATE,
+    NODE_REMOVE, THREAD_MOVE, WEIGHT_CHANGE,
+)
+
+Subscriber = Callable[["Event"], None]
+
+
+class Event:
+    """One structured event: a kind, a simulation timestamp, and fields.
+
+    ``time`` is integer simulation nanoseconds; ``data`` is a flat dict of
+    event-kind-specific fields (see the kind constants above, or
+    docs/OBSERVABILITY.md for the full catalogue).
+    """
+
+    __slots__ = ("kind", "time", "data")
+
+    def __init__(self, kind: str, time: int, data: Dict[str, Any]) -> None:
+        self.kind = kind
+        self.time = time
+        self.data = data
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Field accessor with a default, like ``dict.get``."""
+        return self.data.get(key, default)
+
+    def __repr__(self) -> str:
+        return "Event(%s, t=%d, %r)" % (self.kind, self.time, self.data)
+
+
+class EventBus:
+    """A low-overhead synchronous pub/sub bus for :class:`Event` objects.
+
+    Subscribers are invoked in subscription order; the order — and
+    everything else about the bus — is deterministic.  Subscriber
+    exceptions propagate to the emit site: the bus is a development tool
+    and must not silently swallow errors.
+    """
+
+    __slots__ = ("_subscribers",)
+
+    def __init__(self) -> None:
+        self._subscribers: List[Subscriber] = []
+
+    @property
+    def active(self) -> bool:
+        """True when at least one subscriber is attached.
+
+        Emit sites check this before building an event, which is what
+        makes traced-off runs free of instrumentation cost.
+        """
+        return bool(self._subscribers)
+
+    def subscribe(self, subscriber: Subscriber) -> Subscriber:
+        """Attach ``subscriber`` (a callable taking one event); returns it."""
+        if not callable(subscriber):
+            raise TypeError("subscriber must be callable, got %r" % (subscriber,))
+        self._subscribers.append(subscriber)
+        return subscriber
+
+    def unsubscribe(self, subscriber: Subscriber) -> None:
+        """Detach ``subscriber``; unknown subscribers are ignored."""
+        try:
+            self._subscribers.remove(subscriber)
+        except ValueError:
+            pass
+
+    @contextlib.contextmanager
+    def subscription(self, subscriber: Subscriber) -> Iterator[Subscriber]:
+        """Context manager: subscribe on entry, always unsubscribe on exit.
+
+        The recommended way to attach collectors in tests and scripts::
+
+            with BUS.subscription(collector):
+                machine.run_until(horizon)
+        """
+        self.subscribe(subscriber)
+        try:
+            yield subscriber
+        finally:
+            self.unsubscribe(subscriber)
+
+    def clear(self) -> None:
+        """Detach every subscriber (end-of-session cleanup)."""
+        del self._subscribers[:]
+
+    def emit(self, kind: str, time: int, **data: Any) -> None:
+        """Deliver ``Event(kind, time, data)`` to every subscriber.
+
+        A no-op when no subscriber is attached — but note the keyword dict
+        has already been built by the call itself, which is why hot paths
+        guard with :attr:`active` instead of calling unconditionally.
+        """
+        subscribers = self._subscribers
+        if not subscribers:
+            return
+        event = Event(kind, time, data)
+        for subscriber in subscribers:
+            subscriber(event)
+
+
+#: the process-wide default bus every emit site uses
+BUS = EventBus()

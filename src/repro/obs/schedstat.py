@@ -1,0 +1,196 @@
+"""Hierarchical schedstats: per-node cumulative scheduling statistics.
+
+The Linux ``/proc/schedstat`` interface is the standard way to evaluate a
+deployed scheduler without attaching a tracer; this module gives the
+reproduction the hierarchical equivalent.  :class:`SchedStat` subscribes to
+the event bus and accumulates, **per scheduling-structure node** (keyed by
+pathname, with every charge also attributed to the node's ancestors):
+
+* dispatches, preemptions, blocks, wakes;
+* charges and total service (instructions);
+* scheduling/context-switch overhead attribution (ns);
+* tag ranges (smallest start tag, largest finish tag seen) and the last
+  observed virtual time;
+* SCHEDSAN violations routed through the bus.
+
+:func:`render_schedstat` merges those cumulative numbers with the *live*
+state of a :class:`~repro.core.structure.SchedulingStructure` (weights,
+runnable flags, current virtual times) into a ``/proc/schedstat``-style
+text tree::
+
+    stats = SchedStat()
+    with BUS.subscription(stats):
+        machine.run_until(horizon)
+    print(render_schedstat(structure, stats))
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.obs import events as ev
+
+
+def ancestor_paths(path: str) -> List[str]:
+    """Every prefix path of ``path``, root first: "/a/b" -> ["/", "/a", "/a/b"]."""
+    if not path.startswith("/"):
+        return [path]
+    parts = [part for part in path.split("/") if part]
+    out = ["/"]
+    for index in range(len(parts)):
+        out.append("/" + "/".join(parts[:index + 1]))
+    return out
+
+
+class NodeStats:
+    """Cumulative counters for one scheduling-structure node."""
+
+    __slots__ = ("dispatches", "preemptions", "blocks", "wakes", "charges",
+                 "service_work", "overhead_ns", "violations", "tag_updates",
+                 "min_start", "max_finish", "vtime")
+
+    def __init__(self) -> None:
+        self.dispatches = 0
+        self.preemptions = 0
+        self.blocks = 0
+        self.wakes = 0
+        self.charges = 0
+        self.service_work = 0
+        self.overhead_ns = 0
+        self.violations = 0
+        self.tag_updates = 0
+        self.min_start: Optional[float] = None
+        self.max_finish: Optional[float] = None
+        self.vtime: Optional[float] = None
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Plain-dict view (for JSON export and tests)."""
+        return {slot: getattr(self, slot) for slot in self.__slots__}
+
+
+class SchedStat:
+    """Event-bus subscriber accumulating per-node scheduling statistics.
+
+    Thread-lifecycle events carry the leaf pathname of the thread involved;
+    each is attributed to that leaf *and all its ancestors*, so an internal
+    node's row reports its whole subtree — the hierarchical reading of
+    ``/proc/schedstat``.  Tag and virtual-time events update only the named
+    node.
+    """
+
+    def __init__(self) -> None:
+        self.nodes: Dict[str, NodeStats] = {}
+        self.interrupts = 0
+        self.interrupt_ns = 0
+        self.events_seen = 0
+
+    def node(self, path: str) -> NodeStats:
+        """The (created-on-demand) stats record for ``path``."""
+        stats = self.nodes.get(path)
+        if stats is None:
+            stats = NodeStats()
+            self.nodes[path] = stats
+        return stats
+
+    def _bump(self, path: str, field: str, amount: int = 1) -> None:
+        for prefix in ancestor_paths(path):
+            stats = self.node(prefix)
+            setattr(stats, field, getattr(stats, field) + amount)
+
+    def __call__(self, event: ev.Event) -> None:
+        """Bus subscriber entry point: fold one event into the node table."""
+        self.events_seen += 1
+        kind = event.kind
+        data = event.data
+        if kind == ev.DISPATCH:
+            self._bump(data["node"], "dispatches")
+            overhead = data.get("overhead_ns", 0)
+            if overhead:
+                self._bump(data["node"], "overhead_ns", overhead)
+        elif kind == ev.CHARGE:
+            self._bump(data["node"], "charges")
+            self._bump(data["node"], "service_work", data["work"])
+        elif kind == ev.PREEMPT:
+            self._bump(data["node"], "preemptions")
+        elif kind == ev.BLOCK:
+            self._bump(data["node"], "blocks")
+        elif kind == ev.WAKE:
+            node = data.get("node")
+            if node is not None:
+                self._bump(node, "wakes")
+        elif kind == ev.TAG_UPDATE:
+            stats = self.node(data["node"])
+            stats.tag_updates += 1
+            start = data.get("start")
+            finish = data.get("finish")
+            if start is not None and (stats.min_start is None
+                                      or start < stats.min_start):
+                stats.min_start = start
+            if finish is not None and (stats.max_finish is None
+                                       or finish > stats.max_finish):
+                stats.max_finish = finish
+        elif kind == ev.VTIME_ADVANCE:
+            self.node(data["node"]).vtime = data["v"]
+        elif kind == ev.VIOLATION:
+            self.node(data.get("node", "/")).violations += 1
+        elif kind == ev.INTERRUPT:
+            self.interrupts += 1
+            self.interrupt_ns += data.get("service", 0)
+
+
+def _format_tag(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    return "%.3f" % value
+
+
+def _node_lines(node: Any, stats: Optional[SchedStat], depth: int,
+                lines: List[str]) -> None:
+    indent = "  " * depth
+    label = node.path
+    kind = "leaf" if node.is_leaf else "internal"
+    detail = ""
+    if node.is_leaf:
+        algorithm = getattr(node.scheduler, "algorithm", "?")
+        detail = " sched=%s threads=%d" % (algorithm, len(node.threads))
+    else:
+        detail = " v=%s children=%d" % (
+            _format_tag(float(node.queue.virtual_time)), len(node.children))
+    lines.append("%s%s weight=%d %s runnable=%d%s"
+                 % (indent, label, node.weight, kind, int(node.runnable),
+                    detail))
+    record = stats.nodes.get(node.path) if stats is not None else None
+    if record is not None:
+        lines.append(
+            "%s  dispatches=%d preempt=%d service=%d charges=%d "
+            "overhead_ns=%d blocks=%d wakes=%d violations=%d"
+            % (indent, record.dispatches, record.preemptions,
+               record.service_work, record.charges, record.overhead_ns,
+               record.blocks, record.wakes, record.violations))
+        lines.append(
+            "%s  tags: S_min=%s F_max=%s v_last=%s updates=%d"
+            % (indent, _format_tag(record.min_start),
+               _format_tag(record.max_finish), _format_tag(record.vtime),
+               record.tag_updates))
+    if not node.is_leaf:
+        for child in node.children.values():
+            _node_lines(child, stats, depth + 1, lines)
+
+
+def render_schedstat(structure: Any,
+                     stats: Optional[SchedStat] = None) -> str:
+    """A ``/proc/schedstat``-style text tree of ``structure``.
+
+    ``structure`` is a :class:`~repro.core.structure.SchedulingStructure`
+    (duck-typed: anything with a ``root`` node tree works).  When a
+    :class:`SchedStat` collector is supplied its cumulative counters are
+    printed under each node; otherwise only the live state (weights,
+    runnable flags, virtual times) is shown.
+    """
+    lines: List[str] = ["schedstat-hsfq version 1"]
+    _node_lines(structure.root, stats, 0, lines)
+    if stats is not None:
+        lines.append("interrupts=%d interrupt_ns=%d events=%d"
+                     % (stats.interrupts, stats.interrupt_ns,
+                        stats.events_seen))
+    return "\n".join(lines)

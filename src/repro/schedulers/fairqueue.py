@@ -30,6 +30,7 @@ import itertools
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.errors import SchedulingError
+from repro.obs import events as obs
 from repro.schedulers.base import LeafScheduler
 from repro.units import SECOND
 
@@ -56,6 +57,8 @@ class _FairQueueBase(LeafScheduler):
 
     #: "start" or "finish" — which tag orders the dispatch heap
     order_by = "finish"
+    #: short algorithm name; subclasses override (labels observability events)
+    algorithm = "fq"
 
     def __init__(self, assumed_quantum_work: int,
                  quantum: Optional[int] = None) -> None:
@@ -113,6 +116,10 @@ class _FairQueueBase(LeafScheduler):
         record.runnable = True
         self._push(record)
         self._runnable += 1
+        if obs.BUS.active:
+            obs.BUS.emit(obs.TAG_UPDATE, now, node="fq:" + self.algorithm,
+                         tid=thread.tid, start=record.start,
+                         finish=record.finish, work=0)
 
     def on_block(self, thread: "SimThread", now: int) -> None:
         record = self._record(thread)
@@ -139,6 +146,11 @@ class _FairQueueBase(LeafScheduler):
             record.start = max(virtual, record.finish)
             record.finish = record.start + self.assumed_quantum_work / thread.weight
             self._push(record)
+            if obs.BUS.active:
+                obs.BUS.emit(obs.TAG_UPDATE, now,
+                             node="fq:" + self.algorithm, tid=thread.tid,
+                             start=record.start, finish=record.finish,
+                             work=work)
 
     def has_runnable(self) -> bool:
         return self._runnable > 0
@@ -205,6 +217,9 @@ class _RateClockMixin:
         if weight_sum > 0:
             elapsed = now - self._v_updated
             self._v += (elapsed * self.capacity_ips) / (SECOND * weight_sum)
+            if obs.BUS.active:
+                obs.BUS.emit(obs.VTIME_ADVANCE, now,
+                             node="fq:" + self.algorithm, v=self._v)
         self._v_updated = now
 
 

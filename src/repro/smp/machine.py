@@ -24,6 +24,7 @@ from typing import List, Optional
 from repro.cpu.interface import TopScheduler
 from repro.devtools.schedsan import maybe_wrap as _schedsan_wrap
 from repro.errors import SchedulingError, SimulationError, WorkloadError
+from repro.obs import events as obs
 from repro.sim.engine import Simulator
 from repro.sync.mutex import Acquire, Release
 from repro.sync.semaphore import Down, Notify, Up, WaitOn
@@ -33,6 +34,12 @@ from repro.threads.thread import SimThread
 from repro.units import MS, time_from_work, work_from_time
 
 _MAX_SEGMENT_PULLS = 1000
+
+
+def _leaf_path(thread: SimThread) -> str:
+    """Pathname of the thread's leaf node, "/" for flat schedulers."""
+    leaf = thread.leaf
+    return leaf.path if leaf is not None else "/"
 
 
 class _Cpu:
@@ -113,6 +120,10 @@ class SmpMachine:
         self.scheduler.admit(thread)
         if self.tracer is not None:
             self.tracer.on_spawn(thread, self.engine.now)
+        if obs.BUS.active:
+            obs.BUS.emit(obs.SPAWN, self.engine.now, tid=thread.tid,
+                         name=thread.name, node=_leaf_path(thread),
+                         weight=thread.weight)
         self._settle(thread)
 
     def _settle(self, thread: SimThread) -> None:
@@ -129,10 +140,16 @@ class SmpMachine:
                 thread.transition(ThreadState.SLEEPING)
             if self.tracer is not None:
                 self.tracer.on_block(thread, now, -1)
+            if obs.BUS.active:
+                obs.BUS.emit(obs.BLOCK, now, tid=thread.tid,
+                             node=_leaf_path(thread), wake=-1)
         else:
             thread.transition(ThreadState.EXITED)
             thread.stats.exited_at = now
             self._release_held_mutexes(thread)
+            if obs.BUS.active:
+                obs.BUS.emit(obs.EXIT, now, tid=thread.tid,
+                             node=_leaf_path(thread))
             self.scheduler.retire(thread, now)
             if self.tracer is not None:
                 self.tracer.on_exit(thread, now)
@@ -191,12 +208,18 @@ class SmpMachine:
         thread.last_runnable_at = now
         if self.tracer is not None:
             self.tracer.on_runnable(thread, now)
+        if obs.BUS.active:
+            obs.BUS.emit(obs.RUNNABLE, now, tid=thread.tid,
+                         node=_leaf_path(thread))
         self.scheduler.thread_runnable(thread, now)
         self._dispatch_idle_cpus()
 
     def _schedule_wakeup(self, thread: SimThread, wake_time: int) -> None:
         if self.tracer is not None:
             self.tracer.on_block(thread, self.engine.now, wake_time)
+        if obs.BUS.active:
+            obs.BUS.emit(obs.BLOCK, self.engine.now, tid=thread.tid,
+                         node=_leaf_path(thread), wake=wake_time)
         thread.wakeup_handle = self.engine.at(
             wake_time, self._on_wakeup, thread, priority=self.PRIORITY_WAKEUP)
 
@@ -205,6 +228,9 @@ class SmpMachine:
         thread.stats.wakeups += 1
         if self.tracer is not None:
             self.tracer.on_wake(thread, self.engine.now)
+        if obs.BUS.active:
+            obs.BUS.emit(obs.WAKE, self.engine.now, tid=thread.tid,
+                         node=_leaf_path(thread))
         if thread.remaining_work > 0:
             self._make_runnable(thread)
         else:
@@ -244,6 +270,12 @@ class SmpMachine:
         cpu.quantum_done = 0
         if self.tracer is not None:
             self.tracer.on_dispatch(thread, now)
+        if obs.BUS.active:
+            obs.BUS.emit(obs.DISPATCH, now, tid=thread.tid,
+                         name=thread.name, node=_leaf_path(thread),
+                         cpu=cpu.index, depth=self.scheduler.decision_depth,
+                         switched=True, overhead_ns=0,
+                         quantum_work=cpu.quantum_left)
         self._begin_burst(cpu)
 
     def _begin_burst(self, cpu: _Cpu) -> None:
@@ -274,6 +306,10 @@ class SmpMachine:
         self.busy_time += elapsed
         if self.tracer is not None:
             self.tracer.on_slice(thread, cpu.burst_start, now, executed)
+        if obs.BUS.active:
+            obs.BUS.emit(obs.SLICE, now, tid=thread.tid, name=thread.name,
+                         node=_leaf_path(thread), cpu=cpu.index,
+                         start=cpu.burst_start, work=executed)
 
     def _on_burst_complete(self, cpu: _Cpu) -> None:
         cpu.burst_handle = None
@@ -321,6 +357,9 @@ class SmpMachine:
             self.scheduler.charge(thread, cpu.quantum_done, now)
             if self.tracer is not None:
                 self.tracer.on_charge(thread, now, cpu.quantum_done)
+            if obs.BUS.active:
+                obs.BUS.emit(obs.CHARGE, now, tid=thread.tid,
+                             node=_leaf_path(thread), work=cpu.quantum_done)
         cpu.quantum_done = 0
         cpu.quantum_left = 0
 
@@ -332,8 +371,14 @@ class SmpMachine:
         elif outcome == "wait":
             if self.tracer is not None:
                 self.tracer.on_block(thread, now, -1)
+            if obs.BUS.active:
+                obs.BUS.emit(obs.BLOCK, now, tid=thread.tid,
+                             node=_leaf_path(thread), wake=-1)
         else:
             self._release_held_mutexes(thread)
+            if obs.BUS.active:
+                obs.BUS.emit(obs.EXIT, now, tid=thread.tid,
+                             node=_leaf_path(thread))
             self.scheduler.retire(thread, now)
             if self.tracer is not None:
                 self.tracer.on_exit(thread, now)

@@ -70,10 +70,113 @@ def slices_to_csv(recorder: Recorder,
     return buffer.getvalue()
 
 
+#: per-thread keys every export carries; checked by :func:`load_trace_dict`
+THREAD_KEYS = (
+    "tid", "name", "weight", "spawned_at", "exited_at", "total_work",
+    "slices", "dispatches", "runnables", "blocks", "wakes",
+    "segment_completions", "markers",
+)
+
+#: per-thread keys holding monotonically non-decreasing timestamp lists
+_EVENT_LIST_KEYS = ("dispatches", "runnables", "blocks", "wakes",
+                    "segment_completions")
+
+
+def _check_monotonic(times, where: str) -> None:
+    previous = None
+    for value in times:
+        if not isinstance(value, int):
+            raise ValueError("%s holds non-integer timestamp %r" % (where, value))
+        if previous is not None and value < previous:
+            raise ValueError("%s timestamps go backwards: %d after %d"
+                             % (where, value, previous))
+        previous = value
+
+
+def _check_thread(entry: Dict, index: int) -> None:
+    where = "threads[%d]" % index
+    if not isinstance(entry, dict):
+        raise ValueError("%s is not an object" % where)
+    for key in THREAD_KEYS:
+        if key not in entry:
+            raise ValueError("%s missing key %r" % (where, key))
+    for key in ("tid", "weight", "spawned_at", "total_work"):
+        if not isinstance(entry[key], int):
+            raise ValueError("%s[%r] must be an integer, got %r"
+                             % (where, key, entry[key]))
+    if entry["exited_at"] is not None and not isinstance(entry["exited_at"], int):
+        raise ValueError("%s['exited_at'] must be an integer or null" % where)
+    if not isinstance(entry["name"], str):
+        raise ValueError("%s['name'] must be a string" % where)
+    if not isinstance(entry["markers"], dict):
+        raise ValueError("%s['markers'] must be an object" % where)
+
+    slices = entry["slices"]
+    if not isinstance(slices, list):
+        raise ValueError("%s['slices'] must be a list" % where)
+    previous_start = None
+    total = 0
+    for pos, item in enumerate(slices):
+        label = "%s.slices[%d]" % (where, pos)
+        if not isinstance(item, (list, tuple)) or len(item) != 3:
+            raise ValueError("%s must be a [t0, t1, work] triple" % label)
+        t0, t1, work = item
+        if not all(isinstance(v, int) for v in (t0, t1, work)):
+            raise ValueError("%s holds non-integer values" % label)
+        if t0 > t1:
+            raise ValueError("%s ends before it starts (%d > %d)"
+                             % (label, t0, t1))
+        if work < 0:
+            raise ValueError("%s has negative work %d" % (label, work))
+        if previous_start is not None and t0 < previous_start:
+            raise ValueError("%s starts before the previous slice" % label)
+        previous_start = t0
+        total += work
+    if total > entry["total_work"]:
+        raise ValueError("%s slice work %d exceeds total_work %d"
+                         % (where, total, entry["total_work"]))
+
+    for key in _EVENT_LIST_KEYS:
+        if not isinstance(entry[key], list):
+            raise ValueError("%s[%r] must be a list" % (where, key))
+        _check_monotonic(entry[key], "%s.%s" % (where, key))
+
+
 def load_trace_dict(payload: Dict) -> Dict:
-    """Validate an exported dict (schema check); returns it unchanged."""
+    """Validate an exported dict; returns it unchanged.
+
+    Checks the schema version, the per-thread key set, value types, slice
+    geometry (each slice is an integer ``[t0, t1, work]`` triple with
+    ``t0 <= t1`` and ``work >= 0``, slices ordered by start time, total
+    slice work bounded by ``total_work``), monotonically non-decreasing
+    event-timestamp lists, and well-formed ``[time, service]`` interrupt
+    pairs in time order.  Raises
+    :class:`ValueError` describing the first problem found.
+    """
+    if not isinstance(payload, dict):
+        raise ValueError("trace payload must be a JSON object")
     if payload.get("schema") != SCHEMA_VERSION:
         raise ValueError("unsupported trace schema %r" % (payload.get("schema"),))
     if "threads" not in payload:
         raise ValueError("trace payload missing 'threads'")
+    threads = payload["threads"]
+    if not isinstance(threads, list):
+        raise ValueError("'threads' must be a list")
+    for index, entry in enumerate(threads):
+        _check_thread(entry, index)
+    interrupts = payload.get("interrupts", [])
+    if not isinstance(interrupts, list):
+        raise ValueError("'interrupts' must be a list")
+    previous = None
+    for pos, item in enumerate(interrupts):
+        if (not isinstance(item, (list, tuple)) or len(item) != 2
+                or not all(isinstance(v, int) for v in item)):
+            raise ValueError("interrupts[%d] must be a [time, service] pair"
+                             % pos)
+        time, service = item
+        if time < 0 or service < 0:
+            raise ValueError("interrupts[%d] holds negative values" % pos)
+        if previous is not None and time < previous:
+            raise ValueError("interrupts[%d] timestamps go backwards" % pos)
+        previous = time
     return payload

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.core.hierarchy import HierarchicalScheduler
@@ -75,6 +77,30 @@ class FlatHarness:
                            weight=weight, params=params)
         self.machine.spawn(thread)
         return thread
+
+
+@pytest.fixture(autouse=True, scope="session")
+def obs_bus_subscriber():
+    """With ``REPRO_OBS=1``, keep a counting subscriber on the event bus for
+    the whole session, so every emit site actually runs (and every result
+    the suite asserts on is produced with instrumentation active — the
+    observability analogue of the SCHEDSAN suite run)."""
+    if os.environ.get("REPRO_OBS", "") in ("", "0"):
+        yield None
+        return
+    from repro.obs import events as ev
+
+    counts: dict = {}
+
+    def count(event: ev.Event) -> None:
+        counts[event.kind] = counts.get(event.kind, 0) + 1
+
+    ev.BUS.subscribe(count)
+    try:
+        yield counts
+    finally:
+        ev.BUS.unsubscribe(count)
+    assert counts, "REPRO_OBS=1 run saw no events at all"
 
 
 @pytest.fixture

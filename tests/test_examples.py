@@ -60,3 +60,9 @@ class TestExamples:
         out = run_example("trace_analysis", capsys)
         assert "CPU occupancy" in out
         assert "JSON" in out
+
+    def test_observability(self, capsys):
+        out = run_example("observability", capsys)
+        assert "schedstat-hsfq version 1" in out
+        assert "sched.dispatch_latency_ns" in out
+        assert "ui.perfetto.dev" in out

@@ -1,0 +1,66 @@
+"""The ``python -m repro.obs`` command-line interface."""
+
+import json
+
+from repro.obs.chrometrace import validate_chrome_trace
+from repro.obs.cli import build_demo, main
+
+
+class TestDemo:
+    def test_demo_prints_the_full_report(self, capsys):
+        assert main(["demo", "--duration-ms", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "schedstat-hsfq version 1" in out
+        assert "/soft-rt" in out and "/best-effort/user1" in out
+        assert "sched.dispatches" in out
+        assert "decoder" in out and "shell" in out
+        assert "events emitted:" in out
+
+    def test_demo_writes_a_valid_trace(self, tmp_path, capsys):
+        out_file = tmp_path / "demo.json"
+        assert main(["demo", "--duration-ms", "200",
+                     "--out", str(out_file)]) == 0
+        payload = json.loads(out_file.read_text())
+        assert validate_chrome_trace(payload) > 0
+        assert "ui.perfetto.dev" in capsys.readouterr().out
+
+    def test_demo_scenario_shape(self):
+        machine, structure, threads = build_demo()
+        assert [t.name for t in threads] == ["decoder", "compile",
+                                             "render", "shell"]
+        assert structure.parse("/soft-rt").is_leaf
+        assert not structure.parse("/best-effort").is_leaf
+        del machine
+
+
+class TestReport:
+    def write_trace(self, tmp_path, capsys):
+        out_file = tmp_path / "demo.json"
+        assert main(["demo", "--duration-ms", "200",
+                     "--out", str(out_file)]) == 0
+        capsys.readouterr()  # drop the demo output
+        return out_file
+
+    def test_report_summarizes_a_trace(self, tmp_path, capsys):
+        out_file = self.write_trace(tmp_path, capsys)
+        assert main(["report", str(out_file)]) == 0
+        out = capsys.readouterr().out
+        assert "valid Trace Event Format" in out
+        assert "threads/decoder" in out
+        assert "cpus/cpu0" in out
+
+    def test_report_missing_file_fails(self, tmp_path, capsys):
+        assert main(["report", str(tmp_path / "nope.json")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_report_rejects_malformed_payload(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"traceEvents": [{"ph": "Z"}]}))
+        assert main(["report", str(bad)]) == 1
+        assert "unknown phase" in capsys.readouterr().err
+
+
+class TestUsage:
+    def test_no_subcommand_prints_help(self, capsys):
+        assert main([]) == 2
+        assert "demo" in capsys.readouterr().out

@@ -1,0 +1,159 @@
+"""The observability event bus: mechanics, emit sites, and zero-cost off."""
+
+import pytest
+
+from repro.obs import events as ev
+from repro.units import MS
+
+
+def collect_run(harness_factory, subscriber):
+    """Run a fresh scenario, optionally with ``subscriber`` attached.
+
+    Returns (thread results, final time).  Results are (name, work,
+    dispatches, blocks, slices) tuples — never tids, which depend on global
+    spawn order across the test session.
+    """
+    harness, threads = harness_factory()
+    if subscriber is not None:
+        with ev.BUS.subscription(subscriber):
+            harness.machine.run_until(80 * MS)
+    else:
+        harness.machine.run_until(80 * MS)
+    results = [
+        (t.name, t.stats.work_done, t.stats.dispatches, t.stats.blocks,
+         tuple(harness.recorder.trace_of(t).slices))
+        for t in threads
+    ]
+    return results, harness.engine.now
+
+
+class TestBusMechanics:
+    def test_inactive_by_default(self):
+        bus = ev.EventBus()
+        assert not bus.active
+
+    def test_subscribe_activates_and_unsubscribe_deactivates(self):
+        bus = ev.EventBus()
+        seen = []
+        bus.subscribe(seen.append)
+        assert bus.active
+        bus.unsubscribe(seen.append)
+        assert not bus.active
+
+    def test_emit_without_subscribers_is_noop(self):
+        bus = ev.EventBus()
+        bus.emit(ev.DISPATCH, 5, tid=1)  # must not raise or allocate events
+
+    def test_emit_delivers_event_fields(self):
+        bus = ev.EventBus()
+        seen = []
+        bus.subscribe(seen.append)
+        bus.emit(ev.DISPATCH, 42, tid=7, node="/apps")
+        assert len(seen) == 1
+        event = seen[0]
+        assert event.kind == ev.DISPATCH
+        assert event.time == 42
+        assert event.data == {"tid": 7, "node": "/apps"}
+        assert event.get("tid") == 7
+        assert event.get("missing", "d") == "d"
+
+    def test_subscribers_called_in_subscription_order(self):
+        bus = ev.EventBus()
+        order = []
+        bus.subscribe(lambda e: order.append("first"))
+        bus.subscribe(lambda e: order.append("second"))
+        bus.emit(ev.WAKE, 0, tid=1)
+        assert order == ["first", "second"]
+
+    def test_subscription_context_manager_always_cleans_up(self):
+        bus = ev.EventBus()
+        probe = []
+        with pytest.raises(RuntimeError):
+            with bus.subscription(probe.append):
+                assert bus.active
+                raise RuntimeError("boom")
+        assert not bus.active
+
+    def test_non_callable_subscriber_rejected(self):
+        bus = ev.EventBus()
+        with pytest.raises(TypeError):
+            bus.subscribe("not callable")
+
+    def test_unsubscribe_unknown_is_ignored(self):
+        ev.EventBus().unsubscribe(lambda e: None)
+
+    def test_clear_detaches_everyone(self):
+        bus = ev.EventBus()
+        bus.subscribe(lambda e: None)
+        bus.subscribe(lambda e: None)
+        bus.clear()
+        assert not bus.active
+
+    def test_kind_catalogue_is_unique(self):
+        assert len(ev.KINDS) == len(set(ev.KINDS))
+        for kind in (ev.DISPATCH, ev.SLICE, ev.TAG_UPDATE,
+                     ev.VTIME_ADVANCE, ev.VIOLATION):
+            assert kind in ev.KINDS
+
+
+class TestInstrumentedRun:
+    def build(self):
+        from tests.conftest import Harness
+        harness = Harness()
+        a = harness.spawn_dhrystone("a", weight=2)
+        b = harness.spawn_dhrystone("b", weight=1)
+        return harness, [a, b]
+
+    def test_emit_sites_cover_the_lifecycle(self):
+        kinds = set()
+        # Subscribe before building: spawn events fire at spawn() time.
+        with ev.BUS.subscription(lambda e: kinds.add(e.kind)):
+            harness, __ = self.build()
+            harness.machine.run_until(50 * MS)
+        for expected in (ev.SPAWN, ev.RUNNABLE, ev.DISPATCH, ev.SLICE,
+                         ev.CHARGE, ev.TAG_UPDATE, ev.VTIME_ADVANCE):
+            assert expected in kinds, "no %s event emitted" % expected
+
+    def test_timestamps_are_monotonic_per_emit_order(self):
+        harness, __ = self.build()
+        times = []
+        with ev.BUS.subscription(lambda e: times.append(e.time)):
+            harness.machine.run_until(50 * MS)
+        assert times == sorted(times)
+
+    def test_events_carry_node_paths(self):
+        harness, __ = self.build()
+        nodes = set()
+        with ev.BUS.subscription(
+                lambda e: nodes.add(e.get("node"))):
+            harness.machine.run_until(50 * MS)
+        assert "/apps" in nodes
+
+
+class TestTracedOffDeterminism:
+    """With and without subscribers, simulation results are identical."""
+
+    def build(self):
+        from tests.conftest import Harness
+        from repro.threads.segments import Compute, SleepFor
+        harness = Harness()
+        threads = [
+            harness.spawn_dhrystone("cpu-bound", weight=2),
+            harness.spawn_segments("sleeper", [Compute(3_000),
+                                               SleepFor(5 * MS),
+                                               Compute(3_000)]),
+        ]
+        return harness, threads
+
+    def test_subscriber_does_not_change_the_run(self):
+        baseline, end_a = collect_run(self.build, None)
+        sink = []
+        traced, end_b = collect_run(self.build, sink.append)
+        assert sink, "the traced run must actually have produced events"
+        assert end_a == end_b
+        assert baseline == traced
+
+    def test_two_traced_runs_are_identical(self):
+        first, __ = collect_run(self.build, lambda e: None)
+        second, __ = collect_run(self.build, lambda e: None)
+        assert first == second

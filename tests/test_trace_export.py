@@ -60,6 +60,81 @@ class TestJsonExport:
             load_trace_dict({"schema": SCHEMA_VERSION})
 
 
+class TestDeepValidation:
+    def make_payload(self, run):
+        harness, a, b = run
+        return trace_to_dict(harness.recorder, [a, b])
+
+    def test_full_export_validates(self, run):
+        payload = self.make_payload(run)
+        assert load_trace_dict(payload) is payload
+
+    def test_json_round_trip_validates(self, run):
+        harness, a, b = run
+        text = trace_to_json(harness.recorder, [a, b])
+        restored = load_trace_dict(json.loads(text))
+        original = trace_to_dict(harness.recorder, [a, b])
+        # JSON turns slice/interrupt tuples into lists; compare normalised.
+        assert restored == json.loads(json.dumps(original))
+
+    def test_missing_thread_key_rejected(self, run):
+        payload = self.make_payload(run)
+        del payload["threads"][0]["wakes"]
+        with pytest.raises(ValueError, match="missing key 'wakes'"):
+            load_trace_dict(payload)
+
+    def test_non_integer_tid_rejected(self, run):
+        payload = self.make_payload(run)
+        payload["threads"][0]["tid"] = "zero"
+        with pytest.raises(ValueError, match="'tid'"):
+            load_trace_dict(payload)
+
+    def test_backwards_slice_rejected(self, run):
+        payload = self.make_payload(run)
+        payload["threads"][0]["slices"][0] = [10, 5, 100]
+        with pytest.raises(ValueError, match="ends before it starts"):
+            load_trace_dict(payload)
+
+    def test_negative_slice_work_rejected(self, run):
+        payload = self.make_payload(run)
+        t0, t1, __ = payload["threads"][0]["slices"][0]
+        payload["threads"][0]["slices"][0] = [t0, t1, -1]
+        with pytest.raises(ValueError, match="negative work"):
+            load_trace_dict(payload)
+
+    def test_unsorted_slices_rejected(self, run):
+        payload = self.make_payload(run)
+        slices = payload["threads"][1]["slices"]
+        assert len(slices) >= 2
+        slices[0], slices[1] = slices[1], slices[0]
+        with pytest.raises(ValueError, match="before the previous slice"):
+            load_trace_dict(payload)
+
+    def test_slice_work_exceeding_total_rejected(self, run):
+        payload = self.make_payload(run)
+        payload["threads"][0]["total_work"] = 0
+        with pytest.raises(ValueError, match="exceeds total_work"):
+            load_trace_dict(payload)
+
+    def test_backwards_event_list_rejected(self, run):
+        payload = self.make_payload(run)
+        dispatches = payload["threads"][1]["dispatches"]
+        assert len(dispatches) >= 2
+        payload["threads"][1]["dispatches"] = list(reversed(dispatches))
+        with pytest.raises(ValueError, match="go backwards"):
+            load_trace_dict(payload)
+
+    def test_malformed_interrupt_pair_rejected(self, run):
+        payload = self.make_payload(run)
+        payload["interrupts"] = [[100, 50, 7]]
+        with pytest.raises(ValueError, match="interrupts"):
+            load_trace_dict(payload)
+
+    def test_threads_must_be_list(self):
+        with pytest.raises(ValueError, match="'threads' must be a list"):
+            load_trace_dict({"schema": SCHEMA_VERSION, "threads": {}})
+
+
 class TestCsvExport:
     def test_header_and_time_order(self, run):
         harness, a, b = run
