@@ -1,6 +1,6 @@
 # Convenience targets; plain pytest works too.
 
-.PHONY: install test test-schedsan test-obs lint bench experiments quick-experiments examples obs-demo clean
+.PHONY: install test test-schedsan test-obs lint bench bench-quick bench-compare bench-baseline microbench experiments quick-experiments examples obs-demo clean
 
 install:
 	pip install -e .
@@ -22,7 +22,24 @@ lint:
 		echo "mypy not installed; skipping typed-core check"; \
 	fi
 
+# Scheduler hot-path suite (see docs/PERFORMANCE.md).  `bench` writes the
+# next free benchmarks/BENCH_<n>.json; `bench-compare` checks the latest
+# quick run against the committed CI baseline.
 bench:
+	python -m repro.perfkit run
+
+bench-quick:
+	python -m repro.perfkit run --quick
+
+bench-compare:
+	python -m repro.perfkit run --quick --out /tmp/BENCH_local.json
+	python -m repro.perfkit compare /tmp/BENCH_local.json benchmarks/baseline.json
+
+bench-baseline:
+	python -m repro.perfkit baseline --quick
+
+# pytest-benchmark microbenchmarks of the paper figures (the old `bench`)
+microbench:
 	pytest benchmarks/ --benchmark-only
 
 experiments:

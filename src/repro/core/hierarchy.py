@@ -14,14 +14,26 @@ paper describes.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Optional
+from typing import TYPE_CHECKING, Callable, Dict, Optional
 
-from repro.core.node import InternalNode, LeafNode, require_leaf
+from repro.core.node import InternalNode, LeafNode, Node, require_leaf
+from repro.core.sfq import (
+    build_ancestor_chain,
+    charge_chain,
+    pick_leaf,
+    sleep_chain,
+    wake_chain,
+)
 from repro.core.structure import SchedulingStructure
 from repro.cpu.interface import TopScheduler
 from repro.errors import SchedulingError
 from repro.obs import events as obs
 from repro.threads.states import ThreadState
+
+#: module-level alias of the process-wide bus: emit-site guards are on
+#: the per-dispatch hot path, and `_BUS.active` is one attribute lookup
+#: cheaper than `obs.BUS.active`.
+_BUS = obs.BUS
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.threads.thread import SimThread
@@ -55,6 +67,12 @@ class HierarchicalScheduler(TopScheduler):
         self._decision_depth = 1
         #: clock callable; the machine installs its engine's clock here
         self.clock: Callable[[], int] = lambda: 0
+        # Per-leaf charge chains (see repro.core.sfq.build_charge_chain),
+        # keyed by leaf id.  The tree shape only changes through
+        # mknod/rmnod, which bump structure.tree_version; charge() rebuilds
+        # lazily when the versions diverge.
+        self._charge_chains: Dict[int, list] = {}
+        self._charge_chains_version = structure.tree_version
 
     # --- TopScheduler protocol --------------------------------------------
 
@@ -84,20 +102,33 @@ class HierarchicalScheduler(TopScheduler):
         root = self.structure.root
         if not root.runnable:
             return None
-        node = root
-        depth = 1
-        while isinstance(node, InternalNode):
-            child = node.queue.pick()
-            if child is None:
-                raise SchedulingError(
-                    "node %r is marked runnable but has no runnable children"
-                    % (node.path,))
-            if obs.BUS.active:
-                obs.BUS.emit(obs.VTIME_ADVANCE, now, node=node.path,
-                             v=float(node.queue.virtual_time))
-            node = child
-            depth += 1
-        leaf = require_leaf(node)
+        if _BUS.active:
+            node: Node = root
+            depth = 1
+            while isinstance(node, InternalNode):
+                child = node.queue.pick()
+                if child is None:
+                    raise SchedulingError(
+                        "node %r is marked runnable but has no runnable "
+                        "children" % (node.path,))
+                _BUS.emit(obs.VTIME_ADVANCE, now, node=node.path,
+                          v=float(node.queue.virtual_time))
+                node = child
+                depth += 1
+            leaf = require_leaf(node)
+        else:
+            leaf, depth = pick_leaf(root, LeafNode)
+            if leaf is None:
+                # Re-walk with the method API for the standard diagnostic.
+                node = root
+                while isinstance(node, InternalNode):
+                    child = node.queue.pick()
+                    if child is None:
+                        raise SchedulingError(
+                            "node %r is marked runnable but has no runnable "
+                            "children" % (node.path,))
+                    node = child
+                leaf = require_leaf(node)
         thread = leaf.scheduler.pick_next(now)
         if thread is None:
             raise SchedulingError(
@@ -109,21 +140,39 @@ class HierarchicalScheduler(TopScheduler):
     def charge(self, thread: "SimThread", work: int, now: int) -> None:
         leaf = require_leaf(thread.leaf)
         leaf.scheduler.charge(thread, work, now)
-        node = leaf
-        while node.parent is not None:
-            parent = node.parent
-            parent.queue.charge(node, work)
-            if obs.BUS.active:
-                obs.BUS.emit(obs.TAG_UPDATE, now, node=node.path,
-                             start=float(parent.queue.start_tag(node)),
-                             finish=float(parent.queue.finish_tag(node)),
-                             work=work)
-                obs.BUS.emit(obs.VTIME_ADVANCE, now, node=parent.path,
-                             v=float(parent.queue.virtual_time))
-            node = parent
+        if _BUS.active:
+            node: Node = leaf
+            while node.parent is not None:
+                parent = node.parent
+                parent.queue.charge(node, work)
+                _BUS.emit(obs.TAG_UPDATE, now, node=node.path,
+                          start=float(parent.queue.start_tag(node)),
+                          finish=float(parent.queue.finish_tag(node)),
+                          work=work)
+                _BUS.emit(obs.VTIME_ADVANCE, now, node=parent.path,
+                          v=float(parent.queue.virtual_time))
+                node = parent
+            return
+        # Traced-off hot path: charge the static ancestor chain in one call
+        # (same levels, same order, same arithmetic as the walk above).
+        charge_chain(self._chain_for(leaf), work)
+
+    def _chain_for(self, leaf: LeafNode) -> list:
+        """The cached ancestor chain of ``leaf``, rebuilt on tree changes."""
+        if self._charge_chains_version != self.structure.tree_version:
+            self._charge_chains.clear()
+            self._charge_chains_version = self.structure.tree_version
+        chain = self._charge_chains.get(id(leaf))
+        if chain is None:
+            chain = build_ancestor_chain(leaf)
+            self._charge_chains[id(leaf)] = chain
+        return chain
 
     def quantum_for(self, thread: "SimThread") -> Optional[int]:
-        return require_leaf(thread.leaf).scheduler.quantum_for(thread)
+        leaf = thread.leaf
+        if type(leaf) is not LeafNode:  # unusual: subclass or detached thread
+            leaf = require_leaf(leaf)
+        return leaf.scheduler.quantum_for(thread)
 
     def should_preempt(self, current: "SimThread", candidate: "SimThread",
                        now: int) -> bool:
@@ -146,33 +195,28 @@ class HierarchicalScheduler(TopScheduler):
         if leaf.runnable:
             return
         leaf.runnable = True
-        node = leaf
-        while node.parent is not None:
-            parent = node.parent
-            parent.queue.set_runnable(node)
-            if obs.BUS.active:
-                obs.BUS.emit(obs.TAG_UPDATE, self.clock(), node=node.path,
-                             start=float(parent.queue.start_tag(node)),
-                             finish=float(parent.queue.finish_tag(node)),
-                             work=0)
-            if parent.runnable:
-                break
-            parent.runnable = True
-            node = parent
+        if _BUS.active:
+            node: Node = leaf
+            while node.parent is not None:
+                parent = node.parent
+                parent.queue.set_runnable(node)
+                _BUS.emit(obs.TAG_UPDATE, self.clock(), node=node.path,
+                          start=float(parent.queue.start_tag(node)),
+                          finish=float(parent.queue.finish_tag(node)),
+                          work=0)
+                if parent.runnable:
+                    break
+                parent.runnable = True
+                node = parent
+            return
+        wake_chain(self._chain_for(leaf))
 
     def sleep(self, leaf: LeafNode) -> None:
         """Mark ``leaf`` idle and propagate up while ancestors become idle."""
         if not leaf.runnable:
             return
         leaf.runnable = False
-        node = leaf
-        while node.parent is not None:
-            parent = node.parent
-            parent.queue.set_blocked(node)
-            if parent.queue.has_runnable():
-                break
-            parent.runnable = False
-            node = parent
+        sleep_chain(self._chain_for(leaf))
 
     def _sleep_if_idle(self, leaf: LeafNode) -> None:
         if leaf.runnable and not leaf.scheduler.has_runnable():

@@ -23,6 +23,8 @@ if TYPE_CHECKING:  # pragma: no cover
 class Node:
     """Common state for internal and leaf nodes."""
 
+    __slots__ = ("name", "weight", "parent", "node_id", "runnable", "path")
+
     def __init__(self, name: str, weight: int,
                  parent: Optional["InternalNode"]) -> None:
         if weight <= 0:
@@ -34,21 +36,20 @@ class Node:
         self.parent = parent
         self.node_id = -1  # assigned by SchedulingStructure
         self.runnable = False
+        #: absolute pathname, e.g. ``/best-effort/user1``.  Computed once:
+        #: nodes never rename or reparent (hsfq has no rename; hsfq_move
+        #: moves threads, not nodes), and traces read the path per event.
+        if parent is None:
+            self.path = "/"
+        elif parent.path == "/":
+            self.path = "/" + name
+        else:
+            self.path = parent.path + "/" + name
 
     @property
     def is_leaf(self) -> bool:
         """True for leaf nodes (thread holders), False for internal ones."""
         raise NotImplementedError
-
-    @property
-    def path(self) -> str:
-        """Absolute pathname, e.g. ``/best-effort/user1``."""
-        if self.parent is None:
-            return "/"
-        parent_path = self.parent.path
-        if parent_path == "/":
-            return "/" + self.name
-        return parent_path + "/" + self.name
 
     @property
     def depth(self) -> int:
@@ -77,6 +78,8 @@ class Node:
 
 class InternalNode(Node):
     """A non-leaf node: schedules its children with SFQ."""
+
+    __slots__ = ("children", "queue")
 
     def __init__(self, name: str, weight: int,
                  parent: Optional["InternalNode"],
@@ -117,6 +120,8 @@ class InternalNode(Node):
 
 class LeafNode(Node):
     """A leaf node: owns a leaf scheduler and its threads."""
+
+    __slots__ = ("scheduler", "threads")
 
     def __init__(self, name: str, weight: int, parent: Optional["InternalNode"],
                  scheduler: "LeafScheduler") -> None:

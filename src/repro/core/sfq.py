@@ -24,8 +24,8 @@ scheduling (threads may block before exhausting their quantum).
 
 from __future__ import annotations
 
-import heapq
 import itertools
+from heapq import heappop, heappush
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.tags import EXACT, Tag, TagMath
@@ -51,6 +51,9 @@ class _Record:
 class SfqQueue:
     """A single SFQ scheduling queue over weighted entities."""
 
+    __slots__ = ("tags", "_records", "_heap", "_virtual_time", "_max_finish",
+                 "_in_service", "_runnable_count", "_float_fast")
+
     def __init__(self, tag_math: Optional[TagMath] = None) -> None:
         self.tags = tag_math if tag_math is not None else EXACT
         self._records: Dict[int, _Record] = {}
@@ -59,6 +62,12 @@ class SfqQueue:
         self._max_finish: Tag = self.tags.zero()
         self._in_service: Optional[_Record] = None
         self._runnable_count = 0
+        # Hot-path specialization: stock float-mode tag math is inlined in
+        # charge() (`start + length / weight` — the exact expression
+        # TagMath.advance computes), skipping two calls per charge per tree
+        # level.  Exact mode and custom TagMath objects take the slow path.
+        self._float_fast = (type(self.tags) is TagMath
+                            and not self.tags.exact)
 
     # --- membership ---------------------------------------------------
 
@@ -121,7 +130,9 @@ class SfqQueue:
 
     def set_runnable(self, entity: Any) -> None:
         """Rule 1: stamp a newly eligible entity with ``S = max(v, F)``."""
-        record = self._lookup(entity)
+        record = self._records.get(id(entity))
+        if record is None:
+            record = self._lookup(entity)
         if record.runnable:
             return
         record.runnable = True
@@ -130,11 +141,15 @@ class SfqQueue:
         if start < self._virtual_time:
             start = self._virtual_time
         record.start = start
-        self._push(record)
+        version = record.heap_version + 1
+        record.heap_version = version
+        heappush(self._heap, (start, record.seq, version, record))
 
     def set_blocked(self, entity: Any) -> None:
         """Mark an entity ineligible; updates idle virtual time if needed."""
-        record = self._lookup(entity)
+        record = self._records.get(id(entity))
+        if record is None:
+            record = self._lookup(entity)
         if not record.runnable:
             return
         record.runnable = False
@@ -154,7 +169,15 @@ class SfqQueue:
         The entity stays queued; it is "in service" until the next
         :meth:`charge`.  Returns ``None`` when nothing is runnable.
         """
-        record = self._peek_record()
+        heap = self._heap
+        record = None
+        while heap:
+            head = heap[0]
+            candidate = head[3]
+            if candidate.runnable and head[2] == candidate.heap_version:
+                record = candidate
+                break
+            heappop(heap)
         if record is None:
             return None
         self._in_service = record
@@ -170,20 +193,31 @@ class SfqQueue:
         """
         if length < 0:
             raise SchedulingError("negative charge length %d" % length)
-        record = self._lookup(entity)
+        record = self._records.get(id(entity))
+        if record is None:
+            record = self._lookup(entity)
         if weight is None:
             weight = entity.weight
-        record.finish = self.tags.advance(record.start, length, weight)
-        if record.finish > self._max_finish:
-            self._max_finish = record.finish
+        if self._float_fast:
+            if weight <= 0:
+                raise ValueError("weight must be positive, got %r" % (weight,))
+            # float-mode TagMath.advance, inlined:
+            finish = record.start + length / weight  # schedlint: disable=SL004
+        else:
+            finish = self.tags.advance(record.start, length, weight)
+        record.finish = finish
+        if finish > self._max_finish:
+            self._max_finish = finish
         if record is self._in_service:
             self._in_service = None
         if record.runnable:
             # Still hungry: the next quantum is requested immediately, and
             # at this instant v equals this entity's start tag, so the new
             # start tag is simply the finish tag.
-            record.start = record.finish
-            self._push(record)
+            record.start = finish
+            version = record.heap_version + 1
+            record.heap_version = version
+            heappush(self._heap, (finish, record.seq, version, record))
 
     # --- internals -----------------------------------------------------
 
@@ -195,8 +229,17 @@ class SfqQueue:
 
     def _push(self, record: _Record) -> None:
         record.heap_version += 1
-        heapq.heappush(
+        heappush(
             self._heap, (record.start, record.seq, record.heap_version, record))
+
+    def record_for(self, entity: Any) -> "_Record":
+        """The live internal record for ``entity`` (chain-cache support).
+
+        The record stays valid until the entity is removed from this queue;
+        callers caching it must invalidate on removal (the hierarchy keys
+        its caches to the structure's ``tree_version``).
+        """
+        return self._lookup(entity)
 
     def _peek_record(self) -> Optional[_Record]:
         heap = self._heap
@@ -204,5 +247,136 @@ class SfqQueue:
             __, __, version, record = heap[0]
             if record.runnable and version == record.heap_version:
                 return record
-            heapq.heappop(heap)
+            heappop(heap)
         return None
+
+
+#: one ancestor level of a cached chain: (queue, record, node, parent)
+ChainEntry = Tuple["SfqQueue", _Record, Any, Any]
+
+
+def build_ancestor_chain(leaf: Any) -> List[ChainEntry]:
+    """Precompute ``(queue, record, node, parent)`` per ancestor of ``leaf``.
+
+    ``leaf`` is a scheduling-structure node; each entry pairs an ancestor's
+    SFQ queue with its live record for the child node at that level.  The
+    chain mirrors the leaf-to-root walks the hierarchy performs on charge
+    and eligibility changes, and stays valid until the tree shape changes
+    (mknod/rmnod — the hierarchy keys its cache to ``tree_version``).
+    """
+    chain: List[ChainEntry] = []
+    node = leaf
+    while node.parent is not None:
+        parent = node.parent
+        queue = parent.queue
+        chain.append((queue, queue.record_for(node), node, parent))
+        node = parent
+    return chain
+
+
+def charge_chain(chain: List[ChainEntry], length: int) -> None:
+    """Apply :meth:`SfqQueue.charge` along a precomputed ancestor chain.
+
+    Semantically identical to calling ``queue.charge(entity, length)``
+    level by level — weights are still read live at charge time, so
+    dynamic weight changes keep Figure-11 behaviour — but with the per-call
+    record lookups hoisted into the cached chain.  Preconditions (enforced
+    by the machine and structure, not re-checked here): ``length >= 0``
+    and every entity registered with a positive weight.
+    """
+    for queue, record, entity, __ in chain:
+        weight = entity.weight
+        if queue._float_fast:
+            finish = record.start + length / weight  # schedlint: disable=SL004
+        else:
+            finish = queue.tags.advance(record.start, length, weight)
+        record.finish = finish
+        if finish > queue._max_finish:
+            queue._max_finish = finish
+        if record is queue._in_service:
+            queue._in_service = None
+        if record.runnable:
+            record.start = finish
+            version = record.heap_version + 1
+            record.heap_version = version
+            heappush(queue._heap, (finish, record.seq, version, record))
+
+
+def wake_chain(chain: List[ChainEntry]) -> None:
+    """Propagate leaf eligibility up a cached chain (``hsfq_setrun``).
+
+    Per level: :meth:`SfqQueue.set_runnable` for the child, stopping after
+    the first parent that was already runnable — exactly the walk in
+    :meth:`HierarchicalScheduler.setrun`.
+    """
+    for queue, record, __, parent in chain:
+        if not record.runnable:
+            record.runnable = True
+            queue._runnable_count += 1
+            start = record.finish
+            if start < queue._virtual_time:
+                start = queue._virtual_time
+            record.start = start
+            version = record.heap_version + 1
+            record.heap_version = version
+            heappush(queue._heap, (start, record.seq, version, record))
+        if parent.runnable:
+            return
+        parent.runnable = True
+
+
+def pick_leaf(root: Any, leaf_type: type) -> Tuple[Optional[Any], int]:
+    """Descend from ``root``, picking the min-start child at every level.
+
+    Inlines :meth:`SfqQueue.pick` per level (the per-dispatch descent is
+    the hierarchy's hottest read path).  Returns ``(leaf, depth)``; if some
+    internal queue has no runnable child — corrupted eligibility state —
+    returns ``(None, depth)`` and the caller re-walks with the method API
+    to raise its usual diagnostic (pick is peek-like, so the partial
+    descent's virtual-time updates match what the re-walk recomputes).
+    ``leaf_type`` is passed in (the node classes live downstream of this
+    module); nodes are exactly ``InternalNode`` or ``leaf_type``.
+    """
+    node = root
+    depth = 1
+    while type(node) is not leaf_type:
+        queue = node.queue
+        heap = queue._heap
+        record = None
+        while heap:
+            head = heap[0]
+            candidate = head[3]
+            if candidate.runnable and head[2] == candidate.heap_version:
+                record = candidate
+                break
+            heappop(heap)
+        if record is None:
+            return None, depth
+        queue._in_service = record
+        if record.start > queue._virtual_time:
+            queue._virtual_time = record.start
+        node = record.entity
+        depth += 1
+    return node, depth
+
+
+def sleep_chain(chain: List[ChainEntry]) -> None:
+    """Propagate leaf idleness up a cached chain (``hsfq_sleep``).
+
+    Per level: :meth:`SfqQueue.set_blocked` for the child, stopping at the
+    first ancestor queue that still has runnable children — exactly the
+    walk in :meth:`HierarchicalScheduler.sleep`.
+    """
+    for queue, record, __, parent in chain:
+        if record.runnable:
+            record.runnable = False
+            record.heap_version += 1  # lazy-remove from heap
+            queue._runnable_count -= 1
+            if record is queue._in_service:
+                queue._in_service = None
+            if queue._runnable_count == 0:
+                if queue._max_finish > queue._virtual_time:
+                    queue._virtual_time = queue._max_finish
+        if queue._runnable_count > 0:
+            return
+        parent.runnable = False

@@ -49,6 +49,9 @@ class SchedulingStructure:
         self.root = InternalNode("", weight=1, parent=None, tag_math=tag_math)
         self._nodes: Dict[int, Node] = {}
         self._next_id = 0
+        #: bumped by every mknod/rmnod; lets the hierarchy invalidate any
+        #: caches derived from the tree shape (e.g. ancestor charge chains)
+        self.tree_version = 0
         self._register(self.root)
         #: back-reference set by HierarchicalScheduler; used by thread moves
         self.hierarchy = None
@@ -59,6 +62,7 @@ class SchedulingStructure:
         node.node_id = self._next_id
         self._next_id += 1
         self._nodes[node.node_id] = node
+        self.tree_version += 1
         return node
 
     # --- hsfq_mknod --------------------------------------------------------
@@ -148,6 +152,7 @@ class SchedulingStructure:
         assert node.parent is not None
         node.parent.remove_child(node)
         del self._nodes[node.node_id]
+        self.tree_version += 1
 
     # --- hsfq_move ----------------------------------------------------------
 

@@ -39,7 +39,12 @@ from repro.sync.semaphore import Down, Notify, Up, WaitOn
 from repro.threads.segments import Compute, Exit, SleepFor, SleepUntil
 from repro.threads.states import ThreadState
 from repro.threads.thread import SimThread
-from repro.units import MS, time_from_work, work_from_time
+from repro.units import MS, SECOND, work_from_time
+
+#: module-level alias of the process-wide bus: emit-site guards are on
+#: the per-dispatch hot path, and `_BUS.active` is one attribute lookup
+#: cheaper than `obs.BUS.active`.
+_BUS = obs.BUS
 
 _OUTCOME_RUN = "run"
 _OUTCOME_SLEEP = "sleep"
@@ -100,6 +105,8 @@ class Machine:
         self.scheduler = scheduler
         self.capacity_ips = capacity_ips
         self.default_quantum = default_quantum
+        #: default quantum pre-converted to instructions (per-dispatch path)
+        self._default_quantum_work = work_from_time(default_quantum, capacity_ips)
         self.cost_model = cost_model if cost_model is not None else SchedulingCostModel()
         self.tracer = tracer
         self.stats = MachineStats()
@@ -178,8 +185,8 @@ class Machine:
         self.scheduler.admit(thread)
         if self.tracer is not None:
             self.tracer.on_spawn(thread, now)
-        if obs.BUS.active:
-            obs.BUS.emit(obs.SPAWN, now, tid=thread.tid, name=thread.name,
+        if _BUS.active:
+            _BUS.emit(obs.SPAWN, now, tid=thread.tid, name=thread.name,
                          node=_leaf_path(thread), weight=thread.weight)
         self._settle(thread)
 
@@ -201,15 +208,15 @@ class Machine:
                 thread.transition(ThreadState.SLEEPING)
             if self.tracer is not None:
                 self.tracer.on_block(thread, now, -1)
-            if obs.BUS.active:
-                obs.BUS.emit(obs.BLOCK, now, tid=thread.tid,
+            if _BUS.active:
+                _BUS.emit(obs.BLOCK, now, tid=thread.tid,
                              node=_leaf_path(thread), wake=-1)
         else:
             thread.transition(ThreadState.EXITED)
             thread.stats.exited_at = now
             self._release_held_mutexes(thread)
-            if obs.BUS.active:
-                obs.BUS.emit(obs.EXIT, now, tid=thread.tid,
+            if _BUS.active:
+                _BUS.emit(obs.EXIT, now, tid=thread.tid,
                              node=_leaf_path(thread))
             self.scheduler.retire(thread, now)
             if self.tracer is not None:
@@ -272,8 +279,8 @@ class Machine:
         thread.last_runnable_at = now
         if self.tracer is not None:
             self.tracer.on_runnable(thread, now)
-        if obs.BUS.active:
-            obs.BUS.emit(obs.RUNNABLE, now, tid=thread.tid,
+        if _BUS.active:
+            _BUS.emit(obs.RUNNABLE, now, tid=thread.tid,
                          node=_leaf_path(thread))
         self.scheduler.thread_runnable(thread, now)
         if (self.current is not None
@@ -287,8 +294,8 @@ class Machine:
     def _schedule_wakeup(self, thread: SimThread, wake_time: int) -> None:
         if self.tracer is not None:
             self.tracer.on_block(thread, self.engine.now, wake_time)
-        if obs.BUS.active:
-            obs.BUS.emit(obs.BLOCK, self.engine.now, tid=thread.tid,
+        if _BUS.active:
+            _BUS.emit(obs.BLOCK, self.engine.now, tid=thread.tid,
                          node=_leaf_path(thread), wake=wake_time)
         thread.wakeup_handle = self.engine.at(
             wake_time, self._on_wakeup, thread, priority=self.PRIORITY_WAKEUP)
@@ -298,8 +305,8 @@ class Machine:
         thread.stats.wakeups += 1
         if self.tracer is not None:
             self.tracer.on_wake(thread, self.engine.now)
-        if obs.BUS.active:
-            obs.BUS.emit(obs.WAKE, self.engine.now, tid=thread.tid,
+        if _BUS.active:
+            _BUS.emit(obs.WAKE, self.engine.now, tid=thread.tid,
                          node=_leaf_path(thread))
         if thread.remaining_work > 0:
             # Woke with unfinished compute (blocked mid-segment cannot
@@ -317,18 +324,25 @@ class Machine:
         if now < self._intr_busy_until:
             self._defer_dispatch(self._intr_busy_until)
             return
-        if not self.scheduler.has_runnable():
-            return
+        # One scheduler call instead of has_runnable() + pick_next():
+        # pick_next returns None when nothing is runnable (interface
+        # contract), so has_runnable() is only consulted to keep the
+        # contract-violation diagnostic.
         thread = self.scheduler.pick_next(now)
         if thread is None:
-            raise SchedulingError("scheduler claimed runnable work but picked None")
+            if self.scheduler.has_runnable():
+                raise SchedulingError(
+                    "scheduler claimed runnable work but picked None")
+            return
         if thread.state is not ThreadState.RUNNABLE:
             raise SchedulingError(
                 "scheduler picked non-runnable thread %r" % (thread,))
         switched = thread is not self._last_ran
         overhead = self.cost_model.dispatch_cost(
             self.scheduler.decision_depth, switched)
-        thread.transition(ThreadState.RUNNING)
+        # RUNNABLE was verified above and RUNNABLE -> RUNNING is the only
+        # edge out of it, so the transition() validation is redundant here.
+        thread.state = ThreadState.RUNNING
         self.current = thread
         self._last_ran = thread
         self.stats.dispatches += 1
@@ -339,7 +353,9 @@ class Machine:
         quantum_ns = self.scheduler.quantum_for(thread)
         if quantum_ns is None:
             quantum_ns = self.default_quantum
-        self._quantum_work_left = work_from_time(quantum_ns, self.capacity_ips)
+            self._quantum_work_left = self._default_quantum_work
+        else:
+            self._quantum_work_left = work_from_time(quantum_ns, self.capacity_ips)
         if self._quantum_work_left <= 0:
             raise SimulationError(
                 "quantum of %d ns yields zero instructions at %d ips"
@@ -347,8 +363,8 @@ class Machine:
         self._quantum_work_done = 0
         if self.tracer is not None:
             self.tracer.on_dispatch(thread, now)
-        if obs.BUS.active:
-            obs.BUS.emit(obs.DISPATCH, now, tid=thread.tid,
+        if _BUS.active:
+            _BUS.emit(obs.DISPATCH, now, tid=thread.tid,
                          name=thread.name, node=_leaf_path(thread), cpu=0,
                          depth=self.scheduler.decision_depth,
                          switched=switched, overhead_ns=overhead,
@@ -376,7 +392,9 @@ class Machine:
         self._burst_planned = planned
         self._burst_compute_start = self.engine.now + overhead_ns
         self._paused = False
-        duration = time_from_work(planned, self.capacity_ips)
+        # time_from_work(planned, capacity) inlined: planned > 0 was just
+        # checked and capacity was validated at construction.
+        duration = -((-planned * SECOND) // self.capacity_ips)
         self._burst_handle = self.engine.at(
             self._burst_compute_start + duration, self._on_burst_complete,
             priority=self.PRIORITY_COMPLETION)
@@ -399,8 +417,8 @@ class Machine:
         self.stats.busy_time += elapsed
         if self.tracer is not None:
             self.tracer.on_slice(thread, self._burst_compute_start, now, executed)
-        if obs.BUS.active:
-            obs.BUS.emit(obs.SLICE, now, tid=thread.tid, name=thread.name,
+        if _BUS.active:
+            _BUS.emit(obs.SLICE, now, tid=thread.tid, name=thread.name,
                          node=_leaf_path(thread), cpu=0,
                          start=self._burst_compute_start, work=executed)
 
@@ -437,8 +455,8 @@ class Machine:
         assert self.current is not None
         self.stats.preemptions += 1
         self.current.stats.preemptions += 1
-        if obs.BUS.active:
-            obs.BUS.emit(obs.PREEMPT, self.engine.now, tid=self.current.tid,
+        if _BUS.active:
+            _BUS.emit(obs.PREEMPT, self.engine.now, tid=self.current.tid,
                          node=_leaf_path(self.current))
         self._stop_burst()
         self._finish_dispatch()
@@ -460,22 +478,25 @@ class Machine:
             outcome, wake_time = self._advance_workload(thread)
 
         # State first, then charge: schedulers observe the post-transition
-        # runnability (see LeafScheduler contract).
+        # runnability (see LeafScheduler contract).  The current thread is
+        # RUNNING (only the machine assigns states, and dispatch set it),
+        # and every RUNNING -> X edge is legal, so assign directly instead
+        # of paying transition() validation on the per-dispatch path.
         if outcome == _OUTCOME_RUN:
-            thread.transition(ThreadState.RUNNABLE)
+            thread.state = ThreadState.RUNNABLE
         elif outcome in (_OUTCOME_SLEEP, _OUTCOME_WAIT):
-            thread.transition(ThreadState.SLEEPING)
+            thread.state = ThreadState.SLEEPING
             thread.stats.blocks += 1
         else:
-            thread.transition(ThreadState.EXITED)
+            thread.state = ThreadState.EXITED
             thread.stats.exited_at = now
 
         if self._quantum_work_done > 0:
             self.scheduler.charge(thread, self._quantum_work_done, now)
             if self.tracer is not None:
                 self.tracer.on_charge(thread, now, self._quantum_work_done)
-            if obs.BUS.active:
-                obs.BUS.emit(obs.CHARGE, now, tid=thread.tid,
+            if _BUS.active:
+                _BUS.emit(obs.CHARGE, now, tid=thread.tid,
                              node=_leaf_path(thread),
                              work=self._quantum_work_done)
         self._quantum_work_done = 0
@@ -488,13 +509,13 @@ class Machine:
             self.scheduler.thread_blocked(thread, now)
             if self.tracer is not None:
                 self.tracer.on_block(thread, now, -1)
-            if obs.BUS.active:
-                obs.BUS.emit(obs.BLOCK, now, tid=thread.tid,
+            if _BUS.active:
+                _BUS.emit(obs.BLOCK, now, tid=thread.tid,
                              node=_leaf_path(thread), wake=-1)
         elif outcome == _OUTCOME_EXIT:
             self._release_held_mutexes(thread)
-            if obs.BUS.active:
-                obs.BUS.emit(obs.EXIT, now, tid=thread.tid,
+            if _BUS.active:
+                _BUS.emit(obs.EXIT, now, tid=thread.tid,
                              node=_leaf_path(thread))
             self.scheduler.retire(thread, now)
             if self.tracer is not None:
@@ -540,8 +561,8 @@ class Machine:
         self._intr_busy_until = busy_until
         if self.tracer is not None:
             self.tracer.on_interrupt(now, service)
-        if obs.BUS.active:
-            obs.BUS.emit(obs.INTERRUPT, now, cpu=0, service=service)
+        if _BUS.active:
+            _BUS.emit(obs.INTERRUPT, now, cpu=0, service=service)
         if self.current is not None:
             if not self._paused:
                 self.stats.pauses += 1

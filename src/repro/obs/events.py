@@ -107,25 +107,23 @@ class EventBus:
     and must not silently swallow errors.
     """
 
-    __slots__ = ("_subscribers",)
+    __slots__ = ("_subscribers", "active")
 
     def __init__(self) -> None:
         self._subscribers: List[Subscriber] = []
-
-    @property
-    def active(self) -> bool:
-        """True when at least one subscriber is attached.
-
-        Emit sites check this before building an event, which is what
-        makes traced-off runs free of instrumentation cost.
-        """
-        return bool(self._subscribers)
+        #: True when at least one subscriber is attached.  A plain attribute
+        #: (not a property) kept in sync by subscribe/unsubscribe/clear: emit
+        #: sites sit on per-dispatch paths and guard with ``BUS.active``, so
+        #: the disabled cost must be a single attribute load — no descriptor
+        #: call, no list truth test.  Never assign it from outside the bus.
+        self.active: bool = False
 
     def subscribe(self, subscriber: Subscriber) -> Subscriber:
         """Attach ``subscriber`` (a callable taking one event); returns it."""
         if not callable(subscriber):
             raise TypeError("subscriber must be callable, got %r" % (subscriber,))
         self._subscribers.append(subscriber)
+        self.active = True
         return subscriber
 
     def unsubscribe(self, subscriber: Subscriber) -> None:
@@ -134,6 +132,7 @@ class EventBus:
             self._subscribers.remove(subscriber)
         except ValueError:
             pass
+        self.active = bool(self._subscribers)
 
     @contextlib.contextmanager
     def subscription(self, subscriber: Subscriber) -> Iterator[Subscriber]:
@@ -153,6 +152,7 @@ class EventBus:
     def clear(self) -> None:
         """Detach every subscriber (end-of-session cleanup)."""
         del self._subscribers[:]
+        self.active = False
 
     def emit(self, kind: str, time: int, **data: Any) -> None:
         """Deliver ``Event(kind, time, data)`` to every subscriber.

@@ -1,0 +1,33 @@
+"""perfkit: the benchmark harness guarding the scheduler's hot path.
+
+The paper's overhead experiments (§5, Figures 10-11) argue hierarchical
+SFQ dispatch costs O(depth) and stays cheap as the tree grows.  perfkit
+turns that claim into a measured, CI-enforced contract:
+
+* ``python -m repro.perfkit run`` executes a fixed suite of
+  macro-scenarios (Figure-5/Figure-8 replays, a deep-hierarchy churn
+  workload, an SMP + interrupt storm, a 10k-thread admission storm) with
+  statistical repeats and emits a schema-versioned ``BENCH_<n>.json``;
+* ``python -m repro.perfkit compare`` diffs two reports and exits
+  non-zero on regressions beyond a noise threshold — CI runs it against
+  the committed ``benchmarks/baseline.json``;
+* ``python -m repro.perfkit baseline`` re-records that baseline.
+
+Everything inside a scenario is deterministic (seeded RNGs, integer
+simulated time); only the wall-clock measurements vary run to run, which
+the repeats and the noise threshold absorb.  See docs/PERFORMANCE.md.
+"""
+
+from repro.perfkit.compare import CompareResult, compare_reports
+from repro.perfkit.harness import run_suite
+from repro.perfkit.scenarios import SCENARIOS
+from repro.perfkit.schema import SCHEMA, validate_report
+
+__all__ = [
+    "SCENARIOS",
+    "SCHEMA",
+    "CompareResult",
+    "compare_reports",
+    "run_suite",
+    "validate_report",
+]

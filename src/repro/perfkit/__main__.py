@@ -1,0 +1,8 @@
+"""``python -m repro.perfkit`` entry point."""
+
+import sys
+
+from repro.perfkit.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

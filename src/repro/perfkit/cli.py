@@ -1,0 +1,114 @@
+"""Command-line front end: ``python -m repro.perfkit run|compare|baseline``."""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from repro.perfkit.compare import (
+    DEFAULT_THRESHOLD,
+    compare_reports,
+    parse_min_speedup,
+)
+from repro.perfkit.harness import run_suite
+from repro.perfkit.scenarios import SCENARIOS
+from repro.perfkit.schema import SchemaError, dump_report, load_report
+
+DEFAULT_BASELINE = os.path.join("benchmarks", "baseline.json")
+
+
+def _next_bench_path(out_dir: str) -> str:
+    index = 1
+    while True:
+        path = os.path.join(out_dir, "BENCH_%d.json" % index)
+        if not os.path.exists(path):
+            return path
+        index += 1
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.perfkit",
+        description="benchmark harness for the scheduler hot path")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_run_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--quick", action="store_true",
+                       help="CI-sized scenarios (seconds, not minutes)")
+        p.add_argument("--repeats", type=int, default=3,
+                       help="statistical repeats per scenario (default 3)")
+        p.add_argument("--scenario", action="append", default=None,
+                       metavar="NAME", choices=sorted(SCENARIOS),
+                       help="run only the named scenario (repeatable)")
+
+    run = sub.add_parser("run", help="run the suite, emit BENCH_<n>.json")
+    add_run_options(run)
+    run.add_argument("--out", default=None, metavar="FILE",
+                     help="output path (default: next free "
+                          "benchmarks/BENCH_<n>.json)")
+    run.add_argument("--out-dir", default="benchmarks", metavar="DIR",
+                     help="directory for auto-numbered output (default "
+                          "benchmarks/)")
+
+    compare = sub.add_parser(
+        "compare", help="compare a BENCH report against a baseline")
+    compare.add_argument("current", help="BENCH json to evaluate")
+    compare.add_argument("baseline", nargs="?", default=DEFAULT_BASELINE,
+                         help="baseline json (default %s)" % DEFAULT_BASELINE)
+    compare.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                         help="relative slowdown tolerated before failing "
+                              "(default %.2f)" % DEFAULT_THRESHOLD)
+    compare.add_argument("--min-speedup", action="append", default=[],
+                         metavar="NAME:X",
+                         help="require scenario NAME to be at least X times "
+                              "faster than the baseline (repeatable)")
+
+    baseline = sub.add_parser(
+        "baseline", help="run the suite and (re)write the baseline file")
+    add_run_options(baseline)
+    baseline.add_argument("--out", default=DEFAULT_BASELINE, metavar="FILE",
+                          help="baseline path (default %s)" % DEFAULT_BASELINE)
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace, out: Optional[str]) -> int:
+    report = run_suite(quick=args.quick, repeats=args.repeats,
+                       scenario_names=args.scenario, echo=print)
+    path = out
+    if path is None:
+        os.makedirs(args.out_dir, exist_ok=True)
+        path = _next_bench_path(args.out_dir)
+    else:
+        parent = os.path.dirname(path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+    dump_report(report, path)
+    print("wrote %s (%s mode, %d repeats)"
+          % (path, report["mode"], report["repeats"]))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    try:
+        min_speedups = parse_min_speedup(args.min_speedup)
+        current = load_report(args.current)
+        baseline = load_report(args.baseline)
+        result = compare_reports(current, baseline, threshold=args.threshold,
+                                 min_speedups=min_speedups)
+    except (SchemaError, ValueError, OSError) as error:
+        print("perfkit compare: %s" % error, file=sys.stderr)
+        return 2
+    print(result.render())
+    return 0 if result.ok else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args, args.out)
+    if args.command == "baseline":
+        return _cmd_run(args, args.out)
+    return _cmd_compare(args)

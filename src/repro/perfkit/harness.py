@@ -1,0 +1,128 @@
+"""Runs the scenario suite with repeats and builds the BENCH report.
+
+Wall time uses ``time.perf_counter`` (the sanctioned host clock for
+measuring *how long computation took*; it never feeds simulation state).
+Peak RSS comes from ``resource.getrusage`` — monotone over the process
+lifetime, so per-scenario values are upper bounds, with the suite's true
+peak in the last scenario measured.
+"""
+
+from __future__ import annotations
+
+import gc
+import platform
+import statistics
+import time
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.perfkit.scenarios import SCENARIOS, Scenario
+from repro.perfkit.schema import SCHEMA, validate_report
+
+try:
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX hosts
+    resource = None  # type: ignore[assignment]
+
+
+def _peak_rss_kb() -> int:
+    if resource is None:  # pragma: no cover - non-POSIX hosts
+        return 0
+    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+
+
+def _run_scenario_once(scenario: Scenario, quick: bool) -> Dict[str, Any]:
+    phases: Dict[str, Dict[str, Any]] = {}
+    totals = {"build_s": 0.0, "run_s": 0.0, "events": 0, "dispatches": 0,
+              "sim_ns": 0, "threads": 0}
+    for phase in scenario.phases(quick):
+        gc.collect()
+        t0 = time.perf_counter()
+        drive, read_counters = phase.setup()
+        t1 = time.perf_counter()
+        drive()
+        t2 = time.perf_counter()
+        counters = read_counters()
+        entry = {
+            "build_s": t1 - t0,
+            "run_s": t2 - t1,
+            "events": counters["events"],
+            "dispatches": counters["dispatches"],
+        }
+        phases[phase.name] = entry
+        totals["build_s"] += entry["build_s"]
+        totals["run_s"] += entry["run_s"]
+        totals["events"] += entry["events"]
+        totals["dispatches"] += entry["dispatches"]
+        totals["sim_ns"] += counters["sim_ns"]
+        totals["threads"] += counters["threads"]
+    sample: Dict[str, Any] = dict(totals)
+    sample["maxrss_kb"] = _peak_rss_kb()
+    sample["phases"] = phases
+    return sample
+
+
+def _stats_for(samples: List[Dict[str, Any]]) -> Dict[str, Any]:
+    runs = [sample["run_s"] for sample in samples]
+    median_run = statistics.median(runs)
+    events = samples[0]["events"]
+    dispatches = samples[0]["dispatches"]
+    return {
+        "run_s": {
+            "min": min(runs),
+            "median": median_run,
+            "mean": statistics.fmean(runs),
+            "stdev": statistics.stdev(runs) if len(runs) > 1 else 0.0,
+        },
+        "events_per_sec": events / median_run if median_run > 0 else 0.0,
+        "dispatches_per_sec":
+            dispatches / median_run if median_run > 0 else 0.0,
+        "events": events,
+        "dispatches": dispatches,
+        "peak_rss_kb": max(sample["maxrss_kb"] for sample in samples),
+    }
+
+
+def run_suite(quick: bool = False, repeats: int = 3,
+              scenario_names: Optional[Iterable[str]] = None,
+              echo=None) -> Dict[str, Any]:
+    """Run the suite and return a schema-valid BENCH report dict."""
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1, got %d" % repeats)
+    names = list(scenario_names) if scenario_names else list(SCENARIOS)
+    unknown = [name for name in names if name not in SCENARIOS]
+    if unknown:
+        raise ValueError("unknown scenario(s): %s (have: %s)"
+                         % (", ".join(unknown), ", ".join(SCENARIOS)))
+    scenarios: Dict[str, Any] = {}
+    for name in names:
+        scenario = SCENARIOS[name]
+        samples = []
+        for repeat in range(repeats):
+            sample = _run_scenario_once(scenario, quick)
+            samples.append(sample)
+            if repeat and sample["events"] != samples[0]["events"]:
+                raise RuntimeError(
+                    "scenario %r is non-deterministic: repeat %d fired %d "
+                    "events, repeat 0 fired %d" % (
+                        name, repeat, sample["events"], samples[0]["events"]))
+        stats = _stats_for(samples)
+        scenarios[name] = {
+            "description": scenario.description,
+            "repeats": samples,
+            "stats": stats,
+        }
+        if echo is not None:
+            echo("%-20s %8.3fs median  %12.0f events/s  %10.0f dispatches/s"
+                 % (name, stats["run_s"]["median"], stats["events_per_sec"],
+                    stats["dispatches_per_sec"]))
+    report = {
+        "schema": SCHEMA,
+        "mode": "quick" if quick else "full",
+        "repeats": repeats,
+        "host": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+        "scenarios": scenarios,
+    }
+    return validate_report(report)

@@ -1,0 +1,115 @@
+"""The BENCH json schema: versioned, validated on load and on write.
+
+Schema string is ``repro.perfkit/1``.  Shape::
+
+    {
+      "schema": "repro.perfkit/1",
+      "mode": "quick" | "full",
+      "repeats": <int >= 1>,
+      "host": {"python": str, "platform": str},
+      "scenarios": {
+        "<name>": {
+          "description": str,
+          "repeats": [                       # one entry per repeat
+            {"build_s": float, "run_s": float, "events": int,
+             "dispatches": int, "sim_ns": int, "threads": int,
+             "maxrss_kb": int,
+             "phases": {"<phase>": {"build_s": float, "run_s": float,
+                                    "events": int, "dispatches": int}}}
+          ],
+          "stats": {"run_s": {"min": float, "median": float,
+                              "mean": float, "stdev": float},
+                    "events_per_sec": float, "dispatches_per_sec": float,
+                    "events": int, "dispatches": int, "peak_rss_kb": int}
+        }, ...
+      }
+    }
+
+``events_per_sec`` and ``dispatches_per_sec`` are computed against the
+*median* run wall time; event/dispatch counts are identical across repeats
+(the simulation is deterministic) and the harness verifies that.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+
+SCHEMA = "repro.perfkit/1"
+
+
+class SchemaError(ValueError):
+    """A BENCH report that does not conform to the schema."""
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise SchemaError(message)
+
+
+def _check_number(mapping: Dict[str, Any], key: str, where: str,
+                  kind=(int, float)) -> None:
+    _require(key in mapping, "%s: missing %r" % (where, key))
+    value = mapping[key]
+    _require(isinstance(value, kind) and not isinstance(value, bool),
+             "%s: %r must be numeric, got %r" % (where, key, value))
+
+
+def validate_report(report: Dict[str, Any]) -> Dict[str, Any]:
+    """Validate ``report`` against the schema; returns it for chaining."""
+    _require(isinstance(report, dict), "report must be a JSON object")
+    _require(report.get("schema") == SCHEMA,
+             "unknown schema %r (expected %r)" % (report.get("schema"), SCHEMA))
+    _require(report.get("mode") in ("quick", "full"),
+             "mode must be 'quick' or 'full', got %r" % (report.get("mode"),))
+    _check_number(report, "repeats", "report", kind=int)
+    _require(report["repeats"] >= 1, "repeats must be >= 1")
+    scenarios = report.get("scenarios")
+    _require(isinstance(scenarios, dict) and scenarios,
+             "scenarios must be a non-empty object")
+    for name, entry in scenarios.items():
+        where = "scenario %r" % name
+        _require(isinstance(entry, dict), where + " must be an object")
+        repeats = entry.get("repeats")
+        _require(isinstance(repeats, list) and repeats,
+                 where + ": repeats must be a non-empty list")
+        for index, sample in enumerate(repeats):
+            sample_where = "%s repeat %d" % (where, index)
+            _require(isinstance(sample, dict), sample_where + " must be an object")
+            for key in ("build_s", "run_s"):
+                _check_number(sample, key, sample_where)
+            for key in ("events", "dispatches", "sim_ns", "threads"):
+                _check_number(sample, key, sample_where, kind=int)
+        stats = entry.get("stats")
+        _require(isinstance(stats, dict), where + ": missing stats")
+        run_s = stats.get("run_s")
+        _require(isinstance(run_s, dict), where + ": stats.run_s missing")
+        for key in ("min", "median", "mean", "stdev"):
+            _check_number(run_s, key, where + " stats.run_s")
+        for key in ("events_per_sec", "dispatches_per_sec"):
+            _check_number(stats, key, where + " stats")
+        for key in ("events", "dispatches"):
+            _check_number(stats, key, where + " stats", kind=int)
+    return report
+
+
+def load_report(path: str) -> Dict[str, Any]:
+    """Read and validate a BENCH json file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        try:
+            payload = json.load(handle)
+        except json.JSONDecodeError as error:
+            raise SchemaError("%s is not valid JSON: %s" % (path, error)) from None
+    try:
+        return validate_report(payload)
+    except SchemaError as error:
+        raise SchemaError("%s: %s" % (path, error)) from None
+
+
+def dump_report(report: Dict[str, Any], path: str) -> None:
+    """Validate and write a BENCH json file."""
+    validate_report(report)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=1, sort_keys=True)
+        handle.write("\n")

@@ -25,14 +25,19 @@ preserves exactly the failure mode being demonstrated.
 
 from __future__ import annotations
 
-import heapq
 import itertools
+from heapq import heappop, heappush
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.errors import SchedulingError
 from repro.obs import events as obs
 from repro.schedulers.base import LeafScheduler
 from repro.units import SECOND
+
+#: module-level alias of the process-wide bus: emit-site guards are on
+#: the per-dispatch hot path, and `_BUS.active` is one attribute lookup
+#: cheaper than `obs.BUS.active`.
+_BUS = obs.BUS
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.threads.thread import SimThread
@@ -41,7 +46,8 @@ _seq = itertools.count()
 
 
 class _FqRecord:
-    __slots__ = ("thread", "start", "finish", "runnable", "version", "epoch")
+    __slots__ = ("thread", "start", "finish", "runnable", "version", "epoch",
+                 "counted_weight")
 
     def __init__(self, thread: "SimThread") -> None:
         self.thread = thread
@@ -50,6 +56,9 @@ class _FqRecord:
         self.runnable = False
         self.version = 0
         self.epoch = -1
+        #: the weight this record currently contributes to ``_weight_sum``
+        #: (0 while blocked); refreshed wherever ``thread.weight`` is read
+        self.counted_weight = 0
 
 
 class _FairQueueBase(LeafScheduler):
@@ -70,6 +79,11 @@ class _FairQueueBase(LeafScheduler):
         self._runnable = 0
         self._quantum = quantum
         self._epoch = 0
+        # Incremental sum of runnable threads' weights.  Weights are
+        # integers, so the running sum is exact and independent of update
+        # order — the rate clock reads it instead of scanning every record
+        # per virtual-time advance (the old O(threads) hot-path cost).
+        self._weight_sum = 0
 
     # --- virtual time: implemented by subclasses ---------------------------
 
@@ -98,6 +112,8 @@ class _FairQueueBase(LeafScheduler):
             record.runnable = False
             record.version += 1
             self._runnable -= 1
+            self._weight_sum -= record.counted_weight
+            record.counted_weight = 0
 
     def on_runnable(self, thread: "SimThread", now: int) -> None:
         record = self._record(thread)
@@ -109,15 +125,18 @@ class _FairQueueBase(LeafScheduler):
             self._epoch += 1
             self._note_busy_start(now)
         virtual = self._virtual_time(now)
+        weight = thread.weight
         finish = record.finish if record.epoch == self._epoch else 0.0
         record.start = max(virtual, finish)
-        record.finish = record.start + self.assumed_quantum_work / thread.weight
+        record.finish = record.start + self.assumed_quantum_work / weight
         record.epoch = self._epoch
         record.runnable = True
         self._push(record)
         self._runnable += 1
-        if obs.BUS.active:
-            obs.BUS.emit(obs.TAG_UPDATE, now, node="fq:" + self.algorithm,
+        self._weight_sum += weight
+        record.counted_weight = weight
+        if _BUS.active:
+            _BUS.emit(obs.TAG_UPDATE, now, node="fq:" + self.algorithm,
                          tid=thread.tid, start=record.start,
                          finish=record.finish, work=0)
 
@@ -127,6 +146,8 @@ class _FairQueueBase(LeafScheduler):
             record.runnable = False
             record.version += 1
             self._runnable -= 1
+            self._weight_sum -= record.counted_weight
+            record.counted_weight = 0
 
     def pick_next(self, now: int) -> Optional["SimThread"]:
         record = self._peek()
@@ -142,12 +163,19 @@ class _FairQueueBase(LeafScheduler):
             # Next quantum: tags computed as at stamping time, with the
             # previous *assumed* finish as the baseline (WFQ does not revise
             # tags to the actual length — the paper's §6 criticism).
+            # A dynamic weight change takes effect here, before the clock
+            # advances — the same instant the old per-advance scan would
+            # first have seen it.
+            weight = thread.weight
+            if weight != record.counted_weight:
+                self._weight_sum += weight - record.counted_weight
+                record.counted_weight = weight
             virtual = self._virtual_time(now)
             record.start = max(virtual, record.finish)
-            record.finish = record.start + self.assumed_quantum_work / thread.weight
+            record.finish = record.start + self.assumed_quantum_work / weight
             self._push(record)
-            if obs.BUS.active:
-                obs.BUS.emit(obs.TAG_UPDATE, now,
+            if _BUS.active:
+                _BUS.emit(obs.TAG_UPDATE, now,
                              node="fq:" + self.algorithm, tid=thread.tid,
                              start=record.start, finish=record.finish,
                              work=work)
@@ -171,8 +199,8 @@ class _FairQueueBase(LeafScheduler):
 
     def _push(self, record: _FqRecord) -> None:
         record.version += 1
-        heapq.heappush(self._heap,
-                       (self._key(record), next(_seq), record.version, record))
+        heappush(self._heap,
+                 (self._key(record), next(_seq), record.version, record))
 
     def _peek(self) -> Optional[_FqRecord]:
         heap = self._heap
@@ -180,7 +208,7 @@ class _FairQueueBase(LeafScheduler):
             __, __, version, record = heap[0]
             if record.runnable and version == record.version:
                 return record
-            heapq.heappop(heap)
+            heappop(heap)
         return None
 
 
@@ -211,14 +239,12 @@ class _RateClockMixin:
     def _advance_clock(self, now: int) -> None:
         if now <= self._v_updated:
             return
-        weight_sum = sum(
-            record.thread.weight
-            for record in self._records.values() if record.runnable)
+        weight_sum = self._weight_sum
         if weight_sum > 0:
             elapsed = now - self._v_updated
             self._v += (elapsed * self.capacity_ips) / (SECOND * weight_sum)
-            if obs.BUS.active:
-                obs.BUS.emit(obs.VTIME_ADVANCE, now,
+            if _BUS.active:
+                _BUS.emit(obs.VTIME_ADVANCE, now,
                              node="fq:" + self.algorithm, v=self._v)
         self._v_updated = now
 

@@ -18,15 +18,22 @@ from repro.sim.events import EventHandle, EventQueue
 class Simulator:
     """A discrete-event simulator with an integer-nanosecond clock."""
 
+    __slots__ = ("_queue", "now", "_running", "_fired")
+
     def __init__(self) -> None:
         self._queue: EventQueue = EventQueue()
-        self._now: int = 0
+        #: current simulation time in nanoseconds.  A plain attribute, not a
+        #: property: the machines read it on every spawn/dispatch/charge, so
+        #: the read must be a single attribute load.  Only the engine
+        #: assigns it.
+        self.now: int = 0
         self._running: bool = False
+        self._fired: int = 0
 
     @property
-    def now(self) -> int:
-        """Current simulation time in nanoseconds."""
-        return self._now
+    def events_fired(self) -> int:
+        """Total events fired over the simulator's lifetime (benchmarking)."""
+        return self._fired
 
     @property
     def pending_events(self) -> int:
@@ -36,9 +43,9 @@ class Simulator:
     def at(self, time: int, callback: Callable[..., None], arg: Any = None,
            priority: int = 0) -> EventHandle:
         """Schedule ``callback(arg)`` at absolute ``time`` (>= now)."""
-        if time < self._now:
+        if time < self.now:
             raise SimulationError(
-                "cannot schedule event in the past: t=%d < now=%d" % (time, self._now))
+                "cannot schedule event in the past: t=%d < now=%d" % (time, self.now))
         return self._queue.push(time, callback, arg, priority)
 
     def after(self, delay: int, callback: Callable[..., None], arg: Any = None,
@@ -46,7 +53,7 @@ class Simulator:
         """Schedule ``callback(arg)`` after ``delay`` nanoseconds."""
         if delay < 0:
             raise SimulationError("delay must be non-negative, got %d" % delay)
-        return self._queue.push(self._now + delay, callback, arg, priority)
+        return self._queue.push(self.now + delay, callback, arg, priority)
 
     def cancel(self, handle: Optional[EventHandle]) -> None:
         """Cancel a previously scheduled event; ``None`` is a no-op."""
@@ -60,11 +67,12 @@ class Simulator:
         handle = self._queue.pop()
         if handle is None:
             return False
-        if handle.time < self._now:
+        if handle.time < self.now:
             raise SimulationError(
                 "event queue returned stale event at t=%d (now=%d)"
-                % (handle.time, self._now))
-        self._now = handle.time
+                % (handle.time, self.now))
+        self.now = handle.time
+        self._fired += 1
         callback = handle.callback
         arg = handle.arg
         # The handle has fired; release its references.
@@ -82,21 +90,37 @@ class Simulator:
         Events scheduled *exactly* at ``time`` do fire, so back-to-back
         ``run_until`` calls partition a run without losing events.
         """
-        if time < self._now:
+        if time < self.now:
             raise SimulationError(
-                "cannot run backwards: until=%d < now=%d" % (time, self._now))
+                "cannot run backwards: until=%d < now=%d" % (time, self.now))
         if self._running:
             raise SimulationError("run_until re-entered from a callback")
         self._running = True
+        # Tight drain loop: pop_due does one heap-maintenance pass per event
+        # (peek_time + pop would do two), and the loop fires callbacks
+        # inline rather than re-entering step().  Ordering is exactly
+        # step()'s — one event at a time, so a callback scheduling a
+        # same-instant event still sees it fire in (time, priority, seq)
+        # order.
+        queue = self._queue
         try:
             while True:
-                next_time = self._queue.peek_time()
-                if next_time is None or next_time > time:
+                handle = queue.pop_due(time)
+                if handle is None:
                     break
-                self.step()
+                self.now = handle.time
+                self._fired += 1
+                callback = handle.callback
+                arg = handle.arg
+                handle.cancel()
+                if callback is not None:
+                    if arg is None:
+                        callback()
+                    else:
+                        callback(arg)
         finally:
             self._running = False
-        self._now = time
+        self.now = time
 
     def run_all(self, limit: int = 10_000_000) -> int:
         """Run until the queue drains; returns the number of events fired.

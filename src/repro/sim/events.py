@@ -12,7 +12,7 @@ both :meth:`EventQueue.push` and :meth:`EventQueue.pop` at ``O(log n)``.
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from typing import Any, Callable, List, Optional, Tuple
 
 from repro.errors import SimulationError
@@ -60,7 +60,15 @@ class EventQueue:
     ``priority`` breaks ties between events at the same instant: lower
     priority values fire first.  The engine uses this to make, for example,
     interrupt arrivals observable before same-instant quantum expiries.
+    Among events with equal ``(time, priority)`` the monotonically
+    increasing sequence number decides: strictly first-scheduled,
+    first-fired (FIFO).  This is a contract, not an implementation detail —
+    callbacks rely on it (e.g. a wakeup deferred during a completion must
+    run after same-instant events scheduled earlier), and the golden-trace
+    suite would catch any change to it.
     """
+
+    __slots__ = ("_heap", "_seq", "_live")
 
     def __init__(self) -> None:
         self._heap: List[Tuple[int, int, int, EventHandle]] = []
@@ -76,9 +84,10 @@ class EventQueue:
         """Schedule ``callback(arg)`` at ``time``; returns a cancellable handle."""
         if time < 0:
             raise SimulationError("cannot schedule event at negative time %d" % time)
-        handle = EventHandle(time, priority, self._seq, callback, arg)
-        heapq.heappush(self._heap, (time, priority, self._seq, handle))
-        self._seq += 1
+        seq = self._seq
+        self._seq = seq + 1
+        handle = EventHandle(time, priority, seq, callback, arg)
+        heappush(self._heap, (time, priority, seq, handle))
         self._live += 1
         return handle
 
@@ -100,11 +109,32 @@ class EventQueue:
         self._drop_cancelled()
         if not self._heap:
             return None
-        __, __, __, handle = heapq.heappop(self._heap)
+        __, __, __, handle = heappop(self._heap)
         self._live -= 1
         return handle
+
+    def pop_due(self, time: int) -> Optional[EventHandle]:
+        """Pop the next live event with timestamp <= ``time``, else ``None``.
+
+        Equivalent to ``peek_time()`` followed by ``pop()`` but with a
+        single heap-maintenance pass — this is the engine's ``run_until``
+        hot path.  A too-late head event stays queued.
+        """
+        heap = self._heap
+        while heap:
+            head = heap[0]
+            handle = head[3]
+            if handle._cancelled:
+                heappop(heap)
+                continue
+            if head[0] > time:
+                return None
+            heappop(heap)
+            self._live -= 1
+            return handle
+        return None
 
     def _drop_cancelled(self) -> None:
         heap = self._heap
         while heap and heap[0][3].cancelled:
-            heapq.heappop(heap)
+            heappop(heap)

@@ -31,7 +31,12 @@ from repro.sync.semaphore import Down, Notify, Up, WaitOn
 from repro.threads.segments import Compute, Exit, SleepFor, SleepUntil
 from repro.threads.states import ThreadState
 from repro.threads.thread import SimThread
-from repro.units import MS, time_from_work, work_from_time
+from repro.units import MS, SECOND, work_from_time
+
+#: module-level alias of the process-wide bus: emit-site guards are on
+#: the per-dispatch hot path, and `_BUS.active` is one attribute lookup
+#: cheaper than `obs.BUS.active`.
+_BUS = obs.BUS
 
 _MAX_SEGMENT_PULLS = 1000
 
@@ -77,6 +82,8 @@ class SmpMachine:
         self.scheduler = scheduler
         self.capacity_ips = capacity_ips  # per CPU
         self.default_quantum = default_quantum
+        #: default quantum pre-converted to instructions (per-dispatch path)
+        self._default_quantum_work = work_from_time(default_quantum, capacity_ips)
         self.tracer = tracer
         self.cpus = [_Cpu(index) for index in range(num_cpus)]
         self.threads: List[SimThread] = []
@@ -120,8 +127,8 @@ class SmpMachine:
         self.scheduler.admit(thread)
         if self.tracer is not None:
             self.tracer.on_spawn(thread, self.engine.now)
-        if obs.BUS.active:
-            obs.BUS.emit(obs.SPAWN, self.engine.now, tid=thread.tid,
+        if _BUS.active:
+            _BUS.emit(obs.SPAWN, self.engine.now, tid=thread.tid,
                          name=thread.name, node=_leaf_path(thread),
                          weight=thread.weight)
         self._settle(thread)
@@ -140,15 +147,15 @@ class SmpMachine:
                 thread.transition(ThreadState.SLEEPING)
             if self.tracer is not None:
                 self.tracer.on_block(thread, now, -1)
-            if obs.BUS.active:
-                obs.BUS.emit(obs.BLOCK, now, tid=thread.tid,
+            if _BUS.active:
+                _BUS.emit(obs.BLOCK, now, tid=thread.tid,
                              node=_leaf_path(thread), wake=-1)
         else:
             thread.transition(ThreadState.EXITED)
             thread.stats.exited_at = now
             self._release_held_mutexes(thread)
-            if obs.BUS.active:
-                obs.BUS.emit(obs.EXIT, now, tid=thread.tid,
+            if _BUS.active:
+                _BUS.emit(obs.EXIT, now, tid=thread.tid,
                              node=_leaf_path(thread))
             self.scheduler.retire(thread, now)
             if self.tracer is not None:
@@ -208,8 +215,8 @@ class SmpMachine:
         thread.last_runnable_at = now
         if self.tracer is not None:
             self.tracer.on_runnable(thread, now)
-        if obs.BUS.active:
-            obs.BUS.emit(obs.RUNNABLE, now, tid=thread.tid,
+        if _BUS.active:
+            _BUS.emit(obs.RUNNABLE, now, tid=thread.tid,
                          node=_leaf_path(thread))
         self.scheduler.thread_runnable(thread, now)
         self._dispatch_idle_cpus()
@@ -217,8 +224,8 @@ class SmpMachine:
     def _schedule_wakeup(self, thread: SimThread, wake_time: int) -> None:
         if self.tracer is not None:
             self.tracer.on_block(thread, self.engine.now, wake_time)
-        if obs.BUS.active:
-            obs.BUS.emit(obs.BLOCK, self.engine.now, tid=thread.tid,
+        if _BUS.active:
+            _BUS.emit(obs.BLOCK, self.engine.now, tid=thread.tid,
                          node=_leaf_path(thread), wake=wake_time)
         thread.wakeup_handle = self.engine.at(
             wake_time, self._on_wakeup, thread, priority=self.PRIORITY_WAKEUP)
@@ -228,8 +235,8 @@ class SmpMachine:
         thread.stats.wakeups += 1
         if self.tracer is not None:
             self.tracer.on_wake(thread, self.engine.now)
-        if obs.BUS.active:
-            obs.BUS.emit(obs.WAKE, self.engine.now, tid=thread.tid,
+        if _BUS.active:
+            _BUS.emit(obs.WAKE, self.engine.now, tid=thread.tid,
                          node=_leaf_path(thread))
         if thread.remaining_work > 0:
             self._make_runnable(thread)
@@ -249,11 +256,16 @@ class SmpMachine:
 
     def _dispatch(self, cpu: _Cpu) -> None:
         now = self.engine.now
-        if not self.scheduler.has_runnable():
-            return
+        # One scheduler call instead of has_runnable() + pick_next():
+        # pick_next returns None when nothing is runnable (interface
+        # contract), so has_runnable() is only consulted to keep the
+        # contract-violation diagnostic.
         thread = self.scheduler.pick_next(now)
         if thread is None:
-            raise SchedulingError("scheduler claimed runnable work, got None")
+            if self.scheduler.has_runnable():
+                raise SchedulingError(
+                    "scheduler claimed runnable work, got None")
+            return
         # Withdraw the thread for the duration of service: no other CPU
         # may pick it; tags are untouched until the charge.
         self.scheduler.thread_blocked(thread, now)
@@ -263,15 +275,16 @@ class SmpMachine:
         thread.stats.dispatches += 1
         quantum_ns = self.scheduler.quantum_for(thread)
         if quantum_ns is None:
-            quantum_ns = self.default_quantum
-        cpu.quantum_left = work_from_time(quantum_ns, self.capacity_ips)
+            cpu.quantum_left = self._default_quantum_work
+        else:
+            cpu.quantum_left = work_from_time(quantum_ns, self.capacity_ips)
         if cpu.quantum_left <= 0:
             raise SimulationError("quantum too small for capacity")
         cpu.quantum_done = 0
         if self.tracer is not None:
             self.tracer.on_dispatch(thread, now)
-        if obs.BUS.active:
-            obs.BUS.emit(obs.DISPATCH, now, tid=thread.tid,
+        if _BUS.active:
+            _BUS.emit(obs.DISPATCH, now, tid=thread.tid,
                          name=thread.name, node=_leaf_path(thread),
                          cpu=cpu.index, depth=self.scheduler.decision_depth,
                          switched=True, overhead_ns=0,
@@ -286,7 +299,9 @@ class SmpMachine:
             raise SimulationError("empty burst on cpu%d" % cpu.index)
         cpu.burst_planned = planned
         cpu.burst_start = self.engine.now
-        duration = time_from_work(planned, self.capacity_ips)
+        # time_from_work(planned, capacity) inlined: planned > 0 was just
+        # checked and capacity was validated at construction.
+        duration = -((-planned * SECOND) // self.capacity_ips)
         cpu.burst_handle = self.engine.at(
             self.engine.now + duration, self._on_burst_complete, cpu,
             priority=self.PRIORITY_COMPLETION)
@@ -306,8 +321,8 @@ class SmpMachine:
         self.busy_time += elapsed
         if self.tracer is not None:
             self.tracer.on_slice(thread, cpu.burst_start, now, executed)
-        if obs.BUS.active:
-            obs.BUS.emit(obs.SLICE, now, tid=thread.tid, name=thread.name,
+        if _BUS.active:
+            _BUS.emit(obs.SLICE, now, tid=thread.tid, name=thread.name,
                          node=_leaf_path(thread), cpu=cpu.index,
                          start=cpu.burst_start, work=executed)
 
@@ -357,8 +372,8 @@ class SmpMachine:
             self.scheduler.charge(thread, cpu.quantum_done, now)
             if self.tracer is not None:
                 self.tracer.on_charge(thread, now, cpu.quantum_done)
-            if obs.BUS.active:
-                obs.BUS.emit(obs.CHARGE, now, tid=thread.tid,
+            if _BUS.active:
+                _BUS.emit(obs.CHARGE, now, tid=thread.tid,
                              node=_leaf_path(thread), work=cpu.quantum_done)
         cpu.quantum_done = 0
         cpu.quantum_left = 0
@@ -371,13 +386,13 @@ class SmpMachine:
         elif outcome == "wait":
             if self.tracer is not None:
                 self.tracer.on_block(thread, now, -1)
-            if obs.BUS.active:
-                obs.BUS.emit(obs.BLOCK, now, tid=thread.tid,
+            if _BUS.active:
+                _BUS.emit(obs.BLOCK, now, tid=thread.tid,
                              node=_leaf_path(thread), wake=-1)
         else:
             self._release_held_mutexes(thread)
-            if obs.BUS.active:
-                obs.BUS.emit(obs.EXIT, now, tid=thread.tid,
+            if _BUS.active:
+                _BUS.emit(obs.EXIT, now, tid=thread.tid,
                              node=_leaf_path(thread))
             self.scheduler.retire(thread, now)
             if self.tracer is not None:

@@ -66,6 +66,10 @@ class SimThread:
         for RMA/EDF leaves, ``{"priority": ...}`` for the SVR4 leaf).
     """
 
+    __slots__ = ("tid", "name", "workload", "weight", "params", "state",
+                 "stats", "remaining_work", "leaf", "wakeup_handle",
+                 "held_mutexes", "last_runnable_at")
+
     def __init__(self, name: str, workload: Workload, weight: int = 1,
                  params: Optional[Dict[str, Any]] = None) -> None:
         if weight <= 0:

@@ -1,0 +1,205 @@
+"""Golden-trace scenario builders shared by the determinism tests.
+
+Each builder constructs a fixed workload, subscribes a collector to the
+observability bus, runs the simulation, and returns the event stream as a
+list of canonical text lines.  The streams are hashed into
+``tests/fixtures/golden/*.json`` and the golden test asserts the current
+tree reproduces them **byte-identically** — this is the contract that lets
+hot-path optimizations (indexed heaps, batched event pops, guard caching)
+land without any behavioural drift.
+
+Regenerate fixtures with ``python -m tests.regen_goldens`` — but only when
+a change is *supposed* to alter scheduling behaviour; the whole point of
+the fixtures is that performance work must not.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import os
+from typing import Callable, Dict, List
+
+import repro.core.sfq as sfq_module
+import repro.schedulers.fairqueue as fairqueue_module
+import repro.threads.thread as thread_module
+from repro.core.hierarchy import HierarchicalScheduler
+from repro.cpu.flat import FlatScheduler
+from repro.cpu.interrupts import PoissonInterruptSource
+from repro.cpu.machine import Machine
+from repro.experiments.common import figure6_structure
+from repro.obs import events as obs
+from repro.schedulers.sfq_leaf import SfqScheduler
+from repro.sim.engine import Simulator
+from repro.sim.rng import make_rng
+from repro.smp.machine import SmpMachine
+from repro.threads.thread import SimThread
+from repro.units import MS, SECOND
+from repro.workloads.bursty import BurstyWorkload
+from repro.workloads.dhrystone import DhrystoneWorkload
+from repro.workloads.interactive import InteractiveWorkload
+
+FIXTURE_DIR = os.path.join(os.path.dirname(__file__), "fixtures", "golden")
+
+#: how many leading event lines each fixture keeps verbatim (for diffing)
+HEAD_LINES = 40
+
+
+def _reset_global_counters() -> None:
+    """Pin every process-global sequence so streams ignore test order."""
+    thread_module._tid_counter = itertools.count(1)
+    sfq_module._arrival_seq = itertools.count()
+    fairqueue_module._seq = itertools.count()
+
+
+def _format_event(event: obs.Event) -> str:
+    fields = ",".join(
+        "%s=%r" % (key, event.data[key]) for key in sorted(event.data))
+    return "%s t=%d %s" % (event.kind, event.time, fields)
+
+
+def _collect(run: Callable[[], None]) -> List[str]:
+    _reset_global_counters()
+    lines: List[str] = []
+    with obs.BUS.subscription(lambda event: lines.append(_format_event(event))):
+        run()
+    return lines
+
+
+# --- the scenarios -----------------------------------------------------------
+
+
+def figure5_stream(duration: int = 2 * SECOND) -> List[str]:
+    """Figure-5 SFQ arm: five equal dhrystones plus two interactive daemons."""
+
+    def run() -> None:
+        engine = Simulator()
+        machine = Machine(engine, FlatScheduler(SfqScheduler()),
+                          capacity_ips=100_000_000, default_quantum=20 * MS)
+        for index in range(5):
+            machine.spawn(SimThread("dhry-%d" % index,
+                                    DhrystoneWorkload(300, 10_000)))
+        for index in range(2):
+            rng = make_rng(11, "daemon/%d" % index)
+            machine.spawn(SimThread(
+                "daemon-%d" % index,
+                InteractiveWorkload(burst_work=400_000, think_time=120 * MS,
+                                    rng=rng)))
+        machine.run_until(duration)
+
+    return _collect(run)
+
+
+def figure8_stream(duration: int = 2 * SECOND) -> List[str]:
+    """Figure-8(a) replay: 2:6:1 hierarchy with bursty background load."""
+
+    def run() -> None:
+        structure, sfq1, sfq2, svr4 = figure6_structure(
+            sfq1_weight=2, sfq2_weight=6, svr4_weight=1)
+        engine = Simulator()
+        machine = Machine(engine, HierarchicalScheduler(structure),
+                          capacity_ips=100_000_000, default_quantum=20 * MS)
+        for index in range(2):
+            thread = SimThread("sfq1-%d" % index, DhrystoneWorkload(300, 10_000))
+            sfq1.attach_thread(thread)
+            machine.spawn(thread)
+        for index in range(2):
+            thread = SimThread("sfq2-%d" % index, DhrystoneWorkload(300, 10_000))
+            sfq2.attach_thread(thread)
+            machine.spawn(thread)
+        for index in range(4):
+            rng = make_rng(3, "bg/%d" % index)
+            thread = SimThread(
+                "bg-%d" % index,
+                BurstyWorkload(mean_busy_work=20_000_000,
+                               mean_idle_time=400 * MS, rng=rng))
+            svr4.attach_thread(thread)
+            machine.spawn(thread)
+        machine.run_until(duration)
+
+    return _collect(run)
+
+
+def interrupt_stream(duration: int = 2 * SECOND) -> List[str]:
+    """Interrupt-heavy uniprocessor run (pause/resume + deferred dispatch)."""
+
+    def run() -> None:
+        engine = Simulator()
+        machine = Machine(engine, FlatScheduler(SfqScheduler()),
+                          capacity_ips=100_000_000, default_quantum=10 * MS)
+        machine.add_interrupt_source(PoissonInterruptSource(
+            mean_interarrival=3 * MS, mean_service=200_000,
+            rng=make_rng(7, "intr")))
+        for index in range(4):
+            machine.spawn(SimThread("dhry-%d" % index,
+                                    DhrystoneWorkload(300, 5_000),
+                                    weight=index + 1))
+        machine.run_until(duration)
+
+    return _collect(run)
+
+
+def smp_stream(duration: int = 2 * SECOND) -> List[str]:
+    """Four-CPU SMP run over a hierarchy with blocking interactive load."""
+
+    def run() -> None:
+        structure, sfq1, sfq2, svr4 = figure6_structure(
+            sfq1_weight=1, sfq2_weight=2, svr4_weight=1)
+        engine = Simulator()
+        machine = SmpMachine(engine, HierarchicalScheduler(structure),
+                             num_cpus=4, capacity_ips=100_000_000,
+                             default_quantum=10 * MS)
+        for index in range(6):
+            thread = SimThread("cpu-%d" % index, DhrystoneWorkload(300, 10_000))
+            (sfq1 if index % 2 else sfq2).attach_thread(thread)
+            machine.spawn(thread)
+        for index in range(4):
+            rng = make_rng(5, "inter/%d" % index)
+            thread = SimThread(
+                "inter-%d" % index,
+                InteractiveWorkload(burst_work=600_000, think_time=40 * MS,
+                                    rng=rng))
+            svr4.attach_thread(thread)
+            machine.spawn(thread)
+        machine.run_until(duration)
+
+    return _collect(run)
+
+
+#: fixture name -> stream builder
+SCENARIOS: Dict[str, Callable[[], List[str]]] = {
+    "figure5": figure5_stream,
+    "figure8": figure8_stream,
+    "interrupts": interrupt_stream,
+    "smp": smp_stream,
+}
+
+
+def stream_digest(lines: List[str]) -> str:
+    """sha256 over the newline-joined canonical event lines."""
+    payload = ("\n".join(lines) + "\n").encode("utf-8")
+    return hashlib.sha256(payload).hexdigest()
+
+
+def fixture_path(name: str) -> str:
+    return os.path.join(FIXTURE_DIR, name + ".json")
+
+
+def write_fixture(name: str, lines: List[str]) -> Dict[str, object]:
+    payload = {
+        "scenario": name,
+        "events": len(lines),
+        "sha256": stream_digest(lines),
+        "head": lines[:HEAD_LINES],
+    }
+    os.makedirs(FIXTURE_DIR, exist_ok=True)
+    with open(fixture_path(name), "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1)
+        handle.write("\n")
+    return payload
+
+
+def load_fixture(name: str) -> Dict[str, object]:
+    with open(fixture_path(name), "r", encoding="utf-8") as handle:
+        return json.load(handle)

@@ -1,0 +1,21 @@
+"""Regenerate the golden-trace fixtures: ``python -m tests.regen_goldens``.
+
+Only regenerate when a change is *intended* to alter scheduling behaviour
+(new tie-break rule, different stamping semantics).  Performance work must
+reproduce the existing fixtures byte-for-byte.
+"""
+
+from __future__ import annotations
+
+from tests import goldens
+
+
+def main() -> None:
+    for name, builder in goldens.SCENARIOS.items():
+        payload = goldens.write_fixture(name, builder())
+        print("%-12s %7d events  sha256=%s" % (
+            name, payload["events"], payload["sha256"]))
+
+
+if __name__ == "__main__":
+    main()

@@ -104,3 +104,105 @@ class TestHandleRepr:
         assert "pending" in repr(handle)
         handle.cancel()
         assert "cancelled" in repr(handle)
+
+
+class TestFifoTieBreakContract:
+    """The (time, priority, seq) ordering is a documented contract.
+
+    Regression guard for the stable FIFO tie-break: events scheduled at
+    the same instant with the same priority MUST fire strictly in the
+    order they were scheduled, no matter how many there are or how the
+    pushes interleave with other timestamps.
+    """
+
+    def test_many_same_instant_events_fire_in_push_order(self):
+        q = EventQueue()
+        handles = [q.push(100, lambda: None, arg=index) for index in range(50)]
+        assert [h.arg for h in collect(q)] == list(range(50))
+        assert handles[0].seq < handles[-1].seq
+
+    def test_fifo_survives_interleaved_timestamps(self):
+        q = EventQueue()
+        # Push in a scrambled time order; each instant keeps push order.
+        for index in range(30):
+            q.push((index * 7) % 3, lambda: None, arg=index)
+        fired = [(h.time, h.arg) for h in collect(q)]
+        assert fired == sorted(fired, key=lambda pair: pair[0])
+        for instant in (0, 1, 2):
+            args = [arg for time, arg in fired if time == instant]
+            assert args == sorted(args), (
+                "same-instant events at t=%d fired out of push order" % instant)
+
+    def test_priority_then_seq(self):
+        q = EventQueue()
+        q.push(5, lambda: None, arg="late-a", priority=1)
+        q.push(5, lambda: None, arg="early-a", priority=-1)
+        q.push(5, lambda: None, arg="late-b", priority=1)
+        q.push(5, lambda: None, arg="early-b", priority=-1)
+        assert [h.arg for h in collect(q)] == [
+            "early-a", "early-b", "late-a", "late-b"]
+
+    def test_seq_is_monotonic_across_pops(self):
+        q = EventQueue()
+        first = q.push(1, lambda: None)
+        q.pop()
+        second = q.push(1, lambda: None)
+        assert second.seq > first.seq
+
+
+class TestPopDue:
+    def test_pop_due_returns_events_up_to_horizon(self):
+        q = EventQueue()
+        q.push(10, lambda: None, arg="a")
+        q.push(20, lambda: None, arg="b")
+        q.push(30, lambda: None, arg="c")
+        assert q.pop_due(20).arg == "a"
+        assert q.pop_due(20).arg == "b"
+        assert q.pop_due(20) is None  # t=30 is past the horizon
+        assert len(q) == 1
+        assert q.pop_due(30).arg == "c"
+
+    def test_pop_due_preserves_fifo_order(self):
+        q = EventQueue()
+        for index in range(10):
+            q.push(5, lambda: None, arg=index)
+        fired = []
+        while True:
+            handle = q.pop_due(5)
+            if handle is None:
+                break
+            fired.append(handle.arg)
+        assert fired == list(range(10))
+
+    def test_pop_due_skips_cancelled_events(self):
+        q = EventQueue()
+        doomed = q.push(1, lambda: None, arg="doomed")
+        q.push(2, lambda: None, arg="live")
+        q.discard(doomed)
+        assert q.pop_due(10).arg == "live"
+        assert q.pop_due(10) is None
+
+    def test_pop_due_empty_queue(self):
+        assert EventQueue().pop_due(1_000) is None
+
+    def test_pop_due_matches_peek_then_pop(self):
+        reference = EventQueue()
+        fast = EventQueue()
+        script = [(3, 0), (1, 5), (3, -2), (2, 0), (1, 0), (3, 0)]
+        for time, priority in script:
+            reference.push(time, lambda: None, arg=(time, priority),
+                           priority=priority)
+            fast.push(time, lambda: None, arg=(time, priority),
+                      priority=priority)
+        horizon = 2
+        expected = []
+        while (reference.peek_time() is not None
+               and reference.peek_time() <= horizon):
+            expected.append(reference.pop().arg)
+        got = []
+        while True:
+            handle = fast.pop_due(horizon)
+            if handle is None:
+                break
+            got.append(handle.arg)
+        assert got == expected
