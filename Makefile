@@ -16,6 +16,8 @@ test-obs:
 
 lint:
 	PYTHONPATH=src python -m repro.devtools.schedlint src/
+	PYTHONPATH=src python -m repro.devtools.schedflow \
+		--baseline devtools/schedflow-baseline.json src/repro
 	@if command -v mypy >/dev/null 2>&1; then \
 		mypy --config-file setup.cfg; \
 	else \

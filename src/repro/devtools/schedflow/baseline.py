@@ -1,0 +1,64 @@
+"""Baseline files: adopt schedflow on a tree with pre-existing findings.
+
+A baseline is a JSON list of finding *fingerprints*.  A fingerprint
+deliberately omits the line number — it hashes the module-relative path,
+the rule code, the message, and the source text of the flagged line —
+so unrelated edits above a finding do not invalidate the baseline,
+while any change to the flagged code itself surfaces the finding again.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Dict, Iterable, List
+
+from repro.devtools.schedlint import Finding, LintError, module_path_for
+
+__all__ = ["fingerprint", "load_baseline", "write_baseline", "apply_baseline"]
+
+
+def fingerprint(finding: Finding, source_lines: Dict[str, List[str]]) -> str:
+    """Stable identity of a finding across unrelated edits."""
+    lines = source_lines.get(finding.path, [])
+    text = (lines[finding.line - 1].strip()
+            if 0 < finding.line <= len(lines) else "")
+    anchor = module_path_for(finding.path) or finding.path
+    digest = hashlib.sha256(
+        "\x00".join((anchor, finding.code, finding.message, text))
+        .encode("utf-8")).hexdigest()
+    return digest[:16]
+
+
+def load_baseline(path: str) -> List[str]:
+    """Read a baseline file; raises :class:`LintError` on bad format."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except OSError as exc:
+        raise LintError("baseline %s: %s" % (path, exc)) from exc
+    except ValueError as exc:
+        raise LintError("baseline %s: invalid JSON: %s" % (path, exc)) from exc
+    if (not isinstance(data, dict) or data.get("version") != 1
+            or not isinstance(data.get("fingerprints"), list)):
+        raise LintError("baseline %s: unrecognized format" % path)
+    return [str(item) for item in data["fingerprints"]]
+
+
+def write_baseline(path: str, findings: Iterable[Finding],
+                   source_lines: Dict[str, List[str]]) -> int:
+    """Write ``findings`` as a baseline; returns the fingerprint count."""
+    prints = sorted({fingerprint(f, source_lines) for f in findings})
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump({"version": 1, "tool": "schedflow", "fingerprints": prints},
+                  handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return len(prints)
+
+
+def apply_baseline(findings: Iterable[Finding], baseline: List[str],
+                   source_lines: Dict[str, List[str]]) -> List[Finding]:
+    """Drop findings whose fingerprint is in the baseline."""
+    known = set(baseline)
+    return [f for f in findings
+            if fingerprint(f, source_lines) not in known]

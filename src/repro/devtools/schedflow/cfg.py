@@ -1,0 +1,120 @@
+"""Per-function control-flow graphs at statement granularity.
+
+Each node is one ``ast.stmt`` of the function body; edges follow the
+usual structured-control-flow shape (branch/merge for ``if``, a back
+edge for loops, ``break``/``continue`` wired to their loop, ``return``
+and ``raise`` falling off the graph).  ``try`` is modelled coarsely —
+every handler is assumed reachable from the start of the protected
+block — which over-approximates flow, the safe direction for the
+forward may-analyses built on top (:mod:`repro.devtools.schedflow.dataflow`).
+
+Nested ``def``/``lambda``/``class`` bodies are *not* inlined here; they
+are separate functions with their own CFGs.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+__all__ = ["Cfg", "build_cfg"]
+
+
+class Cfg:
+    """Statement-level CFG: ``nodes[i]`` has successors ``succs[i]``."""
+
+    def __init__(self) -> None:
+        self.nodes: List[ast.stmt] = []
+        self.succs: List[List[int]] = []
+
+    def add(self, stmt: ast.stmt) -> int:
+        """Append a statement node; returns its index."""
+        self.nodes.append(stmt)
+        self.succs.append([])
+        return len(self.nodes) - 1
+
+    def edge(self, src: int, dst: int) -> None:
+        """Add a ``src -> dst`` edge (idempotent)."""
+        if dst not in self.succs[src]:
+            self.succs[src].append(dst)
+
+    def preds(self) -> List[List[int]]:
+        """Predecessor lists (computed on demand; CFGs are small)."""
+        preds: List[List[int]] = [[] for _ in self.nodes]
+        for src, dsts in enumerate(self.succs):
+            for dst in dsts:
+                preds[dst].append(src)
+        return preds
+
+
+class _Loop:
+    __slots__ = ("header", "breaks")
+
+    def __init__(self, header: int) -> None:
+        self.header = header
+        self.breaks: List[int] = []
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.cfg = Cfg()
+        self.loops: List[_Loop] = []
+
+    def seq(self, stmts: List[ast.stmt], preds: List[int]) -> List[int]:
+        """Wire a statement list after ``preds``; return the exit frontier."""
+        for stmt in stmts:
+            node = self.cfg.add(stmt)
+            for pred in preds:
+                self.cfg.edge(pred, node)
+            preds = self.stmt(stmt, node)
+        return preds
+
+    def stmt(self, stmt: ast.stmt, node: int) -> List[int]:
+        if isinstance(stmt, ast.If):
+            outs = self.seq(stmt.body, [node])
+            if stmt.orelse:
+                outs += self.seq(stmt.orelse, [node])
+            else:
+                outs += [node]
+            return outs
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            loop = _Loop(node)
+            self.loops.append(loop)
+            body_outs = self.seq(stmt.body, [node])
+            self.loops.pop()
+            for out in body_outs:
+                self.cfg.edge(out, node)  # back edge
+            normal = self.seq(stmt.orelse, [node]) if stmt.orelse else [node]
+            return normal + loop.breaks
+        if isinstance(stmt, ast.Try):
+            body_start = len(self.cfg.nodes)
+            outs = self.seq(stmt.body, [node])
+            body_nodes = list(range(body_start, len(self.cfg.nodes)))
+            for handler in stmt.handlers:
+                # an exception may fire anywhere in the protected block
+                outs += self.seq(handler.body, [node] + body_nodes)
+            if stmt.orelse:
+                outs = self.seq(stmt.orelse, outs)
+            if stmt.finalbody:
+                outs = self.seq(stmt.finalbody, outs or [node])
+            return outs
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self.seq(stmt.body, [node])
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            return []
+        if isinstance(stmt, ast.Break):
+            if self.loops:
+                self.loops[-1].breaks.append(node)
+            return []
+        if isinstance(stmt, ast.Continue):
+            if self.loops:
+                self.cfg.edge(node, self.loops[-1].header)
+            return []
+        return [node]
+
+
+def build_cfg(fn: ast.AST) -> Cfg:
+    """Build the CFG for a ``FunctionDef``/``AsyncFunctionDef`` body."""
+    builder = _Builder()
+    builder.seq(list(getattr(fn, "body", [])), [])
+    return builder.cfg

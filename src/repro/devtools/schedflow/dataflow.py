@@ -1,0 +1,73 @@
+"""A small forward fixed-point solver over :class:`~repro.devtools.schedflow.cfg.Cfg`.
+
+Facts are plain dicts from variable name to a pass-specific lattice
+element; the solver only needs the pass to say how to ``join`` two
+elements and how to ``transfer`` a fact across one statement.  A visit
+cap with widening-to-top guards against lattices of unbounded height
+(the unit lattice can climb ``time^1, time^2, ...`` in a degenerate
+loop like ``x = x * SECOND``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, Dict, List
+
+from repro.devtools.schedflow.cfg import Cfg
+
+__all__ = ["solve_forward"]
+
+#: After this many visits to one node, changed variables widen straight
+#: to ``top`` so the iteration terminates on any lattice.
+_VISIT_CAP = 16
+
+
+def _join_facts(a: Dict[str, object], b: Dict[str, object],
+                join: Callable[[object, object], object]) -> Dict[str, object]:
+    out = dict(a)
+    for key, val in b.items():
+        out[key] = join(out[key], val) if key in out else val
+    return out
+
+
+def solve_forward(
+    cfg: Cfg,
+    init: Dict[str, object],
+    transfer: Callable[[ast.stmt, Dict[str, object]], Dict[str, object]],
+    join: Callable[[object, object], object],
+    top: object,
+) -> List[Dict[str, object]]:
+    """Run to fixed point; returns the *in*-fact of every CFG node.
+
+    ``transfer`` must return a fresh dict (it may start from a copy of
+    its input).  ``top`` is the absorbing element used for widening.
+    """
+    n = len(cfg.nodes)
+    if n == 0:
+        return []
+    preds = cfg.preds()
+    # Entry nodes are the ones with no predecessors (node 0, plus coarse
+    # Try wiring can produce none others in practice).
+    facts_in: List[Dict[str, object]] = [dict(init) if not preds[i] else {}
+                                         for i in range(n)]
+    facts_out: List[Dict[str, object]] = [{} for _ in range(n)]
+    visits = [0] * n
+    worklist = list(range(n))
+    while worklist:
+        node = worklist.pop(0)
+        visits[node] += 1
+        fact = dict(init) if not preds[node] else {}
+        for pred in preds[node]:
+            fact = _join_facts(fact, facts_out[pred], join)
+        facts_in[node] = fact
+        new_out = transfer(cfg.nodes[node], dict(fact))
+        if visits[node] > _VISIT_CAP:
+            old = facts_out[node]
+            new_out = {key: (val if old.get(key) == val else top)
+                       for key, val in new_out.items()}
+        if new_out != facts_out[node]:
+            facts_out[node] = new_out
+            for succ in cfg.succs[node]:
+                if succ not in worklist:
+                    worklist.append(succ)
+    return facts_in

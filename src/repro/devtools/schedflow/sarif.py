@@ -1,0 +1,68 @@
+"""SARIF 2.1.0 serialization for GitHub inline PR annotations.
+
+Only the subset the ``codeql-action/upload-sarif`` ingester actually
+reads is emitted: one run, the rule catalogue, and one result per
+finding with a physical location.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, Tuple
+
+from repro.devtools.schedlint import Finding
+
+__all__ = ["to_sarif", "write_sarif"]
+
+_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+           "Schemata/sarif-schema-2.1.0.json")
+
+
+def to_sarif(findings: Iterable[Finding],
+             rules: Dict[str, Tuple[str, str]]) -> dict:
+    """Build the SARIF document dict for ``findings``."""
+    results = []
+    for finding in findings:
+        results.append({
+            "ruleId": finding.code,
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": finding.path.replace("\\", "/")},
+                    "region": {
+                        "startLine": finding.line,
+                        "startColumn": finding.col + 1,
+                        "endLine": finding.end_line,
+                    },
+                },
+            }],
+        })
+    catalogue = [
+        {
+            "id": code,
+            "name": name,
+            "shortDescription": {"text": summary},
+            "defaultConfiguration": {"level": "error"},
+        }
+        for code, (name, summary) in sorted(rules.items())
+    ]
+    return {
+        "$schema": _SCHEMA,
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {"driver": {
+                "name": "schedflow",
+                "rules": catalogue,
+            }},
+            "results": results,
+        }],
+    }
+
+
+def write_sarif(path: str, findings: Iterable[Finding],
+                rules: Dict[str, Tuple[str, str]]) -> None:
+    """Serialize ``findings`` as SARIF 2.1.0 JSON to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(to_sarif(findings, rules), handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -1,0 +1,209 @@
+"""SF3xx: SMP shared-state discipline and hsfq protocol order.
+
+**SF301 (ownership).**  The dispatch-path fields of the SFQ queues and
+the machines are single-writer by design: only the owning module may
+store to them, everyone else goes through the owner's API (that is what
+makes the SMP machine's per-CPU state safe without locks — ownership
+*is* the lockset).  The table below records the owner of every such
+field; a direct store from any other module under ``repro/`` is a
+finding.  ``__init__`` is exempt: constructing your *own* object's
+fields is not sharing.
+
+**SF302 (protocol).**  The hsfq syscall surface has a lifetime order —
+``mknod`` creates an id, ``parse``/``move``/``admin`` use it, ``rmnod``
+ends it.  A flow-sensitive CFG pass tracks node-id expressions removed
+by ``hsfq_rmnod`` and flags any later hsfq call on the same expression
+reachable from the removal.  Re-assigning the variable (typically from
+a fresh ``hsfq_mknod``) revives it; the analysis is a *may*-removed
+one, so a removal on either branch of an ``if`` poisons the join.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple
+
+from repro.devtools.schedlint import Finding
+from repro.devtools.schedflow.cfg import build_cfg
+from repro.devtools.schedflow.dataflow import solve_forward
+from repro.devtools.schedflow.project import FunctionInfo, ProjectIndex
+
+__all__ = ["SharedStatePass", "OWNED_ATTRS"]
+
+#: field -> module prefixes allowed to store to it directly
+OWNED_ATTRS: Dict[str, Tuple[str, ...]] = {
+    # SfqQueue internals: the queue is the only writer of its tags
+    "_virtual_time": ("repro/core/sfq.py",),
+    "_max_finish": ("repro/core/sfq.py",),
+    "_in_service": ("repro/core/sfq.py",),
+    "_runnable_count": ("repro/core/sfq.py",),
+    "_heap": ("repro/core/sfq.py",),
+    # runnable bits: the hierarchy/queue machinery and the per-class
+    # schedulers own their respective record flags
+    "runnable": ("repro/core/", "repro/schedulers/"),
+    # dispatch state: only the machine that is dispatching writes these
+    "current": ("repro/cpu/machine.py", "repro/smp/machine.py"),
+    "_quantum_work_left": ("repro/cpu/machine.py",),
+    "quantum_left": ("repro/smp/machine.py",),
+    "quantum_done": ("repro/smp/machine.py",),
+}
+
+#: hsfq entry points -> index of the node-id argument(s) and its keyword
+_HSFQ_ID_ARGS: Dict[str, Tuple[Tuple[int, str], ...]] = {
+    "hsfq_mknod": ((2, "parent"),),
+    "hsfq_parse": ((2, "hint"),),
+    "hsfq_rmnod": ((1, "node_id"),),
+    "hsfq_move": ((2, "to"),),
+    "hsfq_admin": ((1, "node_id"),),
+}
+
+_REMOVED_TOP: FrozenSet[str] = frozenset(["<any>"])
+
+
+def _own_exprs(stmt: ast.stmt) -> Iterator[ast.AST]:
+    """Walk a CFG node's *own* expressions.  Compound statements appear
+    in the CFG as headers whose bodies are separate nodes, so walking
+    the whole subtree would process nested statements twice."""
+    if isinstance(stmt, (ast.If, ast.While)):
+        yield from ast.walk(stmt.test)
+    elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+        yield from ast.walk(stmt.iter)
+    elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+        for item in stmt.items:
+            yield from ast.walk(item.context_expr)
+    elif isinstance(stmt, (ast.Try, ast.FunctionDef, ast.AsyncFunctionDef,
+                           ast.ClassDef)):
+        return
+    else:
+        yield from ast.walk(stmt)
+
+
+def _hsfq_target(call: ast.Call) -> Optional[str]:
+    """The hsfq entry point a call hits, by bare or dotted name."""
+    func = call.func
+    name = None
+    if isinstance(func, ast.Name):
+        name = func.id
+    elif isinstance(func, ast.Attribute):
+        name = func.attr
+    return name if name in _HSFQ_ID_ARGS else None
+
+
+def _id_args(call: ast.Call, name: str) -> List[ast.AST]:
+    """The node-id argument expressions of an hsfq call."""
+    out: List[ast.AST] = []
+    for position, keyword_name in _HSFQ_ID_ARGS[name]:
+        if position < len(call.args):
+            out.append(call.args[position])
+        else:
+            for keyword in call.keywords:
+                if keyword.arg == keyword_name:
+                    out.append(keyword.value)
+    return out
+
+
+def _id_key(node: ast.AST) -> str:
+    """Identity of a node-id expression; plain variables key by name so
+    a re-assignment can revive them."""
+    if isinstance(node, ast.Name):
+        return node.id
+    return ast.dump(node)
+
+
+class SharedStatePass:
+    """Run with :meth:`run`; yields SF301/SF302 findings."""
+
+    def __init__(self, index: ProjectIndex) -> None:
+        self.index = index
+
+    def run(self) -> Iterator[Finding]:
+        """Check every function; yields SF301/SF302 findings."""
+        findings: List[Finding] = []
+        for info in self.index.functions.values():
+            self._check_ownership(info, findings)
+            self._check_hsfq_protocol(info, findings)
+        return iter(findings)
+
+    # --- SF301 ------------------------------------------------------------
+
+    def _check_ownership(self, info: FunctionInfo,
+                         findings: List[Finding]) -> None:
+        entry = info.entry
+        if not entry.in_module("repro/") or info.name == "__init__":
+            return
+        for node in ast.walk(info.node):
+            targets: List[ast.AST] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            for target in targets:
+                if not isinstance(target, ast.Attribute):
+                    continue
+                owners = OWNED_ATTRS.get(target.attr)
+                if owners is None or entry.in_module(*owners):
+                    continue
+                line = target.lineno
+                findings.append(Finding(
+                    entry.path, line, target.col_offset, "SF301",
+                    "store to %r, owned by %s — mutate it through the "
+                    "owner's API so the single-writer discipline holds"
+                    % (target.attr, " / ".join(owners)),
+                    end_line=getattr(node, "end_lineno", None) or line))
+
+    # --- SF302 ------------------------------------------------------------
+
+    def _check_hsfq_protocol(self, info: FunctionInfo,
+                             findings: List[Finding]) -> None:
+        source = info.entry.source
+        if "hsfq_rmnod" not in source:
+            return
+        # the hsfq module itself defines the functions; skip it
+        if info.entry.module == "repro/hsfq.py":
+            return
+        cfg = build_cfg(info.node)
+        # the fixed-point iteration visits statements repeatedly and
+        # would duplicate findings; collect into a scratch list and
+        # dedup per site afterwards
+        emitted: List[Finding] = []
+
+        def transfer(stmt: ast.stmt, fact: Dict[str, object]) -> Dict[str, object]:
+            removed = fact.get("removed", frozenset())
+            assert isinstance(removed, frozenset)
+            for node in _own_exprs(stmt):
+                if not isinstance(node, ast.Call):
+                    continue
+                name = _hsfq_target(node)
+                if name is None:
+                    continue
+                ids = [_id_key(arg) for arg in _id_args(node, name)]
+                for key in ids:
+                    if key in removed:
+                        emitted.append(Finding(
+                            info.entry.path, node.lineno,
+                            node.col_offset, "SF302",
+                            "%s() on a node id already removed by "
+                            "hsfq_rmnod() on this path" % name,
+                            end_line=getattr(node, "end_lineno", None)
+                            or node.lineno))
+                if name == "hsfq_rmnod":
+                    removed = removed | frozenset(ids)
+            # re-binding a variable (e.g. from a fresh hsfq_mknod) ends
+            # its association with the removed id
+            if isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                targets = (stmt.targets if isinstance(stmt, ast.Assign)
+                           else [stmt.target])
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        removed = removed - {target.id}
+            fact["removed"] = removed
+            return fact
+
+        solve_forward(cfg, {"removed": frozenset()}, transfer,
+                      join=lambda a, b: a | b, top=_REMOVED_TOP)
+        seen = set()
+        for finding in emitted:
+            key = (finding.line, finding.col, finding.message)
+            if key not in seen:
+                seen.add(key)
+                findings.append(finding)

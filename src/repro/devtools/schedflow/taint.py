@@ -1,0 +1,330 @@
+"""SF1xx: interprocedural determinism-taint analysis.
+
+Host time, entropy, and environment reads are *sources*; simulator state
+is the *sink*.  Taint values are sets of origins — the literal
+``"host"`` for a source read, or ``("param", i)`` for "whatever the
+caller passed as parameter ``i``" — so one pass over a function yields
+both its findings and its summary:
+
+* ``returns_host`` / ``returns_params`` — what the return value carries,
+* ``params_to_state`` — parameters that end up written into simulator
+  state somewhere downstream.
+
+Summaries are iterated over the call graph to a fixed point, then a
+final emission pass reports:
+
+* **SF101** — a host-tainted value assigned to an object attribute in a
+  state module, or passed to a function whose summary says the
+  parameter reaches state.
+* **SF102** — a host-tainted value handed to the simulator's event API
+  (a resolved callee under ``repro/sim/``, or the well-known scheduling
+  entry points ``at``/``after``/``schedule``/``post``).
+
+Comparisons sanitize: ``if os.environ.get("REPRO_SCHEDSAN"):`` is the
+sanctioned config-gate idiom and produces a boolean, not a timestamp.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+from repro.devtools.schedlint import Finding
+from repro.devtools.schedlint.rules import _WALL_CLOCK
+from repro.devtools.schedflow.cfg import build_cfg
+from repro.devtools.schedflow.dataflow import solve_forward
+from repro.devtools.schedflow.project import FunctionInfo, ProjectIndex
+
+__all__ = ["TaintPass"]
+
+Origin = object  # "host" | ("param", int)
+Origins = FrozenSet[Origin]
+EMPTY: Origins = frozenset()
+HOST: Origins = frozenset(["host"])
+
+#: modules whose object attributes *are* simulator state
+STATE_MODULES = (
+    "repro/core/", "repro/cpu/", "repro/smp/", "repro/sim/",
+    "repro/schedulers/", "repro/sync/", "repro/threads/", "repro/hsfq.py",
+)
+
+#: extra sources beyond schedlint's wall-clock table
+_ENV_SOURCES = ("os.environ", "os.getenv", "os.environb")
+
+#: builtins whose result does not carry its arguments' taint
+_SANITIZING_CALLS = {"len", "bool", "isinstance", "issubclass", "id",
+                     "hash", "type", "callable", "repr"}
+
+#: unresolved method names that enter the simulator's event machinery
+_SIM_API_NAMES = {"at", "after", "schedule", "post"}
+
+
+class _Summary:
+    __slots__ = ("returns_host", "returns_params", "params_to_state")
+
+    def __init__(self) -> None:
+        self.returns_host = False
+        self.returns_params: Set[int] = set()
+        self.params_to_state: Set[int] = set()
+
+    def snapshot(self) -> Tuple[bool, Tuple[int, ...], Tuple[int, ...]]:
+        return (self.returns_host, tuple(sorted(self.returns_params)),
+                tuple(sorted(self.params_to_state)))
+
+
+class TaintPass:
+    """Run with :meth:`run`; yields SF101/SF102 findings."""
+
+    def __init__(self, index: ProjectIndex) -> None:
+        self.index = index
+        self.summaries: Dict[str, _Summary] = {
+            qname: _Summary() for qname in index.functions}
+
+    def run(self) -> Iterator[Finding]:
+        """Iterate summaries to a fixed point, then emit findings."""
+        # fixed point over summaries, then one emitting pass
+        for _ in range(12):
+            before = {q: s.snapshot() for q, s in self.summaries.items()}
+            for info in self.index.functions.values():
+                self._analyze(info, emit=None)
+            if {q: s.snapshot() for q, s in self.summaries.items()} == before:
+                break
+        findings: List[Finding] = []
+        for info in self.index.functions.values():
+            self._analyze(info, emit=findings)
+        return iter(findings)
+
+    # --- per-function analysis -------------------------------------------
+
+    def _analyze(self, info: FunctionInfo,
+                 emit: Optional[List[Finding]]) -> None:
+        summary = self.summaries[info.qname]
+        init: Dict[str, object] = {
+            name: frozenset([("param", i)])
+            for i, name in enumerate(info.params)}
+        walker = _FunctionWalker(self, info, summary, emit)
+        cfg = build_cfg(info.node)
+        solve_forward(cfg, init, walker.transfer,
+                      join=lambda a, b: a | b,
+                      top=HOST | frozenset(
+                          ("param", i) for i in range(len(info.params))))
+
+    # --- shared helpers ---------------------------------------------------
+
+    def is_source(self, dotted: Optional[str]) -> bool:
+        """True when the dotted path is a host time/entropy/env read."""
+        if dotted is None:
+            return False
+        if dotted in _WALL_CLOCK:
+            return True
+        return any(dotted == src or dotted.startswith(src + ".")
+                   for src in _ENV_SOURCES)
+
+
+class _FunctionWalker:
+    """Transfer function + sink detection for one function."""
+
+    def __init__(self, owner: TaintPass, info: FunctionInfo,
+                 summary: _Summary, emit: Optional[List[Finding]]) -> None:
+        self.owner = owner
+        self.info = info
+        self.summary = summary
+        self.emit = emit
+
+    # --- findings ---------------------------------------------------------
+
+    def _report(self, node: ast.AST, code: str, message: str) -> None:
+        if self.emit is None:
+            return
+        line = getattr(node, "lineno", 1)
+        self.emit.append(Finding(
+            self.info.entry.path, line, getattr(node, "col_offset", 0),
+            code, message,
+            end_line=getattr(node, "end_lineno", None) or line))
+
+    def _in_state_module(self) -> bool:
+        return self.info.entry.in_module(*STATE_MODULES)
+
+    # --- expression evaluation -------------------------------------------
+
+    def origins(self, node: Optional[ast.AST], env: Dict[str, object]) -> Origins:
+        if node is None or isinstance(node, (ast.Constant, ast.Lambda)):
+            return EMPTY
+        if isinstance(node, ast.Name):
+            val = env.get(node.id, EMPTY)
+            return val if isinstance(val, frozenset) else EMPTY
+        if isinstance(node, ast.Compare):
+            # comparisons sanitize (config gates, clamps); still visit
+            # operands so call-argument sinks inside them are checked
+            self.origins(node.left, env)
+            for comparator in node.comparators:
+                self.origins(comparator, env)
+            return EMPTY
+        if isinstance(node, ast.Call):
+            return self._call_origins(node, env)
+        if isinstance(node, ast.Attribute):
+            # os.environ itself is a source object
+            if self.owner.is_source(self.owner.index.dotted(node, self.info.entry)):
+                return HOST
+            return self.origins(node.value, env)
+        if isinstance(node, ast.Subscript):
+            # os.environ["X"] reads the host environment
+            if self.owner.is_source(
+                    self.owner.index.dotted(node.value, self.info.entry)):
+                return HOST
+            return self.origins(node.value, env)
+        if isinstance(node, ast.Starred):
+            return self.origins(node.value, env)
+        # generic: union over child expressions
+        out: Origins = EMPTY
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                out |= self.origins(child, env)
+        return out
+
+    def _call_origins(self, call: ast.Call, env: Dict[str, object]) -> Origins:
+        index = self.owner.index
+        entry = self.info.entry
+        dotted = index.dotted(call.func, entry)
+        arg_origins = [self.origins(arg, env) for arg in call.args]
+        for keyword in call.keywords:
+            arg_origins.append(self.origins(keyword.value, env))
+        combined: Origins = EMPTY
+        for origins in arg_origins:
+            combined |= origins
+
+        if self.owner.is_source(dotted):
+            return HOST
+
+        callee = index.resolve_call(call, entry, self.info.class_name)
+        if callee is not None:
+            self._check_callee_sinks(call, callee, arg_origins)
+            summary = self.owner.summaries.get(callee.qname)
+            if summary is None:
+                return combined
+            result: Origins = HOST if summary.returns_host else EMPTY
+            for param_index in summary.returns_params:
+                origin = self._arg_for_param(call, callee, param_index,
+                                             arg_origins)
+                if origin is not None:
+                    result |= origin
+            return result
+
+        # unresolved call: check the well-known simulator entry points,
+        # then propagate the union of arguments (min/max/int/float/...)
+        func = call.func
+        if (isinstance(func, ast.Attribute) and func.attr in _SIM_API_NAMES
+                and "host" in combined and self._in_state_module()):
+            self._report(call, "SF102",
+                         "host-tainted value passed to simulator event API "
+                         "%r; simulated time comes from the engine, never "
+                         "the host clock" % func.attr)
+        if isinstance(func, ast.Name) and func.id in _SANITIZING_CALLS:
+            return EMPTY
+        return combined
+
+    def _arg_for_param(self, call: ast.Call, callee: FunctionInfo,
+                       param_index: int,
+                       arg_origins: List[Origins]) -> Optional[Origins]:
+        """Origins of the argument bound to ``callee.params[param_index]``."""
+        offset = 0
+        if callee.is_method and isinstance(call.func, ast.Attribute):
+            offset = 1  # self is bound by the attribute access
+        positional = param_index - offset
+        if 0 <= positional < len(call.args):
+            return arg_origins[positional]
+        if param_index < len(callee.params):
+            wanted = callee.params[param_index]
+            for keyword_index, keyword in enumerate(call.keywords):
+                if keyword.arg == wanted:
+                    return arg_origins[len(call.args) + keyword_index]
+        return None
+
+    def _check_callee_sinks(self, call: ast.Call, callee: FunctionInfo,
+                            arg_origins: List[Origins]) -> None:
+        summary = self.owner.summaries.get(callee.qname)
+        if summary is None:
+            return
+        for param_index in sorted(summary.params_to_state):
+            origin = self._arg_for_param(call, callee, param_index,
+                                         arg_origins)
+            if origin is None:
+                continue
+            if "host" in origin:
+                self._report(call, "SF101",
+                             "host-tainted value flows through %s() into "
+                             "simulator state" % callee.name)
+            for item in origin:
+                if isinstance(item, tuple):
+                    self.summary.params_to_state.add(item[1])
+        if callee.entry.in_module("repro/sim/"):
+            for origins in arg_origins:
+                if "host" in origins:
+                    self._report(call, "SF102",
+                                 "host-tainted value passed to %s() in the "
+                                 "simulation engine" % callee.name)
+                    break
+
+    # --- statement transfer ----------------------------------------------
+
+    def transfer(self, stmt: ast.stmt, fact: Dict[str, object]) -> Dict[str, object]:
+        if isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            value = getattr(stmt, "value", None)
+            origins = self.origins(value, fact) if value is not None else EMPTY
+            targets = (stmt.targets if isinstance(stmt, ast.Assign)
+                       else [stmt.target])
+            for target in targets:
+                self._assign(target, origins, fact,
+                             augment=isinstance(stmt, ast.AugAssign))
+        elif isinstance(stmt, ast.Return):
+            origins = self.origins(stmt.value, fact)
+            if "host" in origins:
+                self.summary.returns_host = True
+            for item in origins:
+                if isinstance(item, tuple):
+                    self.summary.returns_params.add(item[1])
+        elif isinstance(stmt, ast.For):
+            origins = self.origins(stmt.iter, fact)
+            self._assign(stmt.target, origins, fact)
+        elif isinstance(stmt, (ast.If, ast.While)):
+            self.origins(stmt.test, fact)
+        elif isinstance(stmt, (ast.Expr, ast.Assert, ast.Raise)):
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self.origins(child, fact)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                self.origins(item.context_expr, fact)
+        return fact
+
+    def _assign(self, target: ast.AST, origins: Origins,
+                fact: Dict[str, object], augment: bool = False) -> None:
+        if isinstance(target, ast.Name):
+            if augment:
+                prev = fact.get(target.id, EMPTY)
+                origins = origins | (prev if isinstance(prev, frozenset)
+                                     else EMPTY)
+            fact[target.id] = origins
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._assign(element, origins, fact)
+        elif isinstance(target, ast.Attribute):
+            self._attribute_sink(target, origins)
+        elif isinstance(target, ast.Subscript):
+            if isinstance(target.value, ast.Attribute):
+                self._attribute_sink(target.value, origins)
+            elif isinstance(target.value, ast.Name):
+                prev = fact.get(target.value.id, EMPTY)
+                fact[target.value.id] = origins | (
+                    prev if isinstance(prev, frozenset) else EMPTY)
+
+    def _attribute_sink(self, target: ast.Attribute, origins: Origins) -> None:
+        if not self._in_state_module():
+            return
+        if "host" in origins:
+            self._report(target, "SF101",
+                         "host-tainted value stored in simulator state "
+                         "attribute %r" % target.attr)
+        for item in origins:
+            if isinstance(item, tuple):
+                self.summary.params_to_state.add(item[1])

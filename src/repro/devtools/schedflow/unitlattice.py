@@ -1,0 +1,147 @@
+"""The unit/dimension lattice behind the SF2xx rules.
+
+A :class:`Unit` is either one of the two lattice sentinels or a vector of
+integer exponents over the base dimensions ``(time, instructions,
+weight)``:
+
+* ``BOTTOM`` — polymorphic: numeric literals and unconstrained values.
+  Acts as a dimensionless scalar under ``*`` and ``/`` so conversion
+  idioms like ``planned * SECOND // capacity_ips`` type-check without
+  annotating every constant.
+* ``TOP`` — conflicting/unknown: the analysis gave up on this value.
+* concrete vectors — ``TIME`` is ``time^1``, ``VIRTUAL`` (an SFQ tag) is
+  ``instr^1 * weight^-1`` because a tag advances by ``length / weight``,
+  and ``RATE`` (``capacity_ips``) is ``instr^1 * time^-1``.
+
+``join``/``meet`` treat the concrete vectors as a flat antichain between
+the sentinels, which keeps both operations associative, commutative,
+idempotent, and absorbing — properties the hypothesis suite
+(``tests/test_schedflow_lattice.py``) checks exhaustively.
+
+Only ``additive`` combination (``+``, ``-``, comparisons) can produce an
+SF201 mismatch, and only when *both* operands are concrete and unequal:
+``BOTTOM`` never convicts, so unannotated code stays quiet until it
+mixes two values the analysis genuinely knows to be different dimensions.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+__all__ = [
+    "Unit", "BOTTOM", "TOP", "DIMENSIONLESS",
+    "TIME", "INSTR", "WEIGHT", "VIRTUAL", "RATE", "FREQUENCY",
+]
+
+
+class Unit:
+    """An element of the unit lattice; immutable and interned-comparable."""
+
+    __slots__ = ("kind", "exps")
+
+    def __init__(self, kind: str, exps: Tuple[int, int, int] = (0, 0, 0)) -> None:
+        assert kind in ("bottom", "top", "dim")
+        self.kind = kind
+        self.exps = exps
+
+    # --- identity ---------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Unit):
+            return NotImplemented
+        return self.kind == other.kind and (
+            self.kind != "dim" or self.exps == other.exps)
+
+    def __hash__(self) -> int:
+        return hash((self.kind, self.exps if self.kind == "dim" else None))
+
+    def __repr__(self) -> str:
+        if self.kind != "dim":
+            return "<%s>" % self.kind.upper()
+        names = ("time", "instr", "weight")
+        parts = ["%s^%d" % (n, e) for n, e in zip(names, self.exps) if e]
+        return "<%s>" % ("*".join(parts) or "dimensionless")
+
+    @property
+    def concrete(self) -> bool:
+        """True for exponent vectors (participates in mismatch checks)."""
+        return self.kind == "dim"
+
+    # --- lattice operations ----------------------------------------------
+
+    def join(self, other: "Unit") -> "Unit":
+        """Least upper bound (control-flow merge)."""
+        if self == other:
+            return self
+        if self.kind == "bottom":
+            return other
+        if other.kind == "bottom":
+            return self
+        return TOP
+
+    def meet(self, other: "Unit") -> "Unit":
+        """Greatest lower bound (dual of :meth:`join`)."""
+        if self == other:
+            return self
+        if self.kind == "top":
+            return other
+        if other.kind == "top":
+            return self
+        return BOTTOM
+
+    # --- abstract arithmetic ----------------------------------------------
+
+    def mul(self, other: "Unit") -> "Unit":
+        """``a * b``: exponents add; BOTTOM behaves as a bare scalar."""
+        if self.kind == "top" or other.kind == "top":
+            return TOP
+        if self.kind == "bottom":
+            return other
+        if other.kind == "bottom":
+            return self
+        return _dim(tuple(a + b for a, b in zip(self.exps, other.exps)))
+
+    def div(self, other: "Unit") -> "Unit":
+        """``a / b`` (also ``//``): exponents subtract."""
+        if self.kind == "top" or other.kind == "top":
+            return TOP
+        if other.kind == "bottom":
+            return self
+        if self.kind == "bottom":
+            return _dim(tuple(-e for e in other.exps))
+        return _dim(tuple(a - b for a, b in zip(self.exps, other.exps)))
+
+    def additive(self, other: "Unit") -> Optional["Unit"]:
+        """``a + b`` / ``a - b`` / ``a < b``: units must agree.
+
+        Returns the combined unit, or ``None`` for a provable mismatch
+        (both operands concrete and different) — the SF201 trigger.
+        """
+        if self.kind == "top" or other.kind == "top":
+            return TOP
+        if self.kind == "bottom":
+            return other
+        if other.kind == "bottom":
+            return self
+        if self.exps == other.exps:
+            return self
+        return None
+
+
+def _dim(exps) -> Unit:
+    exps = tuple(exps)
+    if exps == (0, 0, 0):
+        return DIMENSIONLESS
+    return Unit("dim", exps)
+
+
+BOTTOM = Unit("bottom")
+TOP = Unit("top")
+DIMENSIONLESS = Unit("dim", (0, 0, 0))
+
+TIME = Unit("dim", (1, 0, 0))          # integer nanoseconds (or float s/ms)
+INSTR = Unit("dim", (0, 1, 0))         # instructions of work
+WEIGHT = Unit("dim", (0, 0, 1))        # SFQ share weight
+VIRTUAL = Unit("dim", (0, 1, -1))      # SFQ tag: work / weight
+RATE = Unit("dim", (-1, 1, 0))         # capacity_ips: instructions / time
+FREQUENCY = Unit("dim", (-1, 0, 0))    # events / time (derived metrics)

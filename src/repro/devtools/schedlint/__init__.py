@@ -23,11 +23,15 @@ Suppressions
 ------------
 
 Append ``# schedlint: disable=SL001`` (comma-separate several codes, or
-use ``all``) to a line to silence findings reported *on that line*.  A
-line containing ``# schedlint: disable-file=SL004`` anywhere in a file
-silences the code for the whole file.  Suppressions are deliberate,
-reviewable markers — the catalogue in ``docs/STATIC_ANALYSIS.md``
-explains when each is legitimate.
+use ``all``) to a line to silence findings reported *on that line* — or
+anywhere inside the statement the line belongs to, so a suppression on
+the closing line of a multi-line call (or after a backslash
+continuation) silences the whole statement.  The pyflakes-style
+``# noqa: SL001`` (and bare ``# noqa`` for every code) is honoured with
+the same semantics.  A line containing ``# schedlint: disable-file=SL004``
+anywhere in a file silences the code for the whole file.  Suppressions
+are deliberate, reviewable markers — the catalogue in
+``docs/STATIC_ANALYSIS.md`` explains when each is legitimate.
 
 Fixture files (and any file living outside ``src/repro``) may declare the
 module they stand in for with a first-line directive::
@@ -54,8 +58,13 @@ __all__ = [
     "check_paths",
 ]
 
-_SUPPRESS_RE = re.compile(r"#\s*schedlint:\s*disable=([A-Za-z0-9_,\s]+)")
-_SUPPRESS_FILE_RE = re.compile(r"#\s*schedlint:\s*disable-file=([A-Za-z0-9_,\s]+)")
+#: ``schedflow`` shares schedlint's suppression syntax, so either tool
+#: name works in the comment; ``# noqa`` (optionally with codes) is the
+#: pyflakes-compatible spelling.
+_SUPPRESS_RE = re.compile(r"#\s*sched(?:lint|flow):\s*disable=([A-Za-z0-9_,\s]+)")
+_SUPPRESS_FILE_RE = re.compile(
+    r"#\s*sched(?:lint|flow):\s*disable-file=([A-Za-z0-9_,\s]+)")
+_NOQA_RE = re.compile(r"#\s*noqa(?::\s*([A-Za-z0-9_,\s]+))?", re.IGNORECASE)
 _FIXTURE_MODULE_RE = re.compile(r"#\s*schedlint-fixture-module:\s*(\S+)")
 
 
@@ -64,17 +73,23 @@ class LintError(Exception):
 
 
 class Finding:
-    """One rule violation at a source location."""
+    """One rule violation at a source location.
 
-    __slots__ = ("path", "line", "col", "code", "message")
+    ``end_line`` is the last physical line of the statement the finding
+    is anchored to; suppression comments anywhere in ``line..end_line``
+    silence it (multi-line calls, backslash continuations).
+    """
+
+    __slots__ = ("path", "line", "col", "code", "message", "end_line")
 
     def __init__(self, path: str, line: int, col: int, code: str,
-                 message: str) -> None:
+                 message: str, end_line: Optional[int] = None) -> None:
         self.path = path
         self.line = line
         self.col = col
         self.code = code
         self.message = message
+        self.end_line = end_line if end_line is not None else line
 
     def sort_key(self) -> Tuple[str, int, int, str]:
         """Stable ordering: by path, then line, column, and code."""
@@ -102,8 +117,10 @@ class FileContext:
 
     def finding(self, node: ast.AST, code: str, message: str) -> Finding:
         """Build a :class:`Finding` located at ``node``."""
-        return Finding(self.path, getattr(node, "lineno", 1),
-                       getattr(node, "col_offset", 0), code, message)
+        line = getattr(node, "lineno", 1)
+        return Finding(self.path, line, getattr(node, "col_offset", 0),
+                       code, message,
+                       end_line=getattr(node, "end_lineno", None) or line)
 
     # --- module-scope helpers used by the rules ---------------------------
 
@@ -175,12 +192,59 @@ def _suppressions(source: str):
         match = _SUPPRESS_FILE_RE.search(line)
         if match:
             whole_file.extend(_parse_codes(match.group(1)))
+        match = _NOQA_RE.search(line)
+        if match:
+            codes = _parse_codes(match.group(1)) if match.group(1) else ["ALL"]
+            per_line.setdefault(lineno, []).extend(codes)
     return per_line, whole_file
 
 
-def _suppressed(finding: Finding, per_line, whole_file) -> bool:
-    codes = per_line.get(finding.line, []) + whole_file
-    return finding.code in codes or "ALL" in codes
+#: Compound statements span their whole body, which is far wider than the
+#: "logical line" a suppression comment should cover; for them only the
+#: header (up to the first body statement) counts.
+_COMPOUND_STMTS = (ast.If, ast.For, ast.While, ast.With, ast.Try,
+                   ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef,
+                   ast.AsyncFor, ast.AsyncWith)
+
+
+def _statement_spans(tree: ast.Module) -> List[Tuple[int, int]]:
+    """(first, last) physical-line spans of every statement's own lines."""
+    spans: List[Tuple[int, int]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.stmt):
+            continue
+        end = getattr(node, "end_lineno", None) or node.lineno
+        if isinstance(node, _COMPOUND_STMTS):
+            body = getattr(node, "body", [])
+            if body:
+                end = max(node.lineno, body[0].lineno - 1)
+        spans.append((node.lineno, end))
+    return spans
+
+
+def _span_for(line: int, spans: Sequence[Tuple[int, int]]) -> Optional[Tuple[int, int]]:
+    """Innermost (narrowest) statement span containing ``line``."""
+    best: Optional[Tuple[int, int]] = None
+    for start, end in spans:
+        if start <= line <= end:
+            if best is None or (end - start) < (best[1] - best[0]):
+                best = (start, end)
+    return best
+
+
+def _suppressed(finding: Finding, per_line, whole_file,
+                span: Optional[Tuple[int, int]] = None) -> bool:
+    if finding.code in whole_file or "ALL" in whole_file:
+        return True
+    start, end = finding.line, finding.end_line
+    if span is not None:
+        start = min(start, span[0])
+        end = max(end, span[1])
+    for lineno in range(start, end + 1):
+        codes = per_line.get(lineno)
+        if codes and (finding.code in codes or "ALL" in codes):
+            return True
+    return False
 
 
 # --- module-path resolution --------------------------------------------------
@@ -218,10 +282,12 @@ def check_source(source: str, path: str = "<string>",
         raise LintError("%s: syntax error: %s" % (path, exc)) from exc
     ctx = FileContext(path, source, tree, module)
     per_line, whole_file = _suppressions(source)
+    spans = _statement_spans(tree) if per_line else ()
     findings: List[Finding] = []
     for rule in (all_rules() if rules is None else rules):
         for finding in rule.check(ctx):
-            if not _suppressed(finding, per_line, whole_file):
+            span = _span_for(finding.line, spans) if per_line else None
+            if not _suppressed(finding, per_line, whole_file, span):
                 findings.append(finding)
     findings.sort(key=Finding.sort_key)
     return findings

@@ -63,6 +63,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     except LintError as exc:
         print("error: %s" % exc, file=sys.stderr)
         return 2
+    except Exception as exc:  # a rule crashed: not a finding, not usage
+        print("error: internal failure: %s: %s"
+              % (type(exc).__name__, exc), file=sys.stderr)
+        return 2
 
     for finding in findings:
         print(finding)

@@ -19,7 +19,13 @@ rests on:
 * **no lost wakeups** — after ``thread_runnable`` the thread's leaf (and
   the hierarchy as a whole) reports runnable work;
 * **work conservation** — a scheduler claiming runnable work must
-  produce a thread when asked.
+  produce a thread when asked;
+* **dormant weight changes** (paper §3) — changing a node's weight while
+  it is dormant must not warp its recorded start/finish tags (and hence
+  v(t)); the new weight may only take effect at the next stamping.  The
+  static twin of this rule is schedflow's SF204 (direct ``.weight =``
+  stores bypassing ``set_weight``): mutations the sanitizer can observe
+  are exactly the sanctioned ones.
 
 Violations are reported with the offending node path and the simulation
 time.  By default the first violation raises :class:`SchedsanError` (a
@@ -117,6 +123,9 @@ class SchedsanScheduler(TopScheduler):
         self._in_service: Dict[int, str] = {}
         #: node_id -> last observed virtual time, per internal node
         self._last_v: Dict[int, object] = {}
+        #: node_id -> (weight, runnable, S, F) at the last sweep; drives
+        #: the dormant-weight-change invariant
+        self._node_snapshots: Dict[int, Tuple[int, bool, object, object]] = {}
 
     # --- plumbing ---------------------------------------------------------
 
@@ -192,6 +201,46 @@ class SchedsanScheduler(TopScheduler):
                 "virtual-time-monotonicity", parent.path, now,
                 "virtual time moved backwards: %r -> %r" % (last, v))
         self._last_v[parent.node_id] = v
+        self._check_dormant_weights(parent, now)
+
+    def _check_dormant_weights(self, parent: "InternalNode",
+                               now: Optional[int]) -> None:
+        """Paper §3: a weight change while a node is dormant must not warp
+        its recorded tags.
+
+        Each sweep snapshots every child's ``(weight, runnable, S, F)``.
+        If two consecutive observations both find the child dormant but
+        the weight changed *and* the tags moved, something recomputed
+        ``S``/``F`` eagerly from the new weight — the warp the paper
+        forbids (the change may only take effect at the next stamping).
+        Cross-link: schedflow's SF204 flags the unsanctioned ``.weight``
+        stores that make such warps invisible to this check.
+        """
+        queue = parent.queue
+        for child in parent.children.values():
+            if child not in queue:
+                self._node_snapshots.pop(child.node_id, None)
+                continue
+            weight = child.weight
+            runnable = queue.is_runnable(child)
+            start = queue.start_tag(child)
+            finish = queue.finish_tag(child)
+            previous = self._node_snapshots.get(child.node_id)
+            if previous is not None:
+                old_weight, was_runnable, old_start, old_finish = previous
+                if (not runnable and not was_runnable
+                        and weight != old_weight
+                        and (start != old_start or finish != old_finish)):
+                    self._violate(
+                        "dormant-weight-warp", child.path, now,
+                        "weight changed %d -> %d while dormant and the "
+                        "tags warped (S: %r -> %r, F: %r -> %r); dormant "
+                        "weight changes take effect at the next stamping, "
+                        "never retroactively"
+                        % (old_weight, weight, old_start, start,
+                           old_finish, finish))
+            self._node_snapshots[child.node_id] = (
+                weight, runnable, start, finish)
 
     def _sweep_virtual_time(self, thread: "SimThread",
                             now: Optional[int]) -> None:

@@ -21,7 +21,12 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+if TYPE_CHECKING:  # imports stay local at runtime to avoid cycles
+    from repro.core.structure import SchedulingStructure
+    from repro.cpu.machine import Machine
+    from repro.threads.thread import SimThread
 
 from repro.obs import events as ev
 from repro.obs.chrometrace import ChromeTraceBuilder, summarize_chrome_trace
@@ -29,7 +34,8 @@ from repro.obs.metrics import SchedulerMetrics
 from repro.obs.schedstat import SchedStat, render_schedstat
 
 
-def build_demo(duration_ms: int = 2000):
+def build_demo(duration_ms: int = 2000) -> Tuple[
+        "Machine", "SchedulingStructure", List["SimThread"]]:
     """Build the demo machine; returns ``(machine, structure, threads)``.
 
     The scenario exercises every event source: a hierarchical SFQ tree

@@ -13,7 +13,7 @@ import gc
 import platform
 import statistics
 import time
-from typing import Any, Dict, Iterable, List, Optional
+from typing import Any, Callable, Dict, Iterable, List, Optional
 
 from repro.perfkit.scenarios import SCENARIOS, Scenario
 from repro.perfkit.schema import SCHEMA, validate_report
@@ -84,7 +84,7 @@ def _stats_for(samples: List[Dict[str, Any]]) -> Dict[str, Any]:
 
 def run_suite(quick: bool = False, repeats: int = 3,
               scenario_names: Optional[Iterable[str]] = None,
-              echo=None) -> Dict[str, Any]:
+              echo: Optional[Callable[[str], None]] = None) -> Dict[str, Any]:
     """Run the suite and return a schema-valid BENCH report dict."""
     if repeats < 1:
         raise ValueError("repeats must be >= 1, got %d" % repeats)

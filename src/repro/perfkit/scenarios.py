@@ -16,7 +16,7 @@ suite is guarding.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, List, Tuple, Union
 
 from repro.core.hierarchy import HierarchicalScheduler
 from repro.core.structure import SchedulingStructure
@@ -66,7 +66,7 @@ class Scenario:
         self.phases = phases
 
 
-def _machine_counters(machine, engine: Simulator,
+def _machine_counters(machine: Union[Machine, SmpMachine], engine: Simulator,
                       threads: int) -> Callable[[], Counters]:
     def counters() -> Counters:
         dispatches = getattr(machine, "stats", machine)

@@ -33,7 +33,7 @@ Schema string is ``repro.perfkit/1``.  Shape::
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Tuple, Union
 
 
 SCHEMA = "repro.perfkit/1"
@@ -49,7 +49,7 @@ def _require(condition: bool, message: str) -> None:
 
 
 def _check_number(mapping: Dict[str, Any], key: str, where: str,
-                  kind=(int, float)) -> None:
+                  kind: Union[type, Tuple[type, ...]] = (int, float)) -> None:
     _require(key in mapping, "%s: missing %r" % (where, key))
     value = mapping[key]
     _require(isinstance(value, kind) and not isinstance(value, bool),

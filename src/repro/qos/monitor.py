@@ -17,6 +17,7 @@ from repro.core.node import LeafNode, Node
 from repro.errors import SchedulingError
 from repro.trace.metrics import node_work
 from repro.trace.recorder import Recorder
+from repro.units import SECOND
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cpu.machine import Machine
@@ -115,7 +116,7 @@ class ClassMonitor:
         for node in self.nodes:
             works[node.path] = node_work(self.recorder,
                                          self._threads_of(node), t1, t2)
-        total = (t2 - t1) * self.machine.capacity_ips / 1_000_000_000
+        total = (t2 - t1) * self.machine.capacity_ips / SECOND
         if total <= 0:
             return
         backlogged_nodes = [

@@ -12,6 +12,7 @@ import bisect
 from typing import TYPE_CHECKING, List, Optional, Tuple
 
 from repro.trace.recorder import Recorder, ThreadTrace
+from repro.units import SECOND
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.threads.thread import SimThread
@@ -42,7 +43,7 @@ def marker_rate(thread: "SimThread", marker: str, elapsed: int) -> float:
     count = thread.stats.markers.get(marker, 0)
     if elapsed <= 0:
         return 0.0
-    return count * 1_000_000_000 / elapsed
+    return count * SECOND / elapsed
 
 
 def response_times(recorder: Recorder, thread: "SimThread") -> List[int]:

@@ -1,0 +1,15 @@
+# schedlint-fixture-module: repro/sim/example.py
+"""Negative fixture: host time reaches simulator state *through a
+helper* — only an interprocedural analysis sees this (SF101)."""
+
+import time
+
+
+def _stamp():
+    return time.time()
+
+
+class EventLog:
+    def append(self, event):
+        self.started_at = _stamp()   # SF101: host taint via the helper
+        self.last_event = event

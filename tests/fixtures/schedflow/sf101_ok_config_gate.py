@@ -1,0 +1,22 @@
+# schedlint-fixture-module: repro/sim/example.py
+"""Positive fixture: the sanctioned host reads (SF101).
+
+Environment reads may *gate* behaviour (comparisons and ``bool()``
+sanitize — a flag is not a timestamp), and ``perf_counter`` is allowed
+for measuring how long the experiment took to compute.
+"""
+
+import os
+import time
+
+
+class Gate:
+    def __init__(self, engine):
+        self.engine = engine
+        self.enabled = bool(os.environ.get("REPRO_SCHEDSAN"))
+
+    def arm(self, delay_ns):
+        if os.environ.get("REPRO_TRACE") == "1":
+            self.trace = True
+        self.wall_started = time.perf_counter()   # benchmarking, not state
+        self.deadline_ns = self.engine.now + delay_ns

@@ -1,0 +1,10 @@
+# schedlint-fixture-module: repro/cpu/example.py
+"""Negative fixture: the host clock handed to the simulator's event
+API — simulated time comes from the engine, never the host (SF102)."""
+
+import time
+
+
+class Watchdog:
+    def arm(self, engine, callback):
+        engine.at(time.time(), callback)   # SF102: host clock as sim time

@@ -1,0 +1,7 @@
+# schedlint-fixture-module: repro/cpu/example.py
+"""Positive fixture: events are posted at engine-derived times (SF102)."""
+
+
+class Watchdog:
+    def arm(self, engine, delay_ns, callback):
+        engine.at(engine.now + delay_ns, callback)

@@ -1,0 +1,6 @@
+# schedlint-fixture-module: repro/trace/example.py
+"""Negative fixture: adds nanoseconds to instructions (SF201)."""
+
+
+def busy_total(duration_ns, work):
+    return duration_ns + work   # SF201: time + instructions

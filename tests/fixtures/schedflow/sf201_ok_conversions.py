@@ -1,0 +1,15 @@
+# schedlint-fixture-module: repro/trace/example.py
+"""Positive fixture: same-unit arithmetic and the sanctioned
+conversion idiom type-check cleanly (SF201)."""
+
+from repro import units
+
+
+def deadline(now_ns, duration_ns):
+    return now_ns + duration_ns
+
+
+def work_budget(duration_ns, capacity_ips):
+    # time * rate / time-per-second = instructions; the constant is
+    # polymorphic so the conversion needs no annotations
+    return (duration_ns * capacity_ips) // units.SECOND

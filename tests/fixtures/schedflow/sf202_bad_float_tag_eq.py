@@ -1,0 +1,10 @@
+# schedlint-fixture-module: repro/qos/example.py
+"""Negative fixture: float equality against a virtual-time tag.
+
+Exact-mode tags are ``Fraction``s; ``== 0.0`` is only ever true by
+accident (SF202).
+"""
+
+
+def is_fresh(queue):
+    return queue.virtual_time() == 0.0   # SF202

@@ -1,0 +1,6 @@
+# schedlint-fixture-module: repro/qos/example.py
+"""Positive fixture: tags compare against tags (SF202)."""
+
+
+def caught_up(queue, record):
+    return queue.start_tag(record) <= queue.virtual_time()

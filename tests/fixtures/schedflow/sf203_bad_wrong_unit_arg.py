@@ -1,0 +1,12 @@
+# schedlint-fixture-module: repro/schedulers/example.py
+"""Negative fixture: a duration passed where the callee's signature
+(declared by naming convention) wants instructions (SF203)."""
+
+
+def normalized(work, weight):
+    """Service normalized by share weight."""
+    return work // weight
+
+
+def account(thread, duration_ns):
+    return normalized(duration_ns, thread.weight)   # SF203: time, not work

@@ -1,0 +1,10 @@
+# schedlint-fixture-module: repro/schedulers/example.py
+"""Positive fixture: arguments match the callee's declared units (SF203)."""
+
+
+def normalized(work, weight):
+    return work // weight
+
+
+def account(thread, work):
+    return normalized(work, thread.weight)

@@ -1,0 +1,8 @@
+# schedlint-fixture-module: repro/qos/example.py
+"""Negative fixture: a direct ``.weight`` store outside the node's own
+module bypasses ``set_weight`` — the static twin of SCHEDSAN's
+dormant-weight-warp invariant (SF204)."""
+
+
+def boost(node):
+    node.weight = 5   # SF204: bypasses set_weight()

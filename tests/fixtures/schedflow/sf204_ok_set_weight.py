@@ -1,0 +1,14 @@
+# schedlint-fixture-module: repro/qos/example.py
+"""Positive fixture: sanctioned weight mutations (SF204).
+
+``__init__`` may seed its own field; everyone else goes through the
+admin/set_weight surface so SCHEDSAN can see the change.
+"""
+
+
+class Governor:
+    def __init__(self, weight):
+        self.weight = weight
+
+    def promote(self, structure, node):
+        structure.admin(node.node_id, "set_weight", self.weight + 2)

@@ -1,0 +1,9 @@
+# schedlint-fixture-module: repro/trace/example.py
+"""Negative fixture: the per-second normalization hides a unit in a
+magic literal (SF205)."""
+
+
+def marker_rate(count, elapsed_ns):
+    if elapsed_ns <= 0:
+        return 0.0
+    return count * 1_000_000_000 / elapsed_ns   # SF205: use units.SECOND

@@ -1,0 +1,10 @@
+# schedlint-fixture-module: repro/trace/example.py
+"""Positive fixture: the units constant carries the conversion (SF205)."""
+
+from repro import units
+
+
+def marker_rate(count, elapsed_ns):
+    if elapsed_ns <= 0:
+        return 0.0
+    return count * units.SECOND / elapsed_ns

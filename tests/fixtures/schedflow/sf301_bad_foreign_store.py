@@ -1,0 +1,8 @@
+# schedlint-fixture-module: repro/sync/example.py
+"""Negative fixture: a foreign module stores to queue-owned dispatch
+state — ownership *is* the lockset on the SMP machine (SF301)."""
+
+
+def hard_reset(queue):
+    queue._virtual_time = 0   # SF301: owned by repro/core/sfq.py
+    queue._max_finish = 0     # SF301: owned by repro/core/sfq.py

@@ -1,0 +1,9 @@
+# schedlint-fixture-module: repro/sync/example.py
+"""Positive fixture: foreign code drives the queue through the owner's
+API and only stores to fields it owns itself (SF301)."""
+
+
+def wake_all(queue, waiters, now):
+    for record in waiters:
+        queue.on_runnable(record, now)
+    queue.last_drain = now   # not an owned dispatch field

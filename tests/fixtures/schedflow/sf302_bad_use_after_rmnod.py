@@ -1,0 +1,17 @@
+# schedlint-fixture-module: repro/experiments/example.py
+"""Negative fixture: hsfq calls on node ids already removed on some
+path — straight-line and may-removed through a branch (SF302)."""
+
+from repro.hsfq import hsfq_admin, hsfq_parse, hsfq_rmnod
+
+
+def tear_down(structure, node_id):
+    hsfq_rmnod(structure, node_id)
+    hsfq_admin(structure, node_id, "set_weight", 1)   # SF302
+
+
+def maybe_retire(structure, node_id, retire):
+    if retire:
+        hsfq_rmnod(structure, node_id)
+    # may-removed: the branch poisons the join below
+    return hsfq_parse(structure, "/video", hint=node_id)   # SF302

@@ -1,0 +1,12 @@
+# schedlint-fixture-module: repro/experiments/example.py
+"""Positive fixture: re-binding the variable from a fresh ``mknod``
+revives the node id (SF302)."""
+
+from repro.hsfq import hsfq_admin, hsfq_mknod, hsfq_rmnod
+
+
+def recreate(structure):
+    node_id = hsfq_mknod(structure, "video", 0, 2)
+    hsfq_rmnod(structure, node_id)
+    node_id = hsfq_mknod(structure, "video", 0, 2)
+    return hsfq_admin(structure, node_id, "set_weight", 3)

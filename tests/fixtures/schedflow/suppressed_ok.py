@@ -1,0 +1,16 @@
+# schedlint-fixture-module: repro/qos/example.py
+# schedflow: disable-file=SF204
+"""Positive fixture: schedflow shares schedlint's suppression syntax —
+file-level disables and multi-line statement spans (all rules)."""
+
+
+def boost(node):
+    node.weight = 5   # silenced by the disable-file line above
+
+
+def rate_of(node, elapsed_ns):
+    return (
+        node.weight
+        * 1_000_000_000
+        / elapsed_ns
+    )   # schedflow: disable=SF205

@@ -57,6 +57,19 @@ class TestClassMonitor:
         assert monitor.violations() == []
         assert monitor.mean_received_share(other) == 0.0
 
+    def test_saturated_class_receives_full_share(self, harness):
+        """Regression: the window's work budget is
+        ``(t2 - t1) * capacity_ips / SECOND``; a lone busy class must
+        therefore sample at share 1.0, any mis-normalization shows up
+        as a constant factor here."""
+        apps, __ = build(harness)
+        harness.spawn_dhrystone("a")
+        monitor = ClassMonitor(harness.machine, [apps], window=500 * MS)
+        monitor.start()
+        harness.machine.run_until(2 * SECOND)
+        assert monitor.mean_received_share(apps) == pytest.approx(1.0,
+                                                                  abs=0.02)
+
     def test_detects_engineered_shortfall(self, harness):
         """A class whose threads we secretly stall shows up as violated."""
         apps, other = build(harness)

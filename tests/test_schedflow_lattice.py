@@ -1,0 +1,107 @@
+"""Property tests for schedflow's unit lattice (hypothesis).
+
+``unitlattice`` promises that ``join``/``meet`` form a bounded lattice
+over BOTTOM, TOP, and the flat antichain of concrete exponent vectors.
+Every algebraic law the dataflow solver leans on is checked here over
+arbitrary dimension vectors, not just the named constants — the solver's
+termination argument (facts only climb) is exactly join's semilattice
+laws plus TOP's absorption.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.devtools.schedflow import unitlattice as U
+from repro.devtools.schedflow.unitlattice import Unit
+
+NAMED = (U.BOTTOM, U.TOP, U.DIMENSIONLESS, U.TIME, U.INSTR, U.WEIGHT,
+         U.VIRTUAL, U.RATE, U.FREQUENCY)
+
+exponents = st.integers(min_value=-3, max_value=3)
+dims = st.builds(lambda t, i, w: Unit("dim", (t, i, w)),
+                 exponents, exponents, exponents)
+units = st.one_of(st.sampled_from(NAMED), dims)
+
+
+class TestLatticeLaws:
+    @given(units)
+    def test_idempotence(self, a):
+        assert a.join(a) == a
+        assert a.meet(a) == a
+
+    @given(units, units)
+    def test_commutativity(self, a, b):
+        assert a.join(b) == b.join(a)
+        assert a.meet(b) == b.meet(a)
+
+    @settings(max_examples=300)
+    @given(units, units, units)
+    def test_associativity(self, a, b, c):
+        assert a.join(b).join(c) == a.join(b.join(c))
+        assert a.meet(b).meet(c) == a.meet(b.meet(c))
+
+    @given(units, units)
+    def test_absorption(self, a, b):
+        assert a.join(a.meet(b)) == a
+        assert a.meet(a.join(b)) == a
+
+    @given(units)
+    def test_bounds(self, a):
+        assert a.join(U.BOTTOM) == a
+        assert a.meet(U.TOP) == a
+        assert a.join(U.TOP) == U.TOP
+        assert a.meet(U.BOTTOM) == U.BOTTOM
+
+    @given(units, units)
+    def test_join_meet_consistency(self, a, b):
+        """a ⊑ b (i.e. join is b) iff meet is a — the two operations
+        induce the same partial order."""
+        assert (a.join(b) == b) == (a.meet(b) == a)
+
+
+class TestAbstractArithmetic:
+    @given(units, units)
+    def test_mul_commutes(self, a, b):
+        assert a.mul(b) == b.mul(a)
+
+    @settings(max_examples=300)
+    @given(units, units, units)
+    def test_mul_associates(self, a, b, c):
+        assert a.mul(b).mul(c) == a.mul(b.mul(c))
+
+    @given(units)
+    def test_bottom_is_mul_identity_and_top_absorbs(self, a):
+        assert U.BOTTOM.mul(a) == a
+        assert a.mul(U.BOTTOM) == a
+        assert U.TOP.mul(a) == U.TOP
+
+    @given(dims, dims)
+    def test_div_inverts_mul_on_dims(self, a, b):
+        assert a.mul(b).div(b) == a
+
+    @given(units)
+    def test_additive_never_convicts_bottom(self, a):
+        """BOTTOM is polymorphic: literals must not trigger SF201."""
+        assert U.BOTTOM.additive(a) == a
+        assert a.additive(U.BOTTOM) == a
+
+    @given(dims, dims)
+    def test_additive_convicts_exactly_unequal_dims(self, a, b):
+        result = a.additive(b)
+        if a == b:
+            assert result == a
+        else:
+            assert result is None
+
+    @given(units, units)
+    def test_additive_symmetric(self, a, b):
+        assert a.additive(b) == b.additive(a)
+
+    def test_named_vectors_match_the_doctrine(self):
+        """TIME * RATE = INSTR; INSTR / WEIGHT = VIRTUAL — the algebra
+        the SF2xx rules are built on."""
+        assert U.TIME.mul(U.RATE) == U.INSTR
+        assert U.INSTR.div(U.WEIGHT) == U.VIRTUAL
+        assert U.INSTR.div(U.TIME) == U.RATE
+        assert U.DIMENSIONLESS.div(U.TIME) == U.FREQUENCY
+        assert U.TIME.div(U.TIME) == U.DIMENSIONLESS

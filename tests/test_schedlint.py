@@ -145,6 +145,50 @@ class TestSuppressions:
         codes = {f.code for f in check_source(source, "x.py")}
         assert codes == {"SL001"}
 
+    def test_multiline_statement_suppressed_from_any_line(self):
+        """A suppression on the closing line of a multi-line call (where
+        editors and formatters put trailing comments) silences findings
+        anchored to earlier lines of the same statement."""
+        source = (
+            "import time\n"
+            "t = max(\n"
+            "    time.time(),\n"
+            "    0.0,\n"
+            ")  # schedlint: disable=SL001\n"
+        )
+        assert check_source(source, "x.py") == []
+
+    def test_backslash_continuation_suppressed(self):
+        source = (
+            "import time\n"
+            "t = 1.0 + \\\n"
+            "    time.time()  # schedlint: disable=SL001\n"
+        )
+        assert check_source(source, "x.py") == []
+
+    def test_suppression_scope_does_not_leak_to_next_statement(self):
+        """The statement span ends where the statement does: a disable on
+        one statement must not silence the next one."""
+        source = (
+            "import time\n"
+            "a = time.time()  # schedlint: disable=SL001\n"
+            "b = time.time()\n"
+        )
+        findings = check_source(source, "x.py")
+        assert [f.line for f in findings] == [3]
+
+    def test_noqa_bare_and_with_codes(self):
+        bare = "import time\nt = time.time()  # noqa\n"
+        coded = "import time\nt = time.time()  # noqa: SL001\n"
+        wrong = "import time\nt = time.time()  # noqa: SL004\n"
+        assert check_source(bare, "x.py") == []
+        assert check_source(coded, "x.py") == []
+        assert any(f.code == "SL001" for f in check_source(wrong, "x.py"))
+
+    def test_schedflow_spelling_accepted(self):
+        source = "import time\nt = time.time()  # schedflow: disable=SL001\n"
+        assert check_source(source, "x.py") == []
+
 
 class TestRealTree:
     def test_src_repro_lints_clean(self):
@@ -184,3 +228,16 @@ class TestCli:
     def test_cli_missing_path_exits_two(self):
         result = _run_cli("no/such/path.py")
         assert result.returncode == 2
+
+    def test_cli_internal_crash_exits_two_not_one(self, monkeypatch, capsys):
+        """A crashing rule is an infrastructure failure (2), never to be
+        confused with 'the tree has findings' (1)."""
+        from repro.devtools.schedlint import cli
+
+        def boom(paths, rules=None):
+            raise RuntimeError("rule exploded")
+
+        monkeypatch.setattr(cli, "check_paths", boom)
+        status = cli.main(["src/repro/sim"])
+        assert status == 2
+        assert "internal failure" in capsys.readouterr().err

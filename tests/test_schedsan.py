@@ -153,6 +153,60 @@ class TestBrokenSchedulers:
         assert "without a matching pick_next" in str(excinfo.value)
 
 
+class TestDormantWeightInvariant:
+    """Paper §3: weight changes while a node is dormant must not warp
+    its tags.  The static twin of this rule is schedflow's SF204."""
+
+    def _dormant_harness(self):
+        """A sleeper on its own leaf (dormant at 5 ms) plus a busy
+        background thread keeping the machine (and the sweeps) going."""
+        from repro.schedulers.sfq_leaf import SfqScheduler
+        from repro.threads.segments import SleepFor
+
+        h = Harness()
+        media = h.structure.mknod("/media", 1, scheduler=SfqScheduler())
+        h.spawn_segments("sleeper", [compute(1_000), SleepFor(50 * MS),
+                                     compute(1_000)], leaf=media)
+        h.spawn_dhrystone("background")
+        h.machine.run_until(5 * MS)  # sleeper blocked, /media dormant
+        return h, media
+
+    def test_sanctioned_dormant_weight_change_is_clean(self, sanitized):
+        from repro.core.structure import ADMIN_SET_WEIGHT
+
+        h, media = self._dormant_harness()
+        # set_weight while dormant is fine: tags stay put, the new
+        # weight takes effect at the next stamping
+        h.structure.admin(media.node_id, ADMIN_SET_WEIGHT, 7)
+        h.machine.run_until(100 * MS)
+        assert h.machine.scheduler.violations == []
+
+    def test_dormant_weight_warp_is_caught(self, sanitized):
+        h, media = self._dormant_harness()
+        # a buggy implementation stores the weight directly and eagerly
+        # recomputes the dormant node's finish tag from it
+        root_queue = h.structure.root.queue
+        record = root_queue.record_for(media)
+        assert not record.runnable, "test premise: leaf must be dormant"
+        media.weight = 7  # schedflow: disable=SF204
+        record.finish = root_queue.tags.advance(record.start, 50_000, 7)
+        with pytest.raises(SchedsanError) as excinfo:
+            h.machine.run_until(100 * MS)
+        message = str(excinfo.value)
+        assert "dormant-weight-warp" in message
+        assert "1 -> 7" in message
+
+    def test_weight_change_while_runnable_is_clean(self, sanitized):
+        from repro.core.structure import ADMIN_SET_WEIGHT
+
+        h = Harness()
+        h.spawn_dhrystone("worker")
+        h.machine.run_until(5 * MS)
+        h.structure.admin(h.leaf.node_id, ADMIN_SET_WEIGHT, 3)
+        h.machine.run_until(50 * MS)
+        assert h.machine.scheduler.violations == []
+
+
 class TestCollectMode:
     def test_collect_mode_accumulates_instead_of_raising(self, monkeypatch):
         monkeypatch.setenv(schedsan.ENV_ENABLE, "1")

@@ -113,6 +113,16 @@ class TestMetricsOnMachine:
         assert marker_rate(a, "frames", SECOND) == 50.0
         assert marker_rate(a, "missing", SECOND) == 0.0
 
+    def test_marker_rate_scales_with_elapsed_ns(self):
+        """Regression: the per-second normalization must use the SECOND
+        units constant, not an ad-hoc literal — markers/s over any
+        window length."""
+        harness, a, __ = self.run_two()
+        a.stats.markers["frames"] = 50
+        assert marker_rate(a, "frames", 2 * SECOND) == 25.0
+        assert marker_rate(a, "frames", SECOND // 2) == 100.0
+        assert marker_rate(a, "frames", 0) == 0.0
+
     def test_response_times(self):
         from tests.conftest import Harness
         harness = Harness()
