@@ -1,6 +1,6 @@
 # Convenience targets; plain pytest works too.
 
-.PHONY: install test test-schedsan test-obs lint bench bench-quick bench-compare bench-baseline microbench experiments quick-experiments examples obs-demo clean
+.PHONY: install test test-schedsan test-obs test-faultlab lint bench bench-quick bench-compare bench-baseline microbench experiments quick-experiments examples obs-demo clean
 
 install:
 	pip install -e .
@@ -13,6 +13,11 @@ test-schedsan:
 
 test-obs:
 	REPRO_OBS=1 pytest tests/ -q
+
+# Fault-injection smoke campaign (see docs/ROBUSTNESS.md).  Writes
+# shrunk reproducers to faultlab-repros/ on failure.
+test-faultlab:
+	python -m repro.faultlab run --quick --workers 2 --repro-dir faultlab-repros
 
 lint:
 	PYTHONPATH=src python -m repro.devtools.schedlint src/

@@ -17,6 +17,7 @@ SL002      unseeded randomness outside ``repro.sim.rng``
 SL003      iteration over an unordered set in a dispatch-path module
 SL004      float literal or true division in a tag-arithmetic module
 SL005      ``LeafScheduler`` subclass departs from the contract
+SL006      RNG constructed outside the seed tree in faultlab/workloads
 ========  ==============================================================
 
 Suppressions

@@ -1,4 +1,4 @@
-"""The determinism rules: SL001 — SL004.
+"""The determinism rules: SL001 — SL004 and SL006.
 
 Each rule documents *which* property of the reproduction it protects; the
 scopes mirror the doctrine stated in ``repro/units.py`` ("the only
@@ -325,3 +325,48 @@ class FloatTagRule(Rule):
                 yield ctx.finding(
                     node, self.code,
                     "/= yields a float; use //= or TagMath for tag math")
+
+
+# --- SL006: ad-hoc RNG construction in fault/workload code --------------------
+
+#: modules whose randomness must derive from the campaign seed tree
+_SEED_TREE_SCOPE = ("repro/faultlab/", "repro/workloads/")
+
+
+@register
+class AdHocRngRule(Rule):
+    """SL006: faultlab and workload code draws from the campaign seed tree.
+
+    A campaign derives one substream per cell and per fault from its root
+    seed (``repro.sim.rng.derive_seed``); any ``random.Random(seed)``
+    constructed ad hoc inside fault injectors or workloads sits outside
+    that tree, so two cells can silently share draw sequences and a
+    reproducer replayed in isolation sees different randomness than the
+    campaign did.  SL002 already flags *unseeded* construction
+    everywhere; this rule flags the *seeded* constructions SL002 allows,
+    but only inside ``repro/faultlab/`` and ``repro/workloads/``.  Use
+    ``repro.sim.rng.make_rng(seed, label)`` or ``Stream.rng(label)``.
+    """
+
+    code = "SL006"
+    name = "ad-hoc-rng"
+    summary = "RNG constructed outside the seed tree in faultlab/workloads"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.in_module(*_SEED_TREE_SCOPE):
+            return
+        imports = _import_map(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qualified = _qualified_name(node.func, imports)
+            if qualified != "random.Random":
+                continue
+            # Unseeded construction is SL002's finding; report each call
+            # under exactly one rule.
+            if node.args or node.keywords:
+                yield ctx.finding(
+                    node, self.code,
+                    "random.Random(seed) bypasses the campaign seed tree; "
+                    "derive the stream via repro.sim.rng.make_rng(seed, label) "
+                    "or Stream.rng(label)")

@@ -1,0 +1,327 @@
+"""Per-cell oracles: what "the scheduler survived the fault" means.
+
+Each oracle inspects a finished :class:`~repro.faultlab.workloads.CellContext`
+(plus the armed faults) and returns a list of failure dicts.  The
+analytical oracles apply the paper's own bounds with *fault-adjusted
+slack*:
+
+* **schedsan** — the collect-mode SCHEDSAN wrapper must have recorded no
+  invariant violations (virtual-time monotonicity, tag rules,
+  one-charge-per-dispatch, ...);
+* **fairness** — for every same-leaf pair of CPU-bound threads, the
+  measured ``max |W_f/w_f - W_m/w_m|`` must respect the SFQ fairness
+  theorem's bound ``l̂_f/w_f + l̂_m/w_m``.  The theorem is
+  server-independent, so no fault slack is added — this is the paper's
+  central "fair even under fluctuation" claim, checked literally.
+  Threads a fault deliberately destroyed (crashed/hung/churned) are
+  excluded;
+* **delay** — the probe's actual completion times must respect eq. (8)
+  with the FC burstiness parameter set to the instructions the faults
+  actually stole (interrupt + overhead time) and the reserved rate
+  diluted by any churn-added root weight;
+* **admission** — every recorded QoS admission decision must re-derive
+  from its recorded inputs (the RMA / statistical tests are re-run);
+* **liveness** — no thread goes unserved for longer than a scheduling
+  round plus the faults' declared denial slack while it is runnable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.bounds import sfq_completion_bounds
+from repro.analysis.fairness import max_normalized_service_gap, sfq_fairness_bound
+from repro.faultlab.faults import FaultInjector
+from repro.faultlab.workloads import CellContext, PeriodicProbe
+from repro.qos.admission import rma_admissible, statistical_admissible
+from repro.units import SECOND, work_from_time
+
+#: multiplicative tolerance on analytical bounds (float tag math rounding)
+TOLERANCE = 1e-6
+
+Failure = Dict[str, str]
+
+
+def _fail(oracle: str, message: str) -> Failure:
+    return {"oracle": oracle, "message": message}
+
+
+def _max_quantum_ns(ctx: CellContext, thread) -> int:
+    """The largest quantum ``thread``'s leaf scheduler can ever grant it.
+
+    SVR4-style leaves publish a dispatch table whose low-priority rows
+    grant quanta an order of magnitude above the machine default (200 ms
+    vs 20 ms) — eq. (8)'s ``l̂_m`` must use those, not the default.
+    """
+    leaf = thread.leaf
+    scheduler = getattr(leaf, "scheduler", None) if leaf is not None else None
+    if scheduler is None:
+        return ctx.default_quantum
+    table = getattr(scheduler, "table", None)
+    if table:
+        return max(max(row.quantum for row in table), ctx.default_quantum)
+    quantum = scheduler.quantum_for(thread)
+    return quantum if quantum is not None else ctx.default_quantum
+
+
+def _lhat(ctx: CellContext, thread) -> int:
+    """Max quantum of ``thread`` in instructions (eq. (8)'s l̂)."""
+    return work_from_time(_max_quantum_ns(ctx, thread), ctx.capacity_ips)
+
+
+def _is_under(leaf, node) -> bool:
+    """True when ``leaf`` is ``node`` or a descendant of it."""
+    while leaf is not None:
+        if leaf is node:
+            return True
+        leaf = leaf.parent
+    return False
+
+
+def _lhat_under(ctx: CellContext, node) -> int:
+    """Largest single quantum any thread under ``node`` can issue."""
+    worst = 0
+    for thread in ctx.machine.threads:
+        if thread.leaf is not None and _is_under(thread.leaf, node):
+            worst = max(worst, _lhat(ctx, thread))
+    return worst if worst else work_from_time(ctx.default_quantum,
+                                              ctx.capacity_ips)
+
+
+def _victims(faults: Sequence[FaultInjector]) -> set:
+    names = set()
+    for fault in faults:
+        names.update(fault.victim_names)
+    return names
+
+
+def _total_slack(faults: Sequence[FaultInjector]) -> int:
+    return sum(fault.denial_slack() for fault in faults)
+
+
+def oracle_schedsan(ctx: CellContext,
+                    faults: Sequence[FaultInjector]) -> List[Failure]:
+    """No SCHEDSAN invariant may have fired."""
+    violations = ctx.violations()
+    if not violations:
+        return []
+    sample = "; ".join(repr(v) for v in violations[:3])
+    return [_fail("schedsan", "%d invariant violation(s): %s"
+                  % (len(violations), sample))]
+
+
+def oracle_fairness(ctx: CellContext,
+                    faults: Sequence[FaultInjector]) -> List[Failure]:
+    """The SFQ fairness theorem, checked exactly over the trace."""
+    failures = []
+    victims = _victims(faults)
+    quantum = ctx.quantum_work
+    for name_f, name_m in ctx.fair_pairs:
+        if name_f in victims or name_m in victims:
+            continue
+        thread_f = ctx.thread(name_f)
+        thread_m = ctx.thread(name_m)
+        gap = max_normalized_service_gap(
+            ctx.recorder, thread_f, thread_m, ctx.horizon)
+        bound = sfq_fairness_bound(quantum, thread_f.weight,
+                                   quantum, thread_m.weight)
+        if gap > bound * (1.0 + TOLERANCE):
+            failures.append(_fail(
+                "fairness",
+                "pair (%s, %s): normalized service gap %.1f exceeds "
+                "bound %.1f" % (name_f, name_m, gap, bound)))
+    return failures
+
+
+def _stolen_work(ctx: CellContext) -> int:
+    """Instructions the CPU was denied (interrupt service + dispatch cost)."""
+    stolen_ns = ctx.machine.stats.interrupt_time + ctx.machine.stats.overhead_time
+    return stolen_ns * ctx.capacity_ips // SECOND
+
+
+def oracle_delay(ctx: CellContext,
+                 faults: Sequence[FaultInjector]) -> List[Failure]:
+    """Paper eq. (8): probe completions against fault-adjusted deadlines."""
+    if ctx.probe_name is None:
+        return []
+    victims = _victims(faults)
+    if ctx.probe_name in victims:
+        return []
+    probe = ctx.thread(ctx.probe_name)
+    workload = probe.workload
+    while not isinstance(workload, PeriodicProbe):
+        # Timer faults wrap the probe's workload; unwrap to its releases.
+        inner = getattr(workload, "inner", None)
+        if inner is None:
+            return []
+        workload = inner
+    completions = ctx.recorder.trace_of(probe).segment_completions
+    count = min(len(workload.releases), len(completions))
+    if count == 0:
+        return [_fail("delay", "probe %r was never served" % ctx.probe_name)]
+    arrivals = workload.releases[:count]
+    lengths = [workload.work] * count
+    # Reserved rate: the probe's full-contention share, diluted by any
+    # weight a structural fault may add at the root.
+    fraction = ctx.probe_fraction
+    extra = sum(fault.extra_root_weight() for fault in faults)
+    if extra and ctx.root_weight_total:
+        fraction *= ctx.root_weight_total / (ctx.root_weight_total + extra)
+    rate = fraction * ctx.capacity_ips
+    others = [_lhat(ctx, t) for t in ctx.machine.threads if t is not probe]
+    deadlines = sfq_completion_bounds(
+        arrivals, lengths, rate, others, ctx.capacity_ips,
+        burstiness=float(_stolen_work(ctx)))
+    failures = []
+    for index, (completion, deadline) in enumerate(zip(completions, deadlines)):
+        if deadline >= ctx.horizon:
+            continue  # the guarantee extends past the observed window
+        if completion > deadline * (1.0 + TOLERANCE):
+            failures.append(_fail(
+                "delay",
+                "probe quantum %d completed at %d ns, past its eq.(8) "
+                "deadline %.0f ns" % (index, completion, deadline)))
+    return failures
+
+
+def oracle_admission(ctx: CellContext,
+                     faults: Sequence[FaultInjector]) -> List[Failure]:
+    """Every recorded QoS decision must re-derive from its recorded inputs."""
+    failures = []
+    for entry in ctx.admission_log:
+        cls = entry["class"]
+        admitted = entry["admitted"]
+        if cls == "hard-rt":
+            expected = rma_admissible(entry["tasks"], entry["share"])  # type: ignore[arg-type]
+        elif cls == "soft-rt":
+            expected = statistical_admissible(
+                entry["means"], entry["stds"], entry["share_ips"],  # type: ignore[arg-type]
+                entry["sigmas"])  # type: ignore[arg-type]
+        else:
+            expected = True  # best effort is never denied
+        if bool(admitted) != bool(expected):
+            failures.append(_fail(
+                "admission",
+                "request %r: recorded decision admitted=%s but the %s test "
+                "re-derives %s" % (entry["name"], admitted, cls, expected)))
+    return failures
+
+
+def _max_service_gap(slices: List[Tuple[int, int, int]],
+                     intervals: List[Tuple[int, int]]) -> int:
+    """Longest unserved stretch inside any runnable interval."""
+    worst = 0
+    for lo, hi in intervals:
+        previous = lo
+        for t0, t1, __ in slices:
+            if t1 <= lo:
+                continue
+            if t0 >= hi:
+                break
+            worst = max(worst, max(0, t0 - previous))
+            previous = max(previous, t1)
+        worst = max(worst, hi - previous)
+    return worst
+
+
+def _starvation_bound(ctx: CellContext, thread) -> int:
+    """Worst-case unserved stretch (ns) for a runnable thread, fault-free.
+
+    Two mechanisms delay a runnable thread:
+
+    * **cross traffic** — every leafmate can be mid-quantum and every
+      sibling node (at every ancestor level) can have a quantum in
+      flight: one l̂ each;
+    * **debt repayment** — after an entity issues a quantum of l̂
+      instructions at weight w, SFQ serves its siblings l̂ · Σw_sib / w
+      instructions before it runs again.  In a hierarchy this applies at
+      the thread's own level *and* at every ancestor node: an SVR4
+      sibling leaf issuing a 200 ms quantum at root weight 1 makes the
+      root repay its other children for seconds of simulated time.
+
+    The bound sums both at every level and doubles the result (leaf
+    classes like SVR4 are not weight-fair internally; the factor covers
+    one extra intra-leaf rotation).  This is a hang detector with an
+    honest analytical shape, not a tight starvation bound.
+    """
+    total = 0  # instructions
+    own = _lhat(ctx, thread)
+    leaf = thread.leaf
+    if leaf is None:
+        mates = [t for t in ctx.machine.threads if t is not thread]
+    else:
+        mates = [t for t in leaf.threads if t is not thread]
+    mate_weight = sum(t.weight for t in mates)
+    total += own * mate_weight // max(1, thread.weight)
+    total += sum(_lhat(ctx, t) for t in mates)
+    node = leaf
+    while node is not None and node.parent is not None:
+        siblings = [child for child in node.parent.children.values()
+                    if child is not node]
+        sibling_weight = sum(child.weight for child in siblings)
+        total += _lhat_under(ctx, node) * sibling_weight // max(1, node.weight)
+        total += sum(_lhat_under(ctx, child) for child in siblings)
+        node = node.parent
+    return 2 * total * SECOND // ctx.capacity_ips
+
+
+def _overrun_leaves(ctx: CellContext,
+                    faults: Sequence[FaultInjector]) -> List[object]:
+    """Leaves holding a thread whose demand a fault inflated.
+
+    A demand-inflated thread is still scheduled normally (so fairness
+    applies to it), but a *priority-scheduled* leafmate — e.g. a hard
+    real-time sibling under RMA — can be starved without bound once the
+    inflated thread overruns the budget admission control trusted.  The
+    liveness oracle therefore skips threads sharing a leaf with one.
+    """
+    leaves = []
+    names = set()
+    for fault in faults:
+        names.update(fault.overrun_names)
+    for name in names:
+        try:
+            leaf = ctx.thread(name).leaf
+        except KeyError:
+            continue
+        if leaf is not None:
+            leaves.append(leaf)
+    return leaves
+
+
+def oracle_liveness(ctx: CellContext,
+                    faults: Sequence[FaultInjector]) -> List[Failure]:
+    """No runnable thread starves beyond its bound plus the faults' slack."""
+    failures = []
+    victims = _victims(faults)
+    slack = _total_slack(faults)
+    overrun_leaves = _overrun_leaves(ctx, faults)
+    for thread in ctx.machine.threads:
+        if thread.name in victims:
+            continue
+        if thread.leaf is not None and any(thread.leaf is leaf
+                                           for leaf in overrun_leaves):
+            continue
+        threshold = _starvation_bound(ctx, thread) + slack
+        trace = ctx.recorder.trace_of(thread)
+        gap = _max_service_gap(trace.slices,
+                               trace.runnable_intervals(ctx.horizon))
+        if gap > threshold:
+            failures.append(_fail(
+                "liveness",
+                "thread %r runnable but unserved for %d ns (threshold %d)"
+                % (thread.name, gap, threshold)))
+    return failures
+
+
+ORACLES = (oracle_schedsan, oracle_fairness, oracle_delay, oracle_admission,
+           oracle_liveness)
+
+
+def evaluate_cell(ctx: CellContext,
+                  faults: Sequence[FaultInjector]) -> List[Failure]:
+    """Run every oracle; return the combined failure list (empty = pass)."""
+    failures: List[Failure] = []
+    for oracle in ORACLES:
+        failures.extend(oracle(ctx, faults))
+    return failures

@@ -1,0 +1,50 @@
+"""Self-test injectors: faults that *should* trip the oracles.
+
+These are deliberately broken configurations used by the acceptance tests
+(and ``--fault selftest-*`` campaigns) to prove the oracle/shrinker
+pipeline detects real invariant violations end to end.  They are
+registered in :data:`repro.faultlab.faults.FAULTS` but excluded from
+default campaign grids.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+
+from repro.faultlab.faults import FaultContext, FaultInjector, register_fault
+from repro.units import MS
+
+
+@register_fault
+class DoubleChargeFault(FaultInjector):
+    """Charges the running thread's quantum twice.
+
+    The machine charges the scheduler exactly once per dispatch; a second
+    (phantom) charge violates SFQ's one-charge-per-pick protocol and must
+    be caught by SCHEDSAN's ``charge-without-dispatch`` rule — the
+    oracles' job is to notice, and the shrinker's job is to reduce the
+    schedule to this single injection.
+    """
+
+    kind = "selftest-double-charge"
+    DEFAULTS = {"at_ns": 100 * MS, "work": 50_000, "retries": 200}
+    SHRINKABLE = {"work": 1}
+
+    def arm(self, ctx: FaultContext) -> None:
+        ctx.engine.at(int(self.params["at_ns"]),  # type: ignore[arg-type]
+                      partial(self._strike, ctx,
+                              int(self.params["retries"])))  # type: ignore[arg-type]
+
+    def _strike(self, ctx: FaultContext, retries: int) -> None:
+        current = ctx.machine.current
+        if current is None:
+            if retries > 0:
+                ctx.engine.after(1 * MS,
+                                 partial(self._strike, ctx, retries - 1))
+            return
+        work = int(self.params["work"])  # type: ignore[arg-type]
+        ctx.record(self.kind, "double-charge", thread=current.name,
+                   work=work)
+        # The phantom charge goes through the machine's (sanitized)
+        # scheduler: SCHEDSAN sees a charge with no matching pick.
+        ctx.machine.scheduler.charge(current, work, ctx.engine.now)

@@ -84,6 +84,9 @@ class ChromeTraceBuilder:
         elif kind == ev.VIOLATION:
             self._instant("SCHEDSAN " + data.get("rule", "violation"),
                           event.time, PID_VTIME, 0, data)
+        elif kind == ev.FAULT_INJECT:
+            self._instant("FAULT " + data.get("fault", "unknown"),
+                          event.time, PID_CPUS, 0, data)
         # dispatch/charge/tag-update carry no geometry of their own; the
         # execution span is the slice stream, which is exact.
 

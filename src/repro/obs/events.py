@@ -64,12 +64,14 @@ NODE_REMOVE = "node-remove"
 THREAD_MOVE = "thread-move"
 #: a node's weight changed (hsfq_admin SETWEIGHT)
 WEIGHT_CHANGE = "weight-change"
+#: faultlab injected a fault (fields: fault, action, plus fault-specific)
+FAULT_INJECT = "fault-inject"
 
 #: every event kind the instrumented tree can emit
 KINDS = (
     SPAWN, RUNNABLE, DISPATCH, SLICE, PREEMPT, BLOCK, WAKE, CHARGE, EXIT,
     INTERRUPT, TAG_UPDATE, VTIME_ADVANCE, VIOLATION, NODE_CREATE,
-    NODE_REMOVE, THREAD_MOVE, WEIGHT_CHANGE,
+    NODE_REMOVE, THREAD_MOVE, WEIGHT_CHANGE, FAULT_INJECT,
 )
 
 Subscriber = Callable[["Event"], None]

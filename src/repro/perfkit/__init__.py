@@ -20,11 +20,12 @@ the repeats and the noise threshold absorb.  See docs/PERFORMANCE.md.
 
 from repro.perfkit.compare import CompareResult, compare_reports
 from repro.perfkit.harness import run_suite
-from repro.perfkit.scenarios import SCENARIOS
+from repro.perfkit.scenarios import SCENARIOS, scenarios
 from repro.perfkit.schema import SCHEMA, validate_report
 
 __all__ = [
     "SCENARIOS",
+    "scenarios",
     "SCHEMA",
     "CompareResult",
     "compare_reports",

@@ -283,6 +283,16 @@ def _admission_storm_phases(quick: bool) -> List[Phase]:
     return [Phase("storm", setup)]
 
 
+def scenarios() -> Dict[str, Scenario]:
+    """The macro-scenario registry, keyed by name, in reporting order.
+
+    This is the public way to enumerate perfkit's suite (faultlab mirrors
+    these scenarios for its fault-injection cells).  The returned dict is
+    a copy: mutating it does not affect the suite perfkit runs.
+    """
+    return dict(SCENARIOS)
+
+
 #: the fixed suite, in reporting order
 SCENARIOS: Dict[str, Scenario] = {
     scenario.name: scenario for scenario in (

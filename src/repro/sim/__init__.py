@@ -8,6 +8,7 @@ helpers (:mod:`repro.sim.rng`).
 
 from repro.sim.engine import Simulator
 from repro.sim.events import EventHandle, EventQueue
-from repro.sim.rng import make_rng
+from repro.sim.rng import Stream, derive_seed, make_rng
 
-__all__ = ["Simulator", "EventHandle", "EventQueue", "make_rng"]
+__all__ = ["Simulator", "EventHandle", "EventQueue", "Stream",
+           "derive_seed", "make_rng"]

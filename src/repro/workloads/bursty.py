@@ -42,7 +42,9 @@ class BurstyWorkload(Workload):
             raise WorkloadError("mean_busy_work and mean_idle_time must be positive")
         self.mean_busy_work = mean_busy_work
         self.mean_idle_time = mean_idle_time
-        self.rng = rng if rng is not None else random.Random(0)
+        # Fixed-seed fallback for standalone use; campaigns pass a seed-tree rng.
+        self.rng = (rng if rng is not None
+                    else random.Random(0))  # schedlint: disable=SL006
         self.cycles = cycles
         self._count = 0
         self._phase = "busy"

@@ -40,7 +40,9 @@ class InteractiveWorkload(Workload):
             raise WorkloadError("burst_work and think_time must be positive")
         self.burst_work = burst_work
         self.think_time = think_time
-        self.rng = rng if rng is not None else random.Random(0)
+        # Fixed-seed fallback for standalone use; campaigns pass a seed-tree rng.
+        self.rng = (rng if rng is not None
+                    else random.Random(0))  # schedlint: disable=SL006
         self.interactions = interactions
         self._count = 0
         self._phase = "burst"

@@ -28,7 +28,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, List, Optional, Sequence, Union
 
 from repro.errors import WorkloadError
-from repro.sim.rng import make_rng
+from repro.sim.rng import Stream
 from repro.threads.segments import Compute, Exit, SleepUntil, Workload
 from repro.units import SECOND
 
@@ -77,8 +77,11 @@ class MpegVbrModel:
         self.mean_scene_frames = mean_scene_frames
         self.scene_sigma = scene_sigma
         self.noise_sigma = noise_sigma
-        self._scene_rng = make_rng(seed, "mpeg/scene")
-        self._noise_rng = make_rng(seed, "mpeg/noise")
+        # Labels under the root stream, not a "mpeg" substream: these
+        # spellings reproduce the historical make_rng draws exactly.
+        stream = Stream(seed)
+        self._scene_rng = stream.rng("mpeg/scene")
+        self._noise_rng = stream.rng("mpeg/noise")
         # Normalize type factors so the long-run mean cost hits mean_cost.
         gop_mean = sum(self.TYPE_FACTORS[ch] for ch in gop) / len(gop)
         self._scale = mean_cost / gop_mean

@@ -1,5 +1,9 @@
-# schedlint-fixture-module: repro/workloads/example.py
-"""Positive fixture: seeded randomness (SL002)."""
+# schedlint-fixture-module: repro/trace/example.py
+"""Positive fixture: seeded randomness (SL002).
+
+Targets a module outside the SL006 seed-tree scope: seeded ad-hoc RNGs
+are fine in general code, just not in faultlab/workloads.
+"""
 
 import random
 

@@ -1,0 +1,12 @@
+# schedlint-fixture-module: repro/faultlab/example.py
+"""Bad: seeded RNGs constructed ad hoc inside the faultlab scope."""
+
+import random
+from random import Random
+
+
+def arm(seed):
+    rng = random.Random(seed)  # bad: bypasses the campaign seed tree
+    backup = Random(1234)  # bad: aliased import, still ad hoc
+    keyword = random.Random(x=seed)  # bad: keyword seed is still ad hoc
+    return rng, backup, keyword

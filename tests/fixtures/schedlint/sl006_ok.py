@@ -1,0 +1,10 @@
+# schedlint-fixture-module: repro/faultlab/example.py
+"""OK: faultlab randomness drawn from the campaign seed tree."""
+
+from repro.sim.rng import Stream, make_rng
+
+
+def arm(seed):
+    rng = make_rng(seed, "fault/0")  # allowed: derives from the seed tree
+    stream = Stream(seed)
+    return rng, stream.rng("fault/1")  # allowed: named substream

@@ -1,0 +1,238 @@
+"""Admission control when the capacity behind it drops mid-run.
+
+faultlab's capacity faults shrink what the CPU can actually deliver; the
+QoS manager's admission tests only see the *configured* share.  These
+tests pin down the contract at that seam: decisions flip exactly when
+the share (weight) or machine capacity passed to the tests changes,
+revocation (``remove``) frees budget for later submissions, and already
+admitted work is never retroactively revoked by a weight change.
+"""
+
+import pytest
+
+from repro.core.hierarchy import HierarchicalScheduler
+from repro.core.structure import SchedulingStructure
+from repro.cpu.machine import Machine
+from repro.errors import AdmissionError
+from repro.qos.admission import (
+    edf_admissible,
+    rma_admissible,
+    rma_utilization_bound,
+    statistical_admissible,
+)
+from repro.qos.manager import QosManager
+from repro.qos.spec import HARD_RT, SOFT_RT, QosRequest
+from repro.sim.engine import Simulator
+from repro.trace.recorder import Recorder
+from repro.units import MS
+from repro.workloads.dhrystone import DhrystoneWorkload
+from repro.workloads.periodic import PeriodicWorkload
+
+CAPACITY = 1_000_000
+KILO = 1000
+
+
+class Harness:
+    def __init__(self, class_weights=(2, 3, 5)):
+        self.structure = SchedulingStructure()
+        self.engine = Simulator()
+        self.machine = Machine(self.engine,
+                               HierarchicalScheduler(self.structure),
+                               capacity_ips=CAPACITY,
+                               default_quantum=10 * MS,
+                               tracer=Recorder())
+        self.manager = QosManager(self.machine, self.structure,
+                                  class_weights=class_weights,
+                                  rt_quantum=10 * MS)
+
+    def hard(self, name, period, wcet):
+        return self.manager.submit(
+            QosRequest(name, HARD_RT, period=period, wcet=wcet),
+            PeriodicWorkload(period=period, cost=10 * KILO))
+
+    def soft(self, name, mean, std=0.0):
+        return self.manager.submit(
+            QosRequest(name, SOFT_RT, mean_demand=mean, std_demand=std),
+            DhrystoneWorkload())
+
+
+class TestStatisticalCapacityDrop:
+    """Direct edges of the statistical test as capacity shrinks."""
+
+    def test_exact_boundary_is_admitted(self):
+        # sum(means) + k * sqrt(sum(vars)) == capacity: admit (<=).
+        assert statistical_admissible([600.0, 300.0], [30.0, 40.0],
+                                      capacity_ips=1000.0,
+                                      overbooking_sigmas=2.0)
+
+    def test_one_below_boundary_is_denied(self):
+        assert not statistical_admissible([600.0, 300.0], [30.0, 40.0],
+                                          capacity_ips=999.0,
+                                          overbooking_sigmas=2.0)
+
+    def test_capacity_drop_flips_admitted_set(self):
+        means, stds = [400.0, 300.0], [50.0, 0.0]
+        assert statistical_admissible(means, stds, 1000.0)
+        # A 40% collapse leaves 600 ips: the same set no longer fits.
+        assert not statistical_admissible(means, stds, 600.0)
+
+    def test_variance_matters_only_through_sigmas(self):
+        means, stds = [500.0], [100.0]
+        assert statistical_admissible(means, stds, 700.0,
+                                      overbooking_sigmas=2.0)
+        assert not statistical_admissible(means, stds, 700.0,
+                                          overbooking_sigmas=3.0)
+
+    def test_capacity_must_stay_positive(self):
+        # A total collapse is a caller bug, not a denial.
+        with pytest.raises(ValueError):
+            statistical_admissible([1.0], [0.0], 0.0)
+        with pytest.raises(ValueError):
+            statistical_admissible([1.0], [0.0], -100.0)
+
+
+class TestDeterministicShareDrop:
+    """RMA/EDF decisions as the class's CPU share shrinks."""
+
+    def test_rma_share_drop_flips_decision(self):
+        tasks = [(100, 20), (200, 30)]  # U = 0.35
+        assert rma_admissible(tasks, capacity_fraction=0.5)
+        assert not rma_admissible(tasks, capacity_fraction=0.4)
+
+    def test_rma_boundary_tracks_liu_layland(self):
+        bound = rma_utilization_bound(2)
+        tasks = [(100, 25), (100, 25)]  # U = 0.5
+        assert rma_admissible(tasks, 0.5 / bound + 1e-9)
+        assert not rma_admissible(tasks, 0.5 / bound - 1e-9)
+
+    def test_edf_outlives_rma_under_the_same_drop(self):
+        # EDF admits up to the full share; RMA gives up at the LL bound.
+        tasks = [(100, 20), (150, 30), (300, 60)]  # U = 0.6
+        fraction = 0.65
+        assert edf_admissible(tasks, fraction)
+        assert not rma_admissible(tasks, fraction)
+
+    def test_share_must_stay_in_unit_interval(self):
+        with pytest.raises(ValueError):
+            rma_admissible([(100, 10)], 0.0)
+        with pytest.raises(ValueError):
+            edf_admissible([(100, 10)], 1.5)
+
+
+class TestManagerMidRunShrink:
+    """Weight changes mid-run re-shape future admission decisions."""
+
+    def test_hard_share_shrink_rejects_next_submit(self):
+        h = Harness(class_weights=(2, 3, 5))  # hard share = 0.2
+        h.hard("rt1", period=100 * MS, wcet=10 * MS)
+        probe = QosRequest("rt2", HARD_RT, period=100 * MS, wcet=5 * MS)
+        # Sanity: under the original share the probe would be admitted.
+        assert rma_admissible([(100 * MS, 10 * MS), (100 * MS, 5 * MS)], 0.2)
+        h.manager.hard_leaf.set_weight(1)  # share drops to 1/9
+        with pytest.raises(AdmissionError):
+            h.manager.submit(probe,
+                             PeriodicWorkload(period=100 * MS, cost=5 * KILO))
+
+    def test_soft_share_shrink_rejects_next_submit(self):
+        h = Harness(class_weights=(2, 3, 5))  # soft share = 0.3 -> 300k ips
+        h.soft("v1", mean=200_000.0)
+        h.manager.soft_leaf.set_weight(1)  # share drops to 1/8 -> 125k ips
+        with pytest.raises(AdmissionError):
+            h.soft("v2", mean=50_000.0)
+
+    def test_admitted_work_is_not_revoked_by_shrink(self):
+        h = Harness(class_weights=(2, 3, 5))
+        t1 = h.hard("rt1", period=100 * MS, wcet=10 * MS)
+        h.manager.hard_leaf.set_weight(1)
+        # The reservation book still carries rt1; only *new* work is vetted.
+        assert h.manager.admitted_hard_utilization() == pytest.approx(0.1)
+        assert t1.leaf is h.manager.hard_leaf
+
+    def test_shrink_then_restore_readmits(self):
+        h = Harness(class_weights=(2, 3, 5))
+        h.manager.hard_leaf.set_weight(1)
+        probe = QosRequest("rt1", HARD_RT, period=100 * MS, wcet=15 * MS)
+        with pytest.raises(AdmissionError):
+            h.manager.submit(probe,
+                             PeriodicWorkload(period=100 * MS, cost=15 * KILO))
+        h.manager.hard_leaf.set_weight(2)
+        h.manager.submit(probe,
+                         PeriodicWorkload(period=100 * MS, cost=15 * KILO))
+        assert h.manager.admitted_hard_utilization() == pytest.approx(0.15)
+
+
+class TestRevocationFreesBudget:
+    def test_remove_hard_frees_budget(self):
+        h = Harness(class_weights=(2, 3, 5))  # hard share = 0.2
+        t1 = h.hard("rt1", period=100 * MS, wcet=15 * MS)
+        denied = QosRequest("rt2", HARD_RT, period=100 * MS, wcet=15 * MS)
+        with pytest.raises(AdmissionError):
+            h.manager.submit(denied,
+                             PeriodicWorkload(period=100 * MS, cost=15 * KILO))
+        h.manager.remove(t1)
+        assert h.manager.admitted_hard_utilization() == 0.0
+        h.manager.submit(denied,
+                         PeriodicWorkload(period=100 * MS, cost=15 * KILO))
+        assert h.manager.admitted_hard_utilization() == pytest.approx(0.15)
+
+    def test_remove_soft_frees_budget(self):
+        h = Harness(class_weights=(2, 3, 5))  # soft budget = 300k ips
+        t1 = h.soft("v1", mean=250_000.0)
+        with pytest.raises(AdmissionError):
+            h.soft("v2", mean=100_000.0)
+        h.manager.remove(t1)
+        h.soft("v2", mean=100_000.0)
+        assert h.manager.admitted_soft_demand() == pytest.approx(100_000.0)
+
+    def test_remove_is_idempotent(self):
+        h = Harness()
+        t1 = h.hard("rt1", period=100 * MS, wcet=10 * MS)
+        h.manager.remove(t1)
+        h.manager.remove(t1)  # second removal is a no-op
+        assert h.manager.admitted_hard_utilization() == 0.0
+
+
+class TestAdmissionLogReplay:
+    """The faultlab admission oracle's core move: decisions re-derive.
+
+    A logged (inputs, decision) pair must replay to the same decision
+    from the pure admission functions — even when the share recorded at
+    submit time no longer matches the current weights.
+    """
+
+    def test_logged_decisions_rederive(self):
+        h = Harness(class_weights=(2, 3, 5))
+        log = []
+
+        def submit_logged(name, period, wcet):
+            tasks = [(r.period, r.wcet) for r in h.manager._hard_tasks]
+            tasks.append((period, wcet))
+            share = h.manager._class_fraction(h.manager.hard_leaf)
+            try:
+                h.hard(name, period=period, wcet=wcet)
+                admitted = True
+            except AdmissionError:
+                admitted = False
+            log.append((tuple(tasks), share, admitted))
+
+        submit_logged("rt1", 100 * MS, 10 * MS)
+        h.manager.hard_leaf.set_weight(1)  # capacity drops between submits
+        submit_logged("rt2", 100 * MS, 8 * MS)
+        h.manager.hard_leaf.set_weight(4)
+        submit_logged("rt3", 100 * MS, 8 * MS)
+
+        assert [entry[2] for entry in log] == [True, False, True]
+        for tasks, share, admitted in log:
+            assert rma_admissible(list(tasks), share) == admitted
+
+    def test_statistical_log_rederives_after_capacity_drop(self):
+        means, stds, capacity = [300_000.0], [20_000.0], 600_000.0
+        first = statistical_admissible(means, stds, capacity)
+        collapsed = capacity * 0.4
+        second = statistical_admissible(means + [100_000.0], stds + [0.0],
+                                        collapsed)
+        assert (first, second) == (True, False)
+        # Replay: same inputs, same verdicts, no hidden state.
+        assert statistical_admissible(means, stds, capacity) is first
+        assert statistical_admissible(means + [100_000.0], stds + [0.0],
+                                      collapsed) is second

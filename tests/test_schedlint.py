@@ -198,7 +198,7 @@ class TestRealTree:
 
     def test_rule_registry_is_stable(self):
         codes = [rule.code for rule in all_rules()]
-        assert codes == ["SL001", "SL002", "SL003", "SL004", "SL005"]
+        assert codes == ["SL001", "SL002", "SL003", "SL004", "SL005", "SL006"]
         assert codes == sorted(codes)
 
 
@@ -222,7 +222,7 @@ class TestCli:
     def test_cli_list_rules(self):
         result = _run_cli("--list-rules")
         assert result.returncode == 0
-        for code in ("SL001", "SL002", "SL003", "SL004", "SL005"):
+        for code in ("SL001", "SL002", "SL003", "SL004", "SL005", "SL006"):
             assert code in result.stdout
 
     def test_cli_missing_path_exits_two(self):
