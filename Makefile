@@ -21,7 +21,7 @@ test-faultlab:
 
 lint:
 	PYTHONPATH=src python -m repro.devtools.schedlint src/
-	PYTHONPATH=src python -m repro.devtools.schedflow \
+	PYTHONPATH=src python -m repro.devtools.schedflow --jobs 2 \
 		--baseline devtools/schedflow-baseline.json src/repro
 	@if command -v mypy >/dev/null 2>&1; then \
 		mypy --config-file setup.cfg; \

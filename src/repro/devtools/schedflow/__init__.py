@@ -3,7 +3,7 @@
 Where schedlint (PR 1) checks one statement at a time, schedflow builds a
 per-function control-flow graph and a project-wide call graph over
 ``src/repro/`` and runs fixed-point dataflow passes across function
-boundaries.  Three rule families guard the three properties the paper's
+boundaries.  Four rule families guard the properties the paper's
 guarantees rest on:
 
 ========  ==============================================================
@@ -18,7 +18,21 @@ SF204      direct ``.weight = ...`` mutation bypassing ``set_weight``
 SF205      magic time literal (1_000_000_000) instead of ``units.SECOND``
 SF301      owned scheduler state written outside its owning module
 SF302      hsfq path operated on after ``hsfq_rmnod`` removed it
+SF401      module-level mutable state written from worker-pool context
+SF402      completion-order-dependent merge of pool results
+SF403      fork-unsafe RNG use bypassing ``derive_seed``/``substream``
+SF404      lambda or nested function crossing a pool boundary
+SF405      event-bus subscriber mutating foreign state from emit context
+SF406      ``os.environ`` read inside a worker-pool entrypoint
 ========  ==============================================================
+
+The SF4xx family (``repro.devtools.schedflow.parallel``) computes a
+may-happen-in-parallel relation from the call graph plus every pool
+``submit``/``map`` site, then checks that nothing mutable escapes a
+worker boundary except through the deterministic merge paths faultlab
+established.  Its runtime twin is SCHEDSAN's isolation guard
+(``REPRO_SCHEDSAN=1``): what the pass proves cannot be written, the
+guard asserts was not written.
 
 SF204 is the static face of SCHEDSAN's dormant-weight-change invariant
 (``repro.devtools.schedsan``, rule ``dormant-weight-warp``): a weight
@@ -30,8 +44,10 @@ schedflow shares schedlint's suppression syntax (``# schedflow:
 disable=SF201``, ``# noqa: SF201``, file-level ``disable-file=``), its
 ``# schedlint-fixture-module:`` directive, and its exit-code convention
 (0 clean / 1 findings / 2 crash).  The CLI adds ``--sarif`` output for
-GitHub inline annotations and ``--baseline`` files for adopting the tool
-on a tree with pre-existing findings.
+GitHub inline annotations, ``--baseline`` files for adopting the tool
+on a tree with pre-existing findings, and ``--jobs N`` to fan the
+analysis across a process pool with a byte-identical, name-sorted
+merge (``repro.devtools.schedflow.parjobs``).
 """
 
 from __future__ import annotations

@@ -7,7 +7,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from repro.devtools.schedlint import LintError
 from repro.devtools.schedflow.baseline import (
@@ -34,7 +34,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="print the rule catalogue and exit")
     parser.add_argument(
         "--select", metavar="CODES",
-        help="comma-separated rule codes to report (default: all)")
+        help="comma-separated rule codes or prefixes to report "
+             "(e.g. SF205 or SF4; default: all)")
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="fan the analysis across N worker processes; output is "
+             "byte-identical to a serial run (default: 1)")
     parser.add_argument(
         "--baseline", metavar="FILE",
         help="suppress findings fingerprinted in this baseline file")
@@ -68,18 +73,31 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     select = None
     if options.select:
-        select = {code.strip().upper() for code in options.select.split(",")}
-        unknown = select - set(RULES)
+        select = set()
+        unknown = []
+        for token in options.select.split(","):
+            token = token.strip().upper()
+            matched = {code for code in RULES
+                       if code == token or code.startswith(token)}
+            if not matched:
+                unknown.append(token)
+            select.update(matched)
         if unknown:
             print("error: unknown rule codes: %s" % ", ".join(sorted(unknown)),
                   file=sys.stderr)
             return 2
 
     try:
-        index = ProjectIndex.load(options.paths)
-        findings = analyze_project(index, select=select)
-        source_lines: Dict[str, List[str]] = {
-            entry.path: entry.source.splitlines() for entry in index.entries}
+        if options.jobs > 1:
+            from repro.devtools.schedflow.parjobs import analyze_paths_jobs
+            findings, source_lines = analyze_paths_jobs(
+                options.paths, options.jobs, select=select)
+        else:
+            index = ProjectIndex.load(options.paths)
+            findings = analyze_project(index, select=select)
+            source_lines = {
+                entry.path: entry.source.splitlines()
+                for entry in index.entries}
         if options.baseline:
             findings = apply_baseline(
                 findings, load_baseline(options.baseline), source_lines)

@@ -17,6 +17,7 @@ from repro.devtools.schedlint import (
     _suppressed,
     _suppressions,
 )
+from repro.devtools.schedflow.parallel import ParallelPass
 from repro.devtools.schedflow.project import ProjectIndex
 from repro.devtools.schedflow.shared import SharedStatePass
 from repro.devtools.schedflow.taint import TaintPass
@@ -45,15 +46,36 @@ RULES: Dict[str, Tuple[str, str]] = {
               "owned scheduler state stored outside its owning module"),
     "SF302": ("hsfq-use-after-rmnod",
               "hsfq call on a node id after hsfq_rmnod removed it"),
+    "SF401": ("worker-shared-write",
+              "module-level mutable state written from worker context"),
+    "SF402": ("unordered-merge",
+              "completion-order-dependent merge of pool results"),
+    "SF403": ("fork-unsafe-rng",
+              "worker-context RNG bypassing derive_seed/Stream.substream"),
+    "SF404": ("unpicklable-boundary",
+              "lambda or nested function crossing a pool boundary"),
+    "SF405": ("emit-context-mutation",
+              "event-bus subscriber mutating foreign state from emit "
+              "context"),
+    "SF406": ("worker-env-read",
+              "os.environ/os.getenv read inside a pool entrypoint"),
 }
 
-_PASSES = (TaintPass, UnitsPass, SharedStatePass)
+_PASSES = (TaintPass, UnitsPass, SharedStatePass, ParallelPass)
 
 
 def analyze_project(index: ProjectIndex,
-                    select: Optional[Iterable[str]] = None) -> List[Finding]:
-    """Run all passes; returns deduped, suppression-filtered findings."""
+                    select: Optional[Iterable[str]] = None,
+                    paths: Optional[Iterable[str]] = None) -> List[Finding]:
+    """Run all passes; returns deduped, suppression-filtered findings.
+
+    ``paths`` optionally restricts *emission* to findings in the given
+    file paths while still analyzing the whole project — the ``--jobs``
+    sharding uses this so every worker sees full interprocedural
+    context but reports only its own bucket.
+    """
     wanted = set(select) if select is not None else None
+    emit_paths = set(paths) if paths is not None else None
     raw: List[Finding] = []
     for pass_cls in _PASSES:
         raw.extend(pass_cls(index).run())
@@ -63,6 +85,8 @@ def analyze_project(index: ProjectIndex,
     findings: List[Finding] = []
     for finding in raw:
         if wanted is not None and finding.code not in wanted:
+            continue
+        if emit_paths is not None and finding.path not in emit_paths:
             continue
         key = (finding.path, finding.line, finding.col,
                finding.code, finding.message)

@@ -1,0 +1,118 @@
+"""``--jobs N``: fan the analysis across a process pool, deterministically.
+
+Interprocedural passes need the *whole* project index (summaries flow
+across files), so the unit of sharding is not "which files to analyze"
+but "which files to report": every worker rebuilds the full index from
+the parent's (path, source) pairs, runs every pass, and emits only the
+findings belonging to its bucket of files.  The parent concatenates the
+buckets and re-sorts — byte-identical to a serial run by construction,
+which ``test_schedflow_self`` locks in.
+
+Buckets are formed by dealing the name-sorted file list round-robin,
+and each worker returns a SHA-256 over its sources so the parent can
+detect a worker that analyzed stale text (e.g. a file rewritten
+mid-run) instead of silently merging findings from two different
+snapshots.
+
+This module is itself worker-pool code, so it is the first consumer of
+the SF401—SF406 rules it ships: ``_analyze_bucket`` is a top-level
+picklable function (SF404), takes everything it needs from its payload
+(SF406), writes no module state (SF401), and the parent merges by name
+sort, never completion order (SF402).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.devtools.schedlint import Finding
+from repro.devtools.schedflow.engine import analyze_project
+from repro.devtools.schedflow.project import ProjectIndex
+
+__all__ = ["analyze_paths_jobs", "bucketize"]
+
+#: one finding, flattened for the trip back through the pool
+_Row = Tuple[str, int, int, str, str, int]
+
+
+def bucketize(files: Iterable[str], jobs: int) -> List[List[str]]:
+    """Deal the name-sorted ``files`` round-robin into ``jobs`` buckets.
+
+    Sorting first makes the bucket assignment a pure function of the
+    file set, so reruns (and the hash check) are stable.
+    """
+    buckets: List[List[str]] = [[] for _ in range(max(1, jobs))]
+    for position, path in enumerate(sorted(set(files))):
+        buckets[position % len(buckets)].append(path)
+    return [bucket for bucket in buckets if bucket]
+
+
+def _sources_digest(sources: List[Tuple[str, str]]) -> str:
+    """Content hash over (path, source) pairs, order-sensitive."""
+    digest = hashlib.sha256()
+    for path, source in sources:
+        digest.update(path.encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update(source.encode("utf-8"))
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+def _analyze_bucket(payload):
+    """Pool entrypoint: analyze the full project, report one bucket.
+
+    ``payload`` is ``(sources, bucket, select)`` with ``sources`` the
+    complete (path, source) list and ``bucket`` the paths this worker
+    reports on.  Returns ``(digest, rows)`` — plain tuples, because
+    pool results must be picklable data, not live objects.
+    """
+    sources, bucket, select = payload
+    index = ProjectIndex()
+    for path, source in sources:
+        index.add_source(source, path)
+    findings = analyze_project(index, select=select, paths=bucket)
+    rows: List[_Row] = [
+        (f.path, f.line, f.col, f.code, f.message, f.end_line)
+        for f in findings]
+    return _sources_digest(sources), rows
+
+
+def analyze_paths_jobs(paths: Iterable[str], jobs: int,
+                       select: Optional[Iterable[str]] = None,
+                       ) -> Tuple[List[Finding], Dict[str, List[str]]]:
+    """Analyze ``paths`` with ``jobs`` worker processes.
+
+    Returns ``(findings, source_lines)`` where ``source_lines`` feeds
+    the baseline fingerprinting exactly as the serial path builds it.
+    Raises :class:`RuntimeError` if any worker's content hash disagrees
+    with the parent's snapshot.
+    """
+    index = ProjectIndex.load(paths)
+    sources = [(entry.path, entry.source) for entry in index.entries]
+    source_lines = {
+        entry.path: entry.source.splitlines() for entry in index.entries}
+    expected = _sources_digest(sources)
+    select_list = sorted(select) if select is not None else None
+
+    buckets = bucketize((path for path, _ in sources), jobs)
+    if len(buckets) <= 1:
+        findings = analyze_project(index, select=select)
+        return findings, source_lines
+
+    payloads = [(sources, bucket, select_list) for bucket in buckets]
+    with multiprocessing.Pool(len(buckets)) as pool:
+        results = pool.map(_analyze_bucket, payloads)
+
+    merged: List[Finding] = []
+    for digest, rows in results:
+        if digest != expected:
+            raise RuntimeError(
+                "schedflow --jobs: worker analyzed different sources "
+                "(content hash mismatch)")
+        for path, line, col, code, message, end_line in rows:
+            merged.append(
+                Finding(path, line, col, code, message, end_line=end_line))
+    merged.sort(key=Finding.sort_key)
+    return merged, source_lines

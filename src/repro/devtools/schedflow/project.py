@@ -209,6 +209,43 @@ class ProjectIndex:
                 return candidates[0]
         return None
 
+    def resolve_ref(self, node: ast.AST, entry: FileEntry,
+                    class_name: Optional[str]) -> Optional[FunctionInfo]:
+        """Resolve a callable *reference* (a name passed around, not a
+        call site) with the same heuristic stack as :meth:`resolve_call`.
+
+        Additionally resolves a dotted *class* path to its ``__call__``
+        method, so callable instances (event-bus subscribers, pool
+        payload objects) land on the code that actually runs.
+        """
+        if isinstance(node, ast.Name) and entry.module is not None:
+            info = self.module_funcs.get((entry.module, node.id))
+            if info is not None:
+                return info
+        dotted = self.dotted(node, entry)
+        if dotted is not None:
+            info = self.resolve_ref_dotted(dotted)
+            if info is not None:
+                return info
+        if isinstance(node, ast.Attribute):
+            if (isinstance(node.value, ast.Name) and node.value.id == "self"
+                    and class_name is not None and entry.module is not None):
+                info = self.methods.get((entry.module, class_name, node.attr))
+                if info is not None:
+                    return info
+            candidates = self.methods_by_name.get(node.attr, [])
+            if len(candidates) == 1:
+                return candidates[0]
+        return None
+
+    def resolve_ref_dotted(self, dotted: str) -> Optional[FunctionInfo]:
+        """Resolve a dotted path to a function, method, or — when the
+        path names a class — that class's ``__call__`` method."""
+        info = self._find_by_dotted(dotted)
+        if info is not None:
+            return info
+        return self._find_by_dotted(dotted + ".__call__")
+
     def _find_by_dotted(self, dotted: str) -> Optional[FunctionInfo]:
         parts = dotted.split(".")
         for split in range(len(parts) - 1, 0, -1):

@@ -18,6 +18,7 @@ SL003      iteration over an unordered set in a dispatch-path module
 SL004      float literal or true division in a tag-arithmetic module
 SL005      ``LeafScheduler`` subclass departs from the contract
 SL006      RNG constructed outside the seed tree in faultlab/workloads
+SL007      module-level mutable container outside the allowlist
 ========  ==============================================================
 
 Suppressions
@@ -154,7 +155,7 @@ class Rule:
         raise NotImplementedError
 
 
-_REGISTRY: List[Rule] = []
+_REGISTRY: List[Rule] = []  # schedlint: disable=SL007 (rule registry)
 
 
 def register(rule_cls: Callable[[], Rule]) -> Callable[[], Rule]:

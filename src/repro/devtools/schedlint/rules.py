@@ -1,4 +1,4 @@
-"""The determinism rules: SL001 — SL004 and SL006.
+"""The determinism rules: SL001 — SL004, SL006 and SL007.
 
 Each rule documents *which* property of the reproduction it protects; the
 scopes mirror the doctrine stated in ``repro/units.py`` ("the only
@@ -370,3 +370,87 @@ class AdHocRngRule(Rule):
                     "random.Random(seed) bypasses the campaign seed tree; "
                     "derive the stream via repro.sim.rng.make_rng(seed, label) "
                     "or Stream.rng(label)")
+
+
+# --- SL007: module-level mutable containers -----------------------------------
+
+#: modules under this prefix are checked...
+_MUTABLE_SCOPE = "repro/"
+#: ...except the analyzers themselves, whose lookup tables are inert data
+_MUTABLE_EXEMPT_SCOPE = "repro/devtools/"
+
+#: sanctioned registries: populated by decorators/imports, never per-run
+_MUTABLE_ALLOWLIST = frozenset([
+    ("repro/hsfq.py", "_SCHEDULER_FACTORIES"),
+    ("repro/experiments/__main__.py", "EXPERIMENTS"),
+    ("repro/faultlab/faults.py", "FAULTS"),
+    ("repro/faultlab/workloads.py", "WORKLOADS"),
+    ("repro/faultlab/workloads.py", "PERFKIT_MIRRORS"),
+    ("repro/perfkit/scenarios.py", "SCENARIOS"),
+    ("repro/threads/states.py", "ALLOWED_TRANSITIONS"),
+])
+
+#: constructors whose result is a mutable container
+_MUTABLE_CTORS = frozenset(
+    ["dict", "list", "set", "defaultdict", "deque", "OrderedDict",
+     "Counter"])
+
+
+@register
+class ModuleMutableRule(Rule):
+    """SL007: no new module-level mutable containers in ``repro/``.
+
+    A module-level dict/list/set is shared, hidden state: schedflow's
+    SF401/SF405 exist because such containers leak across worker-pool
+    and emit boundaries, and every one of them is a place where two
+    simulations can interfere.  Bind tuples or frozensets at module
+    level; keep mutable accumulators on instances.  Genuine registries
+    (populated once by decorators at import time) live in the explicit
+    allowlist, or — for observability modules — carry a reviewed
+    ``# schedlint: disable=SL007`` with a word of justification.
+    """
+
+    code = "SL007"
+    name = "module-mutable"
+    summary = "module-level mutable container outside the allowlist"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.in_module(_MUTABLE_SCOPE):
+            return
+        if ctx.in_module(_MUTABLE_EXEMPT_SCOPE):
+            return
+        imports = _import_map(ctx.tree)
+
+        def is_mutable(value: Optional[ast.AST]) -> bool:
+            if isinstance(value, (ast.Dict, ast.List, ast.Set, ast.ListComp,
+                                  ast.SetComp, ast.DictComp)):
+                return True
+            if isinstance(value, ast.Call):
+                qualified = _qualified_name(value.func, imports)
+                if (qualified is not None
+                        and qualified.split(".")[-1] in _MUTABLE_CTORS):
+                    return True
+            return False
+
+        for stmt in ctx.tree.body:
+            if isinstance(stmt, ast.Assign):
+                targets, value = stmt.targets, stmt.value
+            elif isinstance(stmt, ast.AnnAssign):
+                targets, value = [stmt.target], stmt.value
+            else:
+                continue
+            if not is_mutable(value):
+                continue
+            for target in targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                if target.id.startswith("__"):   # __all__ and friends
+                    continue
+                if (ctx.module, target.id) in _MUTABLE_ALLOWLIST:
+                    continue
+                yield ctx.finding(
+                    stmt, self.code,
+                    "module-level mutable container %r; bind a tuple/"
+                    "frozenset, keep the accumulator on an instance, or "
+                    "register the name in the SL007 allowlist"
+                    % target.id)

@@ -36,11 +36,27 @@ holding); set ``REPRO_SCHEDSAN_MODE=collect`` to accumulate violations on
 The sanitizer is an observer, not a referee of leaf-internal policy: it
 checks the *contract* every leaf must honour, not whether EDF picked the
 right deadline.  Leaf-policy correctness stays with the conformance tests.
+
+Worker isolation (the SF4xx runtime twin)
+-----------------------------------------
+
+Under ``REPRO_SCHEDSAN=1`` faultlab additionally brackets every pooled
+cell — and the campaign's merge — with an :class:`IsolationGuard`:
+:func:`shared_state_fingerprint` snapshots the process-wide registries
+(fault kinds, workloads), the event bus's subscriber count, and the
+global ``random`` state before the work, and :meth:`IsolationGuard.verify`
+asserts the snapshot still holds afterwards.  What schedflow's
+SF401—SF406 prove *statically* cannot leak across a pool boundary, the
+guard asserts *dynamically* did not leak; results still flow back only
+through return values, so guarded reports stay byte-identical to
+unguarded ones.
 """
 
 from __future__ import annotations
 
+import hashlib
 import os
+import random
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from repro.cpu.interface import TopScheduler
@@ -377,3 +393,73 @@ class SchedsanScheduler(TopScheduler):
     @property
     def decision_depth(self) -> int:
         return self._inner.decision_depth
+
+
+# --- worker isolation: the runtime twin of schedflow SF401—SF406 -------------
+
+
+class IsolationError(SchedsanError):
+    """Shared process state changed across a worker/merge boundary."""
+
+
+def shared_state_fingerprint() -> Tuple[Tuple[str, object], ...]:
+    """Snapshot every process-wide surface a pool worker could dirty.
+
+    The imports are lazy (and the fingerprint degrades gracefully when
+    faultlab is absent) so this module keeps its zero-dependency import
+    graph; the labels name what leaked when a mismatch is reported.
+    """
+    entries: List[Tuple[str, object]] = []
+    try:
+        from repro.faultlab.faults import FAULTS
+        entries.append(("faultlab.faults.FAULTS", tuple(sorted(FAULTS))))
+    except ImportError:  # pragma: no cover - faultlab is always present
+        pass
+    try:
+        from repro.faultlab.workloads import PERFKIT_MIRRORS, WORKLOADS
+        entries.append(
+            ("faultlab.workloads.WORKLOADS", tuple(sorted(WORKLOADS))))
+        entries.append(("faultlab.workloads.PERFKIT_MIRRORS",
+                        tuple(sorted(PERFKIT_MIRRORS))))
+    except ImportError:  # pragma: no cover - faultlab is always present
+        pass
+    entries.append(("obs.events.BUS.subscribers",
+                    obs.BUS.subscriber_count()))
+    state = repr(
+        random.getstate())  # schedlint: disable=SL002,SF403 (reads only)
+    entries.append(("random.global_state",
+                    hashlib.sha256(state.encode("utf-8")).hexdigest()))
+    return tuple(entries)
+
+
+class IsolationGuard:
+    """Assert that a block of work left shared process state untouched.
+
+    Snapshot at construction, :meth:`verify` after the work::
+
+        guard = IsolationGuard("cell baseline+none")
+        result = run_cell(spec)
+        guard.verify()
+
+    An object (not a module global) on purpose: a module-level snapshot
+    would itself be the shared mutable state SF401 bans.
+    """
+
+    __slots__ = ("context", "_before")
+
+    def __init__(self, context: str) -> None:
+        self.context = context
+        self._before = shared_state_fingerprint()
+
+    def verify(self) -> None:
+        """Raise :class:`IsolationError` naming every leaked surface."""
+        after = shared_state_fingerprint()
+        if after == self._before:
+            return
+        before_map = dict(self._before)
+        leaked = sorted(label for label, value in after
+                        if before_map.get(label) != value)
+        raise IsolationError(
+            "SCHEDSAN[worker-isolation] %s: shared state mutated across "
+            "the boundary: %s; worker results must flow back through "
+            "return values only" % (self.context, ", ".join(leaked)))

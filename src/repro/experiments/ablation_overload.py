@@ -32,12 +32,12 @@ CAPACITY = 10_000_000
 QUANTUM = 10 * MS
 
 #: (period ns, utilization): totals 1.30 of the CPU
-TASKS = [
+TASKS = (
     (50 * MS, 0.30),
     (80 * MS, 0.35),
     (120 * MS, 0.30),
     (200 * MS, 0.35),
-]
+)
 
 
 def _spawn_tasks(setup: FlatSetup) -> List[SimThread]:

@@ -38,7 +38,7 @@ from repro.trace.metrics import throughput_series
 from repro.units import MS, SECOND
 
 #: the paper's phases: (start s, end s, expected ratio thread1:thread2)
-PHASES: List[Tuple[int, int, float]] = [
+PHASES: Tuple[Tuple[int, int, float], ...] = (
     (0, 4, 1.0),    # 4:4
     (4, 6, 2.0),    # 4:2
     (6, 9, 0.0),    # 0:2 (thread1 asleep)
@@ -46,7 +46,7 @@ PHASES: List[Tuple[int, int, float]] = [
     (12, 16, 4.0),  # 8:2
     (16, 22, 2.0),  # 8:4
     (22, 26, 1.0),  # 4:4
-]
+)
 
 
 class _SleepWindowDhrystone(Workload):

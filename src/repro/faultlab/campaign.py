@@ -22,6 +22,7 @@ import json
 import multiprocessing
 from typing import Dict, List, Optional, Sequence
 
+from repro.devtools import schedsan
 from repro.faultlab.faults import (
     FAULTS,
     FaultContext,
@@ -191,21 +192,89 @@ def replay_spec(spec_dict: Dict[str, object]) -> Dict[str, object]:
     return run_cell(spec_dict)
 
 
+def _crash_result(spec_dict: Dict[str, object],
+                  exc: BaseException) -> Dict[str, object]:
+    """A structured report cell for a worker that crashed.
+
+    A crash must surface as an ordinary oracle failure — never as a
+    missing or half-written cell that turns the report render into a
+    KeyError.  The digest is derived from the spec and the exception
+    type only, so a crash reproduces byte-identically.
+    """
+    cell_id = str(spec_dict.get("id", "?"))
+    token = "worker-crash:%s:%s" % (cell_id, type(exc).__name__)
+    return {
+        "id": cell_id,
+        "spec": spec_dict,
+        "ok": False,
+        "failures": [{
+            "oracle": "worker-crash",
+            "message": "cell crashed before producing a result: %s: %s"
+                       % (type(exc).__name__, exc),
+        }],
+        "counters": {
+            "events": 0,
+            "dispatches": 0,
+            "interrupts": 0,
+            "injections": 0,
+            "violations": 0,
+            "threads_alive": 0,
+        },
+        "digest": hashlib.sha256(token.encode("utf-8")).hexdigest(),
+    }
+
+
+def run_cell_guarded(spec_dict: Dict[str, object]) -> Dict[str, object]:
+    """:func:`run_cell` with crash containment and the isolation twin.
+
+    This is what the campaign pool actually maps over.  Any exception
+    escaping the cell becomes a structured ``worker-crash`` failure
+    (:func:`_crash_result`); under ``REPRO_SCHEDSAN=1`` the cell is
+    additionally bracketed by a :class:`~repro.devtools.schedsan
+    .IsolationGuard`.  Lazily registered fault kinds are resolved
+    *before* the snapshot — growing the registry is an import-time
+    effect, not a leak.
+    """
+    guard = None
+    if schedsan.enabled():
+        for fault_spec in spec_dict.get("faults", ()):  # type: ignore[attr-defined]
+            ensure_registered(str(fault_spec["kind"]))
+        guard = schedsan.IsolationGuard(
+            "cell %s" % spec_dict.get("id", "?"))
+    try:
+        result = run_cell(spec_dict)
+    except Exception as exc:
+        return _crash_result(spec_dict, exc)
+    if guard is not None:
+        guard.verify()
+    return result
+
+
 def run_campaign(specs: Sequence[CellSpec], workers: int = 0,
                  seed: int = 0, quick: bool = True) -> Dict[str, object]:
     """Run every cell (optionally across a worker pool); build the report.
 
     ``workers <= 1`` runs serially in-process (tests, debugging); the
     report is identical either way — results are keyed and sorted by
-    cell id, and digests are process-independent.
+    cell id, and digests are process-independent.  Under
+    ``REPRO_SCHEDSAN=1`` every cell and the merge itself run inside
+    isolation guards; the report bytes do not change.
     """
     spec_dicts = [spec.to_dict() for spec in specs]
+    guard = None
+    if schedsan.enabled():
+        for spec in specs:
+            for fault_spec in spec.faults:
+                ensure_registered(str(fault_spec["kind"]))
+        guard = schedsan.IsolationGuard("campaign merge")
     if workers and workers > 1:
         with multiprocessing.Pool(workers) as pool:
-            results = pool.map(run_cell, spec_dicts)
+            results = pool.map(run_cell_guarded, spec_dicts)
     else:
-        results = [run_cell(spec) for spec in spec_dicts]
+        results = [run_cell_guarded(spec) for spec in spec_dicts]
     results.sort(key=lambda r: r["id"])  # type: ignore[arg-type,return-value]
+    if guard is not None:
+        guard.verify()
     failures = sum(1 for r in results if not r["ok"])
     return {
         "format": CAMPAIGN_FORMAT,

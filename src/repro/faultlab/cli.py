@@ -107,7 +107,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if cell["ok"]:
             continue
         spec = cell["spec"]
-        if not args.no_shrink and spec["faults"]:
+        crashed = all(f["oracle"] == "worker-crash"
+                      for f in cell["failures"])
+        if crashed:
+            # The cell died before producing a result; re-running subsets
+            # of its faults cannot bisect an exception path, so keep the
+            # full spec for the reproducer.
+            print("cell %s crashed; skipping shrink" % cell["id"])
+        elif not args.no_shrink and spec["faults"]:
             try:
                 spec, attempts = shrink_spec(spec, args.max_shrink)
                 print("shrunk %s in %d attempts" % (cell["id"], attempts))

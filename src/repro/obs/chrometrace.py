@@ -38,8 +38,9 @@ PID_CPUS = 0
 PID_THREADS = 1
 PID_VTIME = 2
 
-#: event kinds rendered as instants on the emitting thread's track
-_INSTANT_KINDS = {
+#: event kinds rendered as instants on the emitting thread's track;
+#: a read-only rendering table, reviewed as SL007-exempt
+_INSTANT_KINDS = {  # schedlint: disable=SL007
     ev.WAKE: "wake",
     ev.BLOCK: "block",
     ev.PREEMPT: "preempt",

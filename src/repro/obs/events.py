@@ -156,6 +156,14 @@ class EventBus:
         del self._subscribers[:]
         self.active = False
 
+    def subscriber_count(self) -> int:
+        """How many subscribers are attached.
+
+        SCHEDSAN's isolation guard fingerprints this to detect worker
+        code leaking subscriptions across a pool merge.
+        """
+        return len(self._subscribers)
+
     def emit(self, kind: str, time: int, **data: Any) -> None:
         """Deliver ``Event(kind, time, data)`` to every subscriber.
 

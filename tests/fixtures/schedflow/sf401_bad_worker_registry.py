@@ -1,0 +1,18 @@
+# schedlint-fixture-module: repro/faultlab/example.py
+"""Negative fixture: a pool worker writes a module-level registry.
+
+Each worker process mutates its *own copy* of ``RESULTS``; the parent's
+dict stays empty and the campaign silently loses every cell (SF401)."""
+
+RESULTS = {}
+
+
+def worker(cell):
+    RESULTS[cell] = cell * 2   # SF401: worker-context global write
+    return cell
+
+
+def launch(cells):
+    import multiprocessing
+    with multiprocessing.Pool(2) as pool:
+        return pool.map(worker, cells)

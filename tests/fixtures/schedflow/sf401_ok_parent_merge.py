@@ -1,0 +1,18 @@
+# schedlint-fixture-module: repro/faultlab/example.py
+"""Positive fixture: workers return values; only the parent — outside
+worker context — folds them into the registry, in sorted order."""
+
+RESULTS = {}
+
+
+def worker(cell):
+    return cell, cell * 2
+
+
+def launch(cells):
+    import multiprocessing
+    with multiprocessing.Pool(2) as pool:
+        pairs = pool.map(worker, cells)
+    for key, value in sorted(pairs):
+        RESULTS[key] = value
+    return RESULTS

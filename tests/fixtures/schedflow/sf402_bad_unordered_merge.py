@@ -1,0 +1,15 @@
+# schedlint-fixture-module: repro/faultlab/example.py
+"""Negative fixture: results gathered in worker *completion* order.
+
+``list(imap_unordered(...))`` varies run to run with worker timing, so
+two identical campaigns render different reports (SF402)."""
+
+
+def worker(cell):
+    return cell * 2
+
+
+def launch(cells):
+    import multiprocessing
+    with multiprocessing.Pool(2) as pool:
+        return list(pool.imap_unordered(worker, cells))  # SF402

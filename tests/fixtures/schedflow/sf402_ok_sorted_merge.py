@@ -1,0 +1,15 @@
+# schedlint-fixture-module: repro/faultlab/example.py
+"""Positive fixture: completion-order results are sorted (or folded
+order-insensitively) before anything observes their order."""
+
+
+def worker(cell):
+    return cell * 2
+
+
+def launch(cells):
+    import multiprocessing
+    with multiprocessing.Pool(2) as pool:
+        ordered = sorted(pool.imap_unordered(worker, cells))
+        total = sum(pool.imap_unordered(worker, cells))
+    return ordered, total

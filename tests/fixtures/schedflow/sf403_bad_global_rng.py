@@ -1,0 +1,20 @@
+# schedlint-fixture-module: repro/faultlab/example.py
+"""Negative fixture: fork-unsafe RNG in worker context.
+
+The process-global generator is cloned into every forked worker, so all
+workers draw the *same* jitter sequence — and none of it is reachable
+from the campaign's seed tree (SF403)."""
+
+import random
+
+
+def worker(cell):
+    jitter = random.random()          # SF403: process-global generator
+    rng = random.Random(1234)         # SF403: constant seed, same draws
+    return cell + jitter + rng.random()
+
+
+def launch(cells):
+    import multiprocessing
+    with multiprocessing.Pool(2) as pool:
+        return pool.map(worker, cells)

@@ -1,0 +1,21 @@
+# schedlint-fixture-module: repro/faultlab/example.py
+"""Positive fixture: worker RNG seeded through the derivation tree.
+
+Each cell's generator is minted from the spec's seed via
+``derive_seed``, so draws are reproducible and per-worker disjoint."""
+
+import random
+
+from repro.sim.rng import derive_seed
+
+
+def worker(payload):
+    seed, cell = payload
+    rng = random.Random(derive_seed(seed, "cell-%d" % cell))
+    return cell + rng.random()
+
+
+def launch(seed, cells):
+    import multiprocessing
+    with multiprocessing.Pool(2) as pool:
+        return pool.map(worker, [(seed, cell) for cell in cells])

@@ -1,0 +1,18 @@
+# schedlint-fixture-module: repro/faultlab/example.py
+"""Negative fixture: unpicklable callables shipped to a pool.
+
+A lambda and a closure both fail to pickle the moment the pool tries to
+ship them; with fork start-method they *appear* to work until the day
+the start-method changes (SF404)."""
+
+
+def launch(cells, factor):
+    import multiprocessing
+
+    def scale(cell):
+        return factor * cell
+
+    with multiprocessing.Pool(2) as pool:
+        doubled = pool.map(lambda cell: cell * 2, cells)   # SF404
+        scaled = pool.map(scale, cells)                    # SF404
+    return doubled, scaled

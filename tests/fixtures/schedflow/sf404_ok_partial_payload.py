@@ -1,0 +1,15 @@
+# schedlint-fixture-module: repro/faultlab/example.py
+"""Positive fixture: the worker callable is a top-level function; the
+extra argument is bound with ``functools.partial``, which pickles."""
+
+import functools
+
+
+def scale(factor, cell):
+    return factor * cell
+
+
+def launch(cells, factor):
+    import multiprocessing
+    with multiprocessing.Pool(2) as pool:
+        return pool.map(functools.partial(scale, factor), cells)

@@ -1,0 +1,21 @@
+# schedlint-fixture-module: repro/obs/example.py
+"""Negative fixture: a subscriber mutates state from emit context.
+
+Observers run synchronously inside the simulator's emit sites; writing
+the event, a shared global, or the scheduling tree from there turns
+observation into interference (SF405)."""
+
+TOTALS = {}
+
+
+class TotalsProbe:
+    """Counts events — into a module global, from emit context."""
+
+    def __call__(self, event):
+        TOTALS[event.kind] = 1          # SF405: global write from emit
+        event.payload["seen"] = True    # SF405: mutates the event
+
+
+def attach(bus):
+    probe = TotalsProbe()
+    bus.subscribe(probe)

@@ -1,0 +1,19 @@
+# schedlint-fixture-module: repro/obs/example.py
+"""Positive fixture: the subscriber folds into its own accumulator and
+treats the emitted event as read-only."""
+
+
+class CountProbe:
+    """Counts events into per-instance state; the event is untouched."""
+
+    def __init__(self):
+        self.seen = 0
+
+    def __call__(self, event):
+        self.seen += 1
+
+
+def attach(bus):
+    probe = CountProbe()
+    bus.subscribe(probe)
+    return probe

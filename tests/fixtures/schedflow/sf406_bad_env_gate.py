@@ -1,0 +1,20 @@
+# schedlint-fixture-module: repro/faultlab/example.py
+"""Negative fixture: a pool entrypoint reads the host environment.
+
+Workers inherit whatever environment the parent had at fork time;
+an env-var gate inside the entrypoint makes cell results depend on
+invisible host state instead of the worker's spec (SF406)."""
+
+import os
+
+
+def worker(cell):
+    if os.environ.get("EXAMPLE_FAST") == "1":   # SF406
+        return cell
+    return cell * 2
+
+
+def launch(cells):
+    import multiprocessing
+    with multiprocessing.Pool(2) as pool:
+        return pool.map(worker, cells)

@@ -1,0 +1,16 @@
+# schedlint-fixture-module: repro/faultlab/example.py
+"""Positive fixture: configuration travels through the worker's spec.
+
+The parent resolves every knob before the pool starts; workers see
+plain data and nothing else."""
+
+
+def worker(payload):
+    cell, fast = payload
+    return cell if fast else cell * 2
+
+
+def launch(cells, fast):
+    import multiprocessing
+    with multiprocessing.Pool(2) as pool:
+        return pool.map(worker, [(cell, fast) for cell in cells])

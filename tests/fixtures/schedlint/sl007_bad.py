@@ -1,0 +1,14 @@
+# schedlint-fixture-module: repro/workloads/example.py
+"""Negative fixture: module-level mutable containers (SL007)."""
+
+import collections
+
+CACHE = {}                              # SL007
+RECENT = []                             # SL007
+SEEN = collections.defaultdict(int)     # SL007
+
+
+def remember(key, value):
+    CACHE[key] = value
+    RECENT.append(key)
+    SEEN[key] += 1

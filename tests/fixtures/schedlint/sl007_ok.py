@@ -1,0 +1,18 @@
+# schedlint-fixture-module: repro/workloads/example.py
+"""Positive fixture: immutable module bindings and instance-held
+accumulators satisfy SL007; ``__all__`` is exempt by convention."""
+
+__all__ = ["Recorder", "KINDS", "LIMITS"]
+
+KINDS = ("compute", "sleep", "io")
+LIMITS = {"compute": 8, "sleep": 4}  # schedlint: disable=SL007 (reviewed: read-only table)
+
+
+class Recorder:
+    def __init__(self):
+        self.cache = {}
+        self.recent = []
+
+    def remember(self, key, value):
+        self.cache[key] = value
+        self.recent.append(key)

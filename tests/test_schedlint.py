@@ -198,7 +198,8 @@ class TestRealTree:
 
     def test_rule_registry_is_stable(self):
         codes = [rule.code for rule in all_rules()]
-        assert codes == ["SL001", "SL002", "SL003", "SL004", "SL005", "SL006"]
+        assert codes == ["SL001", "SL002", "SL003", "SL004", "SL005",
+                         "SL006", "SL007"]
         assert codes == sorted(codes)
 
 
