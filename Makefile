@@ -1,6 +1,6 @@
 # Convenience targets; plain pytest works too.
 
-.PHONY: install test test-schedsan test-obs test-faultlab lint bench bench-quick bench-compare bench-baseline microbench experiments quick-experiments examples obs-demo clean
+.PHONY: install test test-schedsan test-obs test-faultlab lint bench bench-quick bench-compare bench-baseline microbench experiments quick-experiments examples obs-demo obs-record clean
 
 install:
 	pip install -e .
@@ -64,6 +64,12 @@ examples:
 obs-demo:
 	python -m repro.obs demo --out obs-trace.json
 	python -m repro.obs report obs-trace.json
+
+# Binary-trace pipeline on the demo workload: record, validate, replay.
+obs-record:
+	python -m repro.obs record obs-demo.binlog
+	python -m repro.obs info obs-demo.binlog
+	python -m repro.obs convert obs-demo.binlog --schedstat --depth-gantt
 
 clean:
 	rm -rf build dist src/repro.egg-info .pytest_cache

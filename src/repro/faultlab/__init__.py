@@ -42,7 +42,8 @@ from repro.faultlab.campaign import (
 )
 from repro.faultlab.faults import FAULTS, FaultContext, FaultInjector
 from repro.faultlab.oracles import evaluate_cell
-from repro.faultlab.shrink import shrink_spec, write_reproducer
+from repro.faultlab.shrink import (record_cell_binlog, shrink_spec,
+                                   write_reproducer)
 from repro.faultlab.workloads import WORKLOADS, CellContext
 
 __all__ = [
@@ -54,6 +55,7 @@ __all__ = [
     "FaultInjector",
     "default_grid",
     "evaluate_cell",
+    "record_cell_binlog",
     "replay_spec",
     "run_campaign",
     "run_cell",

@@ -4,8 +4,9 @@ Subcommands:
 
 ``run``
     Sweep a fault × workload campaign grid.  Exit status 0 when every
-    cell passes its oracles, 1 when any cell fails (after shrinking and
-    writing reproducers), 2 on usage errors.
+    cell passes its oracles, 1 when any cell fails (after shrinking,
+    writing reproducers, and recording a binary trace of each failing
+    cell next to its spec), 2 on usage errors.
 ``list``
     Print the available fault kinds, workload cells, and the perfkit
     macro-scenarios each cell mirrors.
@@ -23,7 +24,8 @@ from typing import List, Optional
 
 from repro.faultlab import campaign as _campaign
 from repro.faultlab.faults import FAULTS, ensure_registered
-from repro.faultlab.shrink import shrink_spec, write_reproducer
+from repro.faultlab.shrink import (record_cell_binlog, shrink_spec,
+                                   write_reproducer)
 from repro.faultlab.workloads import PERFKIT_MIRRORS, WORKLOADS
 
 
@@ -122,6 +124,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 pass  # flaky-looking cell: keep the original spec
         path = write_reproducer(spec, args.repro_dir)
         print("reproducer: %s" % path)
+        binlog = record_cell_binlog(spec, args.repro_dir)
+        print("binlog:     %s" % binlog)
     return 1
 
 

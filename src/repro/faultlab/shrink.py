@@ -142,6 +142,31 @@ def reproducer_name(spec_dict: Dict[str, object]) -> str:
     return "repro_%s.py" % slug
 
 
+def record_cell_binlog(spec_dict: Dict[str, object], out_dir: str) -> str:
+    """Re-run a failing cell with a binary trace attached; returns its path.
+
+    The binlog lands next to the reproducer script/spec (same stem,
+    ``.binlog``) so a failure ships with its full event history — open it
+    with ``python -m repro.obs convert``.  Cells are deterministic, so
+    the re-run reproduces the failing execution exactly.  If the cell
+    crashes mid-run the partially captured (still sealed, still valid)
+    trace is kept: the events leading up to the crash are the evidence.
+    """
+    from repro.obs.binlog import BinaryTraceWriter
+    from repro.obs.events import BUS
+
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir,
+                        reproducer_name(spec_dict)[:-3] + ".binlog")
+    with BinaryTraceWriter(path) as writer:
+        with BUS.subscription(writer):
+            try:
+                run_cell(spec_dict)
+            except Exception:  # noqa: BLE001 - crash traces are the point
+                pass
+    return path
+
+
 def write_reproducer(spec_dict: Dict[str, object], out_dir: str) -> str:
     """Write the standalone reproducer script; returns its path.
 

@@ -1,0 +1,799 @@
+"""Streaming binary trace log: capture cheaply once, derive every view.
+
+The in-memory collectors (:class:`~repro.obs.chrometrace.ChromeTraceBuilder`,
+:class:`~repro.obs.schedstat.SchedStat`) are fine for demos but cost ~2.6x
+a traced-off run and hold the whole trace in Python objects.  This module
+is the production capture path: :class:`BinaryTraceWriter` subscribes to
+the bus like any collector and streams each event to disk in a compact
+pure-stdlib binary format; :class:`BinaryTraceReader` replays the file as
+the exact :class:`~repro.obs.events.Event` sequence that was captured, so
+every existing consumer can be fed offline::
+
+    with BinaryTraceWriter("run.binlog") as writer, \\
+            BUS.subscription(writer):
+        machine.run_until(horizon)
+
+    builder = ChromeTraceBuilder()
+    replay("run.binlog", builder)          # identical to live collection
+
+Format (``repro.binlog/1``; full record layout in docs/OBSERVABILITY.md):
+
+* **varints** — unsigned LEB128; signed values zigzag-encoded first;
+* **string table** — every string (event kinds, field names, node paths,
+  thread names, string field values) is interned: an inline definition
+  record on first use, a small integer id afterwards;
+* **delta timestamps** — events store the signed delta from the previous
+  event's timestamp, not the absolute time;
+* **schema records** — emit sites pass a stable field tuple per event
+  kind, so the writer defines a *schema* (kind, field names, field types)
+  the first time a shape appears and thereafter encodes the whole event
+  as one ``struct``-packed slab through a schema-specialized encoder —
+  the hot path that keeps capture cheap enough to leave on.  Events that
+  do not fit their schema (new shape, drifted type, out-of-range int)
+  fall back to a self-describing generic record, so *any* event stream
+  round-trips;
+* **sealed footer** — event count plus a SHA-256 over every preceding
+  byte, so a truncated or corrupted log is rejected on read instead of
+  silently under-reporting.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from types import TracebackType
+from typing import (
+    IO,
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+    Type,
+)
+
+from repro.obs.events import Event
+
+#: format identifier: the file magic is this string's first four bytes
+FORMAT = "repro.binlog/1"
+
+#: file header: magic + one version byte
+MAGIC = b"RBLG"
+VERSION = 1
+
+#: record type tags
+_REC_STRING = 0x01
+_REC_EVENT = 0x02
+_REC_FOOTER = 0x03
+_REC_SCHEMA = 0x04
+_REC_FAST = 0x05
+
+#: value type tags — used both inside generic event records and as the
+#: per-field type codes of a schema definition
+_VAL_NONE = 0x00
+_VAL_BOOL = 0x01
+_VAL_INT = 0x03
+_VAL_FLOAT = 0x04
+_VAL_STR = 0x05
+#: generic records split bool into two zero-payload tags
+_VAL_TRUE = 0x02
+
+#: footer payload: u64-le event count + 32-byte SHA-256
+_FOOTER_STRUCT = struct.Struct("<Q")
+_DIGEST_SIZE = 32
+_FLOAT_STRUCT = struct.Struct("<d")
+
+#: writer buffer flush threshold (bytes)
+_FLUSH_BYTES = 1 << 16
+
+
+class BinlogError(ValueError):
+    """A binary trace file that cannot be trusted: truncated, corrupted,
+    wrong magic/version, or structurally malformed."""
+
+
+class _FastPathMiss(Exception):
+    """Raised by a schema encoder when the event does not fit its schema."""
+
+
+def encode_varint(value: int) -> bytes:
+    """Unsigned LEB128 bytes of ``value`` (must be >= 0)."""
+    if value < 0:
+        raise ValueError("varint value must be non-negative, got %d" % value)
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def encode_zigzag(value: int) -> bytes:
+    """Signed integer as zigzag-mapped LEB128 bytes.
+
+    Python ints are unbounded, so the mapping is written by sign rather
+    than with the usual fixed-width shift trick; it agrees with protobuf
+    zigzag on every 64-bit value and extends beyond.
+    """
+    return encode_varint((value << 1) if value >= 0
+                         else ((-value << 1) - 1))
+
+
+def decode_zigzag(value: int) -> int:
+    """Inverse of the zigzag mapping used by :func:`encode_zigzag`."""
+    return (value >> 1) if not (value & 1) else -((value + 1) >> 1)
+
+
+# --- schema compilation ------------------------------------------------------
+
+
+def _type_code(value: Any) -> int:
+    """The schema type code describing ``value`` (bool before int!)."""
+    value_type = type(value)
+    if value_type is bool:
+        return _VAL_BOOL
+    if value_type is int:
+        return _VAL_INT
+    if value_type is float:
+        return _VAL_FLOAT
+    if value_type is str:
+        return _VAL_STR
+    if value is None:
+        return _VAL_NONE
+    raise TypeError("binlog cannot encode field of type %s"
+                    % value_type.__name__)
+
+
+#: struct format character indexed by schema type code: bool/int/str-id
+#: pack as "q", float as "d", None takes no slot
+_STRUCT_CHAR = ("", "q", "", "q", "d", "q")
+
+
+class _Schema:
+    """One compiled event shape: (kind, field names, field types).
+
+    ``encode`` is an exec-generated function specialized to the shape: it
+    reads each field by name (a missing key raises straight to the
+    fallback), type-checks it (drift raises :class:`_FastPathMiss`),
+    interns strings, and appends the pre-encoded record head plus one
+    ``struct``-packed slab to the writer's buffer.  Field order is
+    canonicalized to the schema's: a same-keys permutation encodes (and
+    decodes) in schema order, which is invisible to dict equality.
+    """
+
+    __slots__ = ("kind", "keys", "types", "encode", "schema_id")
+
+    def __init__(self, schema_id: int, kind: str, keys: Tuple[str, ...],
+                 types: Tuple[int, ...],
+                 writer: "BinaryTraceWriter") -> None:
+        self.schema_id = schema_id
+        self.kind = kind
+        self.keys = keys
+        self.types = types
+        head = bytes((_REC_FAST,)) + encode_varint(schema_id)
+        self.encode = _compile_encoder(kind, keys, types, head, writer)
+
+
+def _compile_encoder(kind: str, keys: Tuple[str, ...],
+                     types: Tuple[int, ...], head: bytes,
+                     writer: "BinaryTraceWriter") -> Callable[..., None]:
+    """Generate the specialized ``encoder(time, data)`` for one schema.
+
+    The generated function is the whole capture hot path — the bus calls
+    it directly through the writer's ``raw_encoders`` table, with no
+    intermediate frame.  It delta-encodes the timestamp, reads each field
+    by name, type-checks it, interns strings, and appends the record head
+    plus one C-level ``struct``-packed slab in a single buffer append
+    (the head rides along as an ``Ns`` field).  Everything it needs is
+    bound as argument defaults so the body touches no ``self`` (the
+    buffer is cleared in place by ``_flush``, so the binding stays valid
+    for the writer's lifetime).  Any mismatch with the declared shape —
+    missing key, drifted type, out-of-range int — is caught inside and
+    routed to the writer's slow path, which emits a self-describing
+    generic record instead; the writer's timestamp/count state advances
+    only on success, so the fallback re-encodes from untouched state.
+    """
+    fmt = "<%dsq" % len(head) + "".join(_STRUCT_CHAR[t] for t in types
+                                        if t != _VAL_NONE)
+    pack = struct.Struct(fmt).pack
+    lines = ["def encode(time, data, pack=pack, head=head, buf=buffer,"
+             " sget=sget, intern=intern, state=state, fallback=fallback,"
+             " flush=flush, _miss=_miss, _errs=_errs, _kind=_kind):",
+             "    delta = time - state[0]",
+             "    try:",
+             "        if len(data) != %d: raise _miss" % len(keys)]
+    packed = []
+    for index, (key, code) in enumerate(zip(keys, types)):
+        value = "v%d" % index
+        lines.append("        %s = data[%r]" % (value, key))
+        if code == _VAL_NONE:
+            lines.append("        if %s is not None: raise _miss" % value)
+            continue
+        packed.append(value)
+        if code == _VAL_STR:
+            lines.append("        if %s.__class__ is not str: raise _miss"
+                         % value)
+            lines.append("        i%d = sget(%s)" % (index, value))
+            lines.append("        if i%d is None: i%d = intern(%s)"
+                         % (index, index, value))
+            packed[-1] = "i%d" % index
+        elif code == _VAL_INT:
+            lines.append("        if %s.__class__ is not int: raise _miss"
+                         % value)
+        elif code == _VAL_BOOL:
+            lines.append("        if %s.__class__ is not bool: raise _miss"
+                         % value)
+        else:  # _VAL_FLOAT
+            lines.append("        if %s.__class__ is not float: raise _miss"
+                         % value)
+    # pack raises struct.error (e.g. an int beyond 64 bits) before the
+    # append, so a rejected event leaves no partial record behind
+    lines += ["        slab = pack(head, delta%s)"
+              % "".join(", " + name for name in packed),
+              "    except _errs:",
+              "        fallback(_kind, time, data)",
+              "        return",
+              "    buf += slab",
+              "    state[0] = time",
+              "    n = state[1] + 1",
+              "    state[1] = n",
+              # The buffer-length check is amortized: schema records are
+              # tens of bytes, so probing every 256th event still bounds
+              # the buffer near _FLUSH_BYTES (the slow path, which can
+              # write big string tables, checks unconditionally).
+              "    if not n & 255 and len(buf) >= %d:" % _FLUSH_BYTES,
+              "        flush()"]
+    namespace: Dict[str, Any] = {
+        "_miss": _FastPathMiss, "pack": pack, "head": head,
+        "buffer": writer._buffer, "sget": writer._strings.get,
+        "intern": writer._intern, "state": writer._state,
+        "fallback": writer._slow_path, "flush": writer._flush,
+        "_errs": (_FastPathMiss, KeyError, struct.error), "_kind": kind,
+    }
+    exec("\n".join(lines), namespace)  # noqa: S102 - trusted template
+    return namespace["encode"]  # type: ignore[no-any-return]
+
+
+# --- writer ------------------------------------------------------------------
+
+
+class BinaryTraceWriter:
+    """Event-bus subscriber streaming events into a sealed binary log.
+
+    Use as a context manager (or call :meth:`close`) so the footer is
+    written; an unsealed file is rejected by :class:`BinaryTraceReader`.
+    The writer owns the file handle it opened from a path; when handed an
+    open binary file object it writes and flushes but never closes it.
+
+    Two capture modes, producing byte-identical sealed files:
+
+    - **streaming** (default): events are encoded as they arrive and the
+      buffer is flushed to disk incrementally — memory stays bounded no
+      matter how many events the run emits.
+    - **deferred** (``defer=True``): capture only appends the raw
+      ``(kind, time, data)`` triple to a list; encoding and I/O happen at
+      :meth:`close`.  This is the ``perf record`` model — the smallest
+      possible in-run perturbation (~4x cheaper per event than inline
+      encoding) at the cost of holding every captured event in memory
+      (roughly 300 bytes each) until the log is sealed.  Prefer it for
+      overhead-sensitive measurement runs of bounded length.
+    """
+
+    def __init__(self, path_or_file: Any, defer: bool = False) -> None:
+        if hasattr(path_or_file, "write"):
+            self._file: IO[bytes] = path_or_file
+            self._owns_file = False
+        else:
+            self._file = open(path_or_file, "wb")
+            self._owns_file = True
+        self._buffer = bytearray(MAGIC)
+        self._buffer.append(VERSION)
+        self._hash = hashlib.sha256()
+        self._strings: Dict[str, int] = {}
+        #: per-kind encoder of the first schema seen for that kind — the
+        #: hot dispatch table.  The bus reads this (as ``raw_encoders``)
+        #: and calls encoders directly; the dict object must therefore
+        #: stay the same for the writer's lifetime (it is only ever
+        #: mutated in place).
+        self._hot: Dict[str, Callable[[int, Dict[str, Any]], None]] = {}
+        #: ``defer=True`` is the perf-record model: capture appends the
+        #: raw ``(kind, time, data)`` triple here and all encoding happens
+        #: at :meth:`close`, trading bounded memory for the smallest
+        #: possible in-run perturbation.  The sealed file is byte-for-byte
+        #: identical to streaming mode.  None in streaming mode.
+        self._pending: Optional[List[Tuple[str, int, Dict[str, Any]]]] = (
+            [] if defer else None)
+        #: bus raw-consumer protocol: the live per-kind encoder table.
+        #: Withheld in deferred mode so the bus routes every event through
+        #: :meth:`emit_raw` (the table would encode inline).
+        self.raw_encoders: Optional[Dict[str, Callable[
+            [int, Dict[str, Any]], None]]] = None if defer else self._hot
+        #: every schema, keyed by exact shape (kind, field-name tuple)
+        self._by_shape: Dict[Tuple[str, Tuple[str, ...]], _Schema] = {}
+        self._schema_count = 0
+        #: [previous timestamp, events written] — shared mutable state
+        #: the generated encoders update without attribute traffic
+        self._state = [0, 0]
+        self._sealed = False
+
+    @property
+    def event_count(self) -> int:
+        """How many events have been written so far."""
+        return self._state[1]
+
+    # --- interning --------------------------------------------------------
+
+    def _intern(self, text: str) -> int:
+        """Interned id of ``text``, emitting a definition record first."""
+        raw = text.encode("utf-8")
+        buffer = self._buffer
+        buffer.append(_REC_STRING)
+        buffer += encode_varint(len(raw))
+        buffer += raw
+        sid = len(self._strings)
+        self._strings[text] = sid
+        return sid
+
+    # --- encoding hot path ------------------------------------------------
+
+    def emit_raw(self, kind: str, time: int, data: Dict[str, Any]) -> None:
+        """Append one event without an :class:`Event` wrapper.
+
+        In streaming mode the bus uses :attr:`raw_encoders` to skip even
+        this frame on schema hits; this entry point covers kinds the
+        table lacks and non-bus callers.  In deferred mode it is the
+        whole hot path: one tuple build and a list append.
+        """
+        pending = self._pending
+        if pending is not None:
+            pending.append((kind, time, data))
+            return
+        encoder = self._hot.get(kind)
+        if encoder is not None:
+            encoder(time, data)
+        else:
+            self._slow_path(kind, time, data)
+
+    def __call__(self, event: Event) -> None:
+        """Bus subscriber entry point: append one encoded event."""
+        pending = self._pending
+        if pending is not None:
+            pending.append((event.kind, event.time, event.data))
+            return
+        encoder = self._hot.get(event.kind)
+        if encoder is not None:
+            encoder(event.time, event.data)
+        else:
+            self._slow_path(event.kind, event.time, event.data)
+
+    def _slow_path(self, kind: str, time: int,
+                   data: Dict[str, Any]) -> None:
+        """First sighting of a shape, or an event its schema rejects.
+
+        Defines the schema on first sighting (so *future* events of the
+        shape take the fast path) and writes the current event as a
+        self-describing generic record — never recursing back through
+        the freshly compiled encoder.
+        """
+        state = self._state
+        delta = time - state[0]
+        shape = (kind, tuple(data))
+        if shape not in self._by_shape:
+            # Raises TypeError on an unencodable value before any bytes
+            # are written (the generic record would reject it too).
+            self._define_schema(shape, data)
+        self._generic(kind, data, delta)
+        # state advances only after the event is fully in the buffer, so
+        # a TypeError leaves the delta chain of written records intact
+        state[0] = time
+        state[1] += 1
+        if len(self._buffer) >= _FLUSH_BYTES:
+            self._flush()
+
+    def _define_schema(self, shape: Tuple[str, Tuple[str, ...]],
+                       data: Dict[str, Any]) -> _Schema:
+        """Compile and register a schema; emits its definition record."""
+        kind, keys = shape
+        # Raises TypeError on an unencodable value before any bytes are
+        # written, so the log stays valid.
+        types = tuple(_type_code(value) for value in data.values())
+        strings = self._strings
+        kind_id = strings.get(kind)
+        if kind_id is None:
+            kind_id = self._intern(kind)
+        key_ids = []
+        for key in keys:
+            key_id = strings.get(key)
+            if key_id is None:
+                key_id = self._intern(key)
+            key_ids.append(key_id)
+        schema = _Schema(self._schema_count, kind, keys, types, self)
+        self._schema_count += 1
+        buffer = self._buffer
+        buffer.append(_REC_SCHEMA)
+        buffer += encode_varint(kind_id)
+        buffer += encode_varint(len(keys))
+        for key_id, code in zip(key_ids, types):
+            buffer += encode_varint(key_id)
+            buffer.append(code)
+        self._by_shape[shape] = schema
+        self._hot.setdefault(kind, schema.encode)
+        return schema
+
+    def _generic(self, kind: str, data: Dict[str, Any], delta: int) -> None:
+        """Self-describing record for events that fit no schema."""
+        strings = self._strings
+        record = bytearray()
+        kind_id = strings.get(kind)
+        if kind_id is None:
+            kind_id = self._intern(kind)
+        record.append(_REC_EVENT)
+        record += encode_varint(kind_id)
+        record += encode_zigzag(delta)
+        record += encode_varint(len(data))
+        for key, value in data.items():
+            key_id = strings.get(key)
+            if key_id is None:
+                key_id = self._intern(key)
+            record += encode_varint(key_id)
+            value_type = type(value)
+            if value_type is bool:
+                record.append(_VAL_TRUE if value else _VAL_BOOL)
+            elif value_type is int:
+                record.append(_VAL_INT)
+                record += encode_zigzag(value)
+            elif value_type is str:
+                value_id = strings.get(value)
+                if value_id is None:
+                    value_id = self._intern(value)
+                record.append(_VAL_STR)
+                record += encode_varint(value_id)
+            elif value_type is float:
+                record.append(_VAL_FLOAT)
+                record += _FLOAT_STRUCT.pack(value)
+            elif value is None:
+                record.append(_VAL_NONE)
+            else:
+                raise TypeError(
+                    "binlog cannot encode %s field %r of type %s"
+                    % (kind, key, value_type.__name__))
+        self._buffer += record
+
+    # --- lifecycle --------------------------------------------------------
+
+    def _flush(self) -> None:
+        chunk = bytes(self._buffer)
+        self._hash.update(chunk)
+        self._file.write(chunk)
+        del self._buffer[:]
+
+    def close(self) -> None:
+        """Seal the log: encode any deferred events, flush, write the
+        footer, and release the file."""
+        if self._sealed:
+            return
+        pending = self._pending
+        if pending is not None:
+            # Deferred capture: run the whole encoding pipeline now, in
+            # capture order, through the same schema machinery streaming
+            # mode uses — the sealed bytes come out identical.
+            self._pending = None
+            hot_get = self._hot.get
+            slow_path = self._slow_path
+            for kind, time, data in pending:
+                encoder = hot_get(kind)
+                if encoder is not None:
+                    encoder(time, data)
+                else:
+                    slow_path(kind, time, data)
+        self._sealed = True
+        self._flush()
+        footer = bytearray((_REC_FOOTER,))
+        footer += _FOOTER_STRUCT.pack(self.event_count)
+        footer += self._hash.digest()
+        self._file.write(bytes(footer))
+        self._file.flush()
+        if self._owns_file:
+            self._file.close()
+
+    def __enter__(self) -> "BinaryTraceWriter":
+        return self
+
+    def __exit__(self, exc_type: Optional[Type[BaseException]],
+                 exc: Optional[BaseException],
+                 tb: Optional[TracebackType]) -> None:
+        self.close()
+
+
+# --- reader ------------------------------------------------------------------
+
+
+class _ReadSchema:
+    """Decoded schema definition: field names, types, slab geometry."""
+
+    __slots__ = ("kind", "fields", "unpack", "size")
+
+    def __init__(self, kind: str, fields: List[Tuple[str, int]]) -> None:
+        self.kind = kind
+        self.fields = fields
+        fmt = "<q" + "".join(_STRUCT_CHAR[code] for __, code in fields
+                             if code != _VAL_NONE)
+        packer = struct.Struct(fmt)
+        self.unpack = packer.unpack_from
+        self.size = packer.size
+
+
+class BinaryTraceReader:
+    """Iterate a sealed binary log as the captured :class:`Event` stream.
+
+    The whole file is validated up front — magic, version, structural
+    integrity, footer count, and content hash — so iteration never yields
+    events from a log that would later turn out to be truncated.  Events
+    are decoded lazily, one per ``next()``.
+    """
+
+    def __init__(self, path_or_file: Any) -> None:
+        if hasattr(path_or_file, "read"):
+            raw = path_or_file.read()
+        else:
+            with open(path_or_file, "rb") as handle:
+                raw = handle.read()
+        self._raw = raw
+        self._body_end = 0
+        self._string_count = 0
+        self._schema_count = 0
+        self._kinds: Dict[str, int] = {}
+        self._time_first: Optional[int] = None
+        self._time_last: Optional[int] = None
+        self.event_count = self._validate()
+
+    # --- validation -------------------------------------------------------
+
+    def _validate(self) -> int:
+        raw = self._raw
+        if len(raw) < len(MAGIC) + 1:
+            raise BinlogError("not a binary trace: file shorter than header")
+        if raw[:len(MAGIC)] != MAGIC:
+            raise BinlogError("not a binary trace: bad magic %r"
+                              % raw[:len(MAGIC)])
+        if raw[len(MAGIC)] != VERSION:
+            raise BinlogError("unsupported binlog version %d (expected %d)"
+                              % (raw[len(MAGIC)], VERSION))
+        footer_size = 1 + _FOOTER_STRUCT.size + _DIGEST_SIZE
+        if len(raw) < len(MAGIC) + 1 + footer_size:
+            raise BinlogError("truncated binary trace: no footer")
+        footer_at = len(raw) - footer_size
+        if raw[footer_at] != _REC_FOOTER:
+            raise BinlogError("truncated binary trace: footer record missing "
+                              "(log was not sealed or was cut short)")
+        (count,) = _FOOTER_STRUCT.unpack_from(raw, footer_at + 1)
+        digest = raw[footer_at + 1 + _FOOTER_STRUCT.size:]
+        actual = hashlib.sha256(raw[:footer_at]).digest()
+        if digest != actual:
+            raise BinlogError("corrupted binary trace: content hash mismatch")
+        self._body_end = footer_at
+        # Structural pass: decode everything once so a malformed body (or
+        # a count mismatch) fails here, not mid-iteration; summary stats
+        # for info() fall out for free.
+        kinds = self._kinds
+        seen = 0
+        for event in self._decode():
+            kinds[event.kind] = kinds.get(event.kind, 0) + 1
+            if seen == 0:
+                self._time_first = event.time
+            self._time_last = event.time
+            seen += 1
+        if seen != count:
+            raise BinlogError(
+                "corrupted binary trace: footer says %d events, body "
+                "decodes %d" % (count, seen))
+        return int(count)
+
+    # --- decoding ---------------------------------------------------------
+
+    def _read_varint(self, raw: bytes, pos: int) -> Tuple[int, int]:
+        result = 0
+        shift = 0
+        end = self._body_end
+        while True:
+            if pos >= end:
+                raise BinlogError("truncated binary trace: varint runs past "
+                                  "the footer")
+            byte = raw[pos]
+            pos += 1
+            result |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                return result, pos
+            shift += 7
+
+    def _decode(self) -> Iterator[Event]:
+        raw = self._raw
+        end = self._body_end
+        read_varint = self._read_varint
+        strings: List[str] = []
+        schemas: List[_ReadSchema] = []
+        last_time = 0
+        pos = len(MAGIC) + 1
+        while pos < end:
+            tag = raw[pos]
+            pos += 1
+            if tag == _REC_FAST:
+                schema_id, pos = read_varint(raw, pos)
+                try:
+                    schema = schemas[schema_id]
+                except IndexError:
+                    raise BinlogError("corrupted binary trace: event "
+                                      "references undefined schema %d"
+                                      % schema_id) from None
+                if pos + schema.size > end:
+                    raise BinlogError("truncated binary trace: event slab "
+                                      "runs past the footer")
+                values = schema.unpack(raw, pos)
+                pos += schema.size
+                last_time += values[0]
+                data: Dict[str, Any] = {}
+                index = 1
+                try:
+                    for key, code in schema.fields:
+                        if code == _VAL_NONE:
+                            data[key] = None
+                            continue
+                        value = values[index]
+                        index += 1
+                        if code == _VAL_STR:
+                            data[key] = strings[value]
+                        elif code == _VAL_BOOL:
+                            data[key] = value != 0
+                        else:  # int slab slot or float slab slot
+                            data[key] = value
+                except IndexError:
+                    raise BinlogError("corrupted binary trace: string id "
+                                      "references an undefined table entry"
+                                      ) from None
+                yield Event(schema.kind, last_time, data)
+                continue
+            if tag == _REC_STRING:
+                length, pos = read_varint(raw, pos)
+                if pos + length > end:
+                    raise BinlogError("truncated binary trace: string runs "
+                                      "past the footer")
+                strings.append(raw[pos:pos + length].decode("utf-8"))
+                pos += length
+                self._string_count = len(strings)
+                continue
+            if tag == _REC_SCHEMA:
+                kind_id, pos = read_varint(raw, pos)
+                nfields, pos = read_varint(raw, pos)
+                fields: List[Tuple[str, int]] = []
+                try:
+                    for __ in range(nfields):
+                        key_id, pos = read_varint(raw, pos)
+                        if pos >= end:
+                            raise BinlogError("truncated binary trace: "
+                                              "schema field type missing")
+                        code = raw[pos]
+                        pos += 1
+                        if code not in (_VAL_NONE, _VAL_BOOL, _VAL_INT,
+                                        _VAL_FLOAT, _VAL_STR):
+                            raise BinlogError("corrupted binary trace: "
+                                              "unknown schema type 0x%02x"
+                                              % code)
+                        fields.append((strings[key_id], code))
+                    schemas.append(_ReadSchema(strings[kind_id], fields))
+                except IndexError:
+                    raise BinlogError("corrupted binary trace: string id "
+                                      "references an undefined table entry"
+                                      ) from None
+                self._schema_count = len(schemas)
+                continue
+            if tag != _REC_EVENT:
+                raise BinlogError("corrupted binary trace: unknown record "
+                                  "tag 0x%02x at byte %d" % (tag, pos - 1))
+            kind_id, pos = read_varint(raw, pos)
+            zigzag, pos = read_varint(raw, pos)
+            last_time += decode_zigzag(zigzag)
+            nfields, pos = read_varint(raw, pos)
+            generic: Dict[str, Any] = {}
+            try:
+                kind = strings[kind_id]
+                for __ in range(nfields):
+                    key_id, pos = read_varint(raw, pos)
+                    if pos >= end:
+                        raise BinlogError("truncated binary trace: field "
+                                          "value missing")
+                    value_tag = raw[pos]
+                    pos += 1
+                    value: Any
+                    if value_tag == _VAL_INT:
+                        value, pos = read_varint(raw, pos)
+                        value = decode_zigzag(value)
+                    elif value_tag == _VAL_STR:
+                        sid, pos = read_varint(raw, pos)
+                        value = strings[sid]
+                    elif value_tag == _VAL_FLOAT:
+                        if pos + _FLOAT_STRUCT.size > end:
+                            raise BinlogError("truncated binary trace: "
+                                              "float runs past the footer")
+                        (value,) = _FLOAT_STRUCT.unpack_from(raw, pos)
+                        pos += _FLOAT_STRUCT.size
+                    elif value_tag == _VAL_TRUE:
+                        value = True
+                    elif value_tag == _VAL_BOOL:
+                        value = False
+                    elif value_tag == _VAL_NONE:
+                        value = None
+                    else:
+                        raise BinlogError(
+                            "corrupted binary trace: unknown value tag "
+                            "0x%02x" % value_tag)
+                    generic[strings[key_id]] = value
+            except IndexError:
+                raise BinlogError("corrupted binary trace: string id "
+                                  "references an undefined table entry"
+                                  ) from None
+            yield Event(kind, last_time, generic)
+
+    def __iter__(self) -> Iterator[Event]:
+        return self._decode()
+
+    def __len__(self) -> int:
+        return self.event_count
+
+    # --- summaries --------------------------------------------------------
+
+    def info(self) -> Dict[str, Any]:
+        """Log summary: counts, time range, kind histogram, table sizes."""
+        return {
+            "format": FORMAT,
+            "events": self.event_count,
+            "kinds": dict(self._kinds),
+            "strings": self._string_count,
+            "schemas": self._schema_count,
+            "time_first_ns": self._time_first,
+            "time_last_ns": self._time_last,
+            "size_bytes": len(self._raw),
+        }
+
+
+# --- conveniences ------------------------------------------------------------
+
+
+def read_events(path_or_file: Any) -> Iterator[Event]:
+    """Validate ``path_or_file`` and iterate its events (convenience)."""
+    return iter(BinaryTraceReader(path_or_file))
+
+
+def replay(source: Any, *subscribers: Any) -> int:
+    """Deliver a binlog's events to ``subscribers`` in capture order.
+
+    ``source`` is a path, open binary file, or :class:`BinaryTraceReader`.
+    Each subscriber is called exactly as the live bus would have called
+    it, so replaying through :class:`ChromeTraceBuilder` or
+    :class:`SchedStat` reproduces the live-collected state bit for bit.
+    Returns the number of events delivered.
+    """
+    reader = (source if isinstance(source, BinaryTraceReader)
+              else BinaryTraceReader(source))
+    count = 0
+    for event in reader:
+        for subscriber in subscribers:
+            subscriber(event)
+        count += 1
+    return count
+
+
+def write_events(events: Iterable[Event], path_or_file: Any) -> int:
+    """Encode an event stream into a sealed binlog (tests, converters).
+
+    Returns the number of events written.
+    """
+    with BinaryTraceWriter(path_or_file) as writer:
+        for event in events:
+            writer(event)
+        return writer.event_count

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro.obs``.
 
-Two subcommands:
+Subcommands:
 
 * ``demo`` — build a hierarchical example (the Figure-2 skeleton with a
   soft real-time MPEG-like decoder, two best-effort users, interactive
@@ -10,9 +10,19 @@ Two subcommands:
   (``--out trace.json``).
 * ``report FILE`` — validate a previously exported Chrome-trace JSON and
   print per-track occupancy, instant counts, and counter-track summaries.
+* ``record OUT`` — run the same demo scenario capturing only a binary
+  trace (:mod:`repro.obs.binlog`): the cheap path that scales to
+  million-event runs.  ``--defer`` buffers raw events in memory and
+  encodes at seal, for overhead-sensitive measurement runs.
+* ``convert FILE`` — replay a binlog through the existing collectors:
+  ``--chrome out.json`` (byte-identical to live collection),
+  ``--schedstat`` (offline counter tree), ``--depth-gantt`` (hierarchy
+  Gantt, time vs. depth).
+* ``info FILE`` — validate a binlog (footer count + content hash) and
+  print its summary: event/kind counts, string table size, time range.
 
-Both commands print to stdout and return a process exit code; errors in
-``report`` (malformed JSON, schema violations) exit 1 with a one-line
+All commands print to stdout and return a process exit code; file errors
+(malformed JSON, truncated or corrupt binlogs) exit 1 with a one-line
 diagnostic.
 """
 
@@ -20,6 +30,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import TYPE_CHECKING, List, Optional, Tuple
 
@@ -146,6 +157,82 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_record(args: argparse.Namespace) -> int:
+    """Run the demo scenario capturing only a binary trace."""
+    from repro.obs.binlog import BinaryTraceWriter
+    from repro.units import MS
+
+    machine, __, ___ = build_demo(args.duration_ms)
+    writer = BinaryTraceWriter(args.out, defer=args.defer)
+    with ev.BUS.subscription(writer):
+        machine.run_until(args.duration_ms * MS)
+    writer.close()
+    print("wrote %s: %d events, %d bytes (%s mode)"
+          % (args.out, writer.event_count, os.path.getsize(args.out),
+             "deferred" if args.defer else "streaming"))
+    return 0
+
+
+def cmd_convert(args: argparse.Namespace) -> int:
+    """Replay a binlog through the existing collectors and renderers."""
+    from repro.obs.binlog import BinaryTraceReader, BinlogError
+    from repro.obs.schedstat import render_schedstat_paths
+    from repro.viz.depth_gantt import depth_gantt
+
+    if not (args.chrome or args.schedstat or args.depth_gantt):
+        print("error: pick at least one of --chrome/--schedstat/--depth-gantt",
+              file=sys.stderr)
+        return 2
+    try:
+        reader = BinaryTraceReader(args.binlog)
+    except (OSError, BinlogError) as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 1
+    if args.chrome:
+        builder = ChromeTraceBuilder()
+        for event in reader:
+            builder(event)
+        builder.write(args.chrome, indent=args.indent)
+        print("wrote %s (%d events replayed) — open in ui.perfetto.dev"
+              % (args.chrome, builder.event_count))
+    if args.schedstat:
+        stats = SchedStat()
+        for event in reader:
+            stats(event)
+        print(render_schedstat_paths(stats))
+    if args.depth_gantt:
+        print(depth_gantt(reader, width=args.width))
+    return 0
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    """Validate a binlog and print its summary."""
+    from repro.obs.binlog import BinaryTraceReader, BinlogError
+
+    try:
+        reader = BinaryTraceReader(args.binlog)
+    except (OSError, BinlogError) as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 1
+    info = reader.info()
+    if args.json:
+        print(json.dumps(info, indent=2, sort_keys=True))
+        return 0
+    print("%s: valid %s" % (args.binlog, info["format"]))
+    print("  events   %d" % info["events"])
+    print("  size     %d bytes (%.1f bytes/event)"
+          % (info["size_bytes"],
+             info["size_bytes"] / info["events"] if info["events"] else 0.0))
+    print("  strings  %d interned, %d schemas"
+          % (info["strings"], info["schemas"]))
+    if info["events"]:
+        print("  time     %d .. %d ns"
+              % (info["time_first_ns"], info["time_last_ns"]))
+    for kind in sorted(info["kinds"]):
+        print("  %-22s %d" % (kind, info["kinds"][kind]))
+    return 0
+
+
 def _parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs",
@@ -165,6 +252,35 @@ def _parser() -> argparse.ArgumentParser:
         "report", help="validate and summarize an exported Chrome trace")
     report.add_argument("trace", help="path to a Chrome-trace JSON file")
     report.set_defaults(func=cmd_report)
+    record = sub.add_parser(
+        "record", help="run the demo scenario capturing only a binary trace")
+    record.add_argument("out", help="binlog output path")
+    record.add_argument("--duration-ms", type=int, default=2000,
+                        help="simulated milliseconds to run (default 2000)")
+    record.add_argument("--defer", action="store_true",
+                        help="buffer raw events and encode at seal "
+                             "(lowest capture overhead, unbounded memory)")
+    record.set_defaults(func=cmd_record)
+    convert = sub.add_parser(
+        "convert", help="replay a binlog through the existing collectors")
+    convert.add_argument("binlog", help="path to a sealed binary trace")
+    convert.add_argument("--chrome", default="",
+                         help="write a Perfetto-loadable Chrome trace here")
+    convert.add_argument("--indent", type=int, default=0,
+                         help="JSON indent for --chrome (default compact)")
+    convert.add_argument("--schedstat", action="store_true",
+                         help="print the offline per-node schedstat tree")
+    convert.add_argument("--depth-gantt", action="store_true",
+                         help="print the hierarchy Gantt (time vs. depth)")
+    convert.add_argument("--width", type=int, default=64,
+                         help="Gantt chart width in cells (default 64)")
+    convert.set_defaults(func=cmd_convert)
+    info = sub.add_parser(
+        "info", help="validate a binlog and print its summary")
+    info.add_argument("binlog", help="path to a sealed binary trace")
+    info.add_argument("--json", action="store_true",
+                      help="print the summary as JSON")
+    info.set_defaults(func=cmd_info)
     return parser
 
 

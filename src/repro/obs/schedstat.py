@@ -177,6 +177,37 @@ def _node_lines(node: Any, stats: Optional[SchedStat], depth: int,
             _node_lines(child, stats, depth + 1, lines)
 
 
+def render_schedstat_paths(stats: SchedStat) -> str:
+    """Structure-free schedstat view: the counter tree alone.
+
+    Offline conversion (``python -m repro.obs convert --schedstat``)
+    has no live :class:`~repro.core.structure.SchedulingStructure` to
+    merge with, so this renders every node path the collector saw —
+    indented by depth, ancestors first — with the same counter lines
+    :func:`render_schedstat` prints under each node.
+    """
+    lines: List[str] = ["schedstat-hsfq version 1 (offline)"]
+    for path in sorted(stats.nodes, key=ancestor_paths):
+        record = stats.nodes[path]
+        depth = len(ancestor_paths(path)) - 1
+        indent = "  " * depth
+        lines.append("%s%s" % (indent, path))
+        lines.append(
+            "%s  dispatches=%d preempt=%d service=%d charges=%d "
+            "overhead_ns=%d blocks=%d wakes=%d violations=%d"
+            % (indent, record.dispatches, record.preemptions,
+               record.service_work, record.charges, record.overhead_ns,
+               record.blocks, record.wakes, record.violations))
+        lines.append(
+            "%s  tags: S_min=%s F_max=%s v_last=%s updates=%d"
+            % (indent, _format_tag(record.min_start),
+               _format_tag(record.max_finish), _format_tag(record.vtime),
+               record.tag_updates))
+    lines.append("interrupts=%d interrupt_ns=%d events=%d"
+                 % (stats.interrupts, stats.interrupt_ns, stats.events_seen))
+    return "\n".join(lines)
+
+
 def render_schedstat(structure: Any,
                      stats: Optional[SchedStat] = None) -> str:
     """A ``/proc/schedstat``-style text tree of ``structure``.

@@ -42,6 +42,9 @@ def _build_parser() -> argparse.ArgumentParser:
         p.add_argument("--scenario", action="append", default=None,
                        metavar="NAME", choices=sorted(SCENARIOS),
                        help="run only the named scenario (repeatable)")
+        p.add_argument("--trace", default=None, metavar="DIR",
+                       help="also record a binary trace of each scenario "
+                            "(one extra untimed run) to DIR/<name>.binlog")
 
     run = sub.add_parser("run", help="run the suite, emit BENCH_<n>.json")
     add_run_options(run)
@@ -75,7 +78,8 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def _cmd_run(args: argparse.Namespace, out: Optional[str]) -> int:
     report = run_suite(quick=args.quick, repeats=args.repeats,
-                       scenario_names=args.scenario, echo=print)
+                       scenario_names=args.scenario, echo=print,
+                       trace_dir=args.trace)
     path = out
     if path is None:
         os.makedirs(args.out_dir, exist_ok=True)

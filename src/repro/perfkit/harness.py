@@ -10,6 +10,7 @@ peak in the last scenario measured.
 from __future__ import annotations
 
 import gc
+import os
 import platform
 import statistics
 import time
@@ -61,6 +62,24 @@ def _run_scenario_once(scenario: Scenario, quick: bool) -> Dict[str, Any]:
     return sample
 
 
+def _trace_scenario(scenario: Scenario, quick: bool, path: str) -> int:
+    """One extra *untimed* run of ``scenario`` with a binlog attached.
+
+    Capture runs outside the measured repeats so ``--trace`` never
+    perturbs the BENCH numbers; returns the event count recorded.
+    """
+    from repro.obs.binlog import BinaryTraceWriter
+    from repro.obs.events import BUS
+
+    writer = BinaryTraceWriter(path)
+    with BUS.subscription(writer):
+        for phase in scenario.phases(quick):
+            drive, __ = phase.setup()
+            drive()
+    writer.close()
+    return writer.event_count
+
+
 def _stats_for(samples: List[Dict[str, Any]]) -> Dict[str, Any]:
     runs = [sample["run_s"] for sample in samples]
     median_run = statistics.median(runs)
@@ -84,8 +103,13 @@ def _stats_for(samples: List[Dict[str, Any]]) -> Dict[str, Any]:
 
 def run_suite(quick: bool = False, repeats: int = 3,
               scenario_names: Optional[Iterable[str]] = None,
-              echo: Optional[Callable[[str], None]] = None) -> Dict[str, Any]:
-    """Run the suite and return a schema-valid BENCH report dict."""
+              echo: Optional[Callable[[str], None]] = None,
+              trace_dir: Optional[str] = None) -> Dict[str, Any]:
+    """Run the suite and return a schema-valid BENCH report dict.
+
+    ``trace_dir`` additionally records a binary trace of each scenario
+    (one extra untimed run) to ``<trace_dir>/<scenario>.binlog``.
+    """
     if repeats < 1:
         raise ValueError("repeats must be >= 1, got %d" % repeats)
     names = list(scenario_names) if scenario_names else list(SCENARIOS)
@@ -115,6 +139,13 @@ def run_suite(quick: bool = False, repeats: int = 3,
             echo("%-20s %8.3fs median  %12.0f events/s  %10.0f dispatches/s"
                  % (name, stats["run_s"]["median"], stats["events_per_sec"],
                     stats["dispatches_per_sec"]))
+        if trace_dir is not None:
+            os.makedirs(trace_dir, exist_ok=True)
+            trace_path = os.path.join(trace_dir, "%s.binlog" % name)
+            traced = _trace_scenario(scenario, quick, trace_path)
+            if echo is not None:
+                echo("%-20s traced %d events -> %s"
+                     % (name, traced, trace_path))
     report = {
         "schema": SCHEMA,
         "mode": "quick" if quick else "full",

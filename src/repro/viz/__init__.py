@@ -6,6 +6,10 @@ sparklines (:mod:`repro.viz.ascii_chart`).
 """
 
 from repro.viz.ascii_chart import line_chart, sparkline
+from repro.viz.depth_gantt import depth_gantt
+from repro.viz.gantt import gantt_chart
+from repro.viz.spans import Span, SpanSet, extract_spans
 from repro.viz.table import format_table
 
-__all__ = ["format_table", "line_chart", "sparkline"]
+__all__ = ["Span", "SpanSet", "depth_gantt", "extract_spans",
+           "format_table", "gantt_chart", "line_chart", "sparkline"]

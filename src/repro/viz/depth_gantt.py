@@ -1,0 +1,70 @@
+"""Depth-axis hierarchy Gantt: time horizontal, scheduling depth vertical.
+
+The natural rendering for this paper's scheduling structure (after
+schedsi's depth-indexed Gantt charts): one lane per structure node,
+lanes ordered root-outward by hierarchy depth, so the chart reads as
+"which subtree held the CPU when".  An ``irq`` lane on top shows
+interrupt service windows — time stolen from the whole hierarchy —
+and ``!`` marks preemption instants on the owning node's lane.
+
+Works from any span source :mod:`repro.viz.spans` understands; binlogs
+are the richest (slices carry leaf pathnames, and preempt/interrupt
+instants are preserved)::
+
+    from repro.obs.binlog import BinaryTraceReader
+    print(depth_gantt(BinaryTraceReader("run.binlog")))
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+from repro.viz.gantt import occupancy_strip, time_axis
+from repro.viz.spans import SpanSet, extract_spans, node_depth
+
+
+def _overlay(strip: str, instants: List[int], start: int, end: int,
+             width: int) -> str:
+    """Mark instant timestamps on a strip with ``!``."""
+    if not instants:
+        return strip
+    cells = list(strip)
+    cell = (end - start) / width
+    for t in instants:
+        if start <= t < end:
+            cells[min(width - 1, int((t - start) / cell))] = "!"
+    return "".join(cells)
+
+
+def depth_gantt(source: Any, start: int = 0, end: int = 0,
+                width: int = 64, title: str = "") -> str:
+    """Render per-node occupancy lanes ordered by hierarchy depth.
+
+    ``source`` is a recorder, a :class:`~repro.obs.binlog.BinaryTraceReader`,
+    or any event iterable; ``[start, end]`` defaults to the whole trace.
+    """
+    spanset: SpanSet = extract_spans(source)
+    if end <= start:
+        end = max(spanset.end(), start + 1)
+
+    nodes = spanset.nodes()
+    labels = ["irq"] + ["%d %s" % (node_depth(node), node) for node in nodes]
+    margin = max(len(label) for label in labels)
+
+    rows: List[str] = []
+    if title:
+        rows.append(title)
+    rows.append("%s |%s|" % (
+        "irq".rjust(margin),
+        occupancy_strip(spanset.interrupts, start, end, width)))
+    for node, label in zip(nodes, labels[1:]):
+        strip = occupancy_strip(
+            (span for span in spanset.spans if span.node == node),
+            start, end, width)
+        strip = _overlay(strip,
+                         [t for t, __, where in spanset.preempts
+                          if where == node],
+                         start, end, width)
+        rows.append("%s |%s|" % (label.rjust(margin), strip))
+    rows.append(time_axis(start, end, width, margin))
+    return "\n".join(rows)

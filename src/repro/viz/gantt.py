@@ -1,59 +1,88 @@
 """Text Gantt charts of machine timelines.
 
 Renders which thread held the CPU over time, one row per thread — the
-visual counterpart of Figure 3's execution-sequence diagram.
+visual counterpart of Figure 3's execution-sequence diagram.  The chart
+accepts any span source :mod:`repro.viz.spans` understands: a live
+:class:`~repro.trace.recorder.Recorder` or an event stream such as a
+:class:`~repro.obs.binlog.BinaryTraceReader`.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterable, List
+from typing import TYPE_CHECKING, Any, Iterable, List, Optional, Tuple
 
-from repro.trace.recorder import Recorder
-from repro.trace.timeline import merge_timeline
+from repro.viz.spans import Span, extract_spans
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.threads.thread import SimThread
 
 
-def gantt_chart(recorder: Recorder, threads: Iterable["SimThread"],
+def occupancy_strip(spans: Iterable[Span], start: int, end: int,
+                    width: int) -> str:
+    """Cell-quantized occupancy of ``[start, end]`` as a text strip.
+
+    A cell shows ``#`` when the spans cover most of that cell's time
+    span, ``+`` when they cover part of it, and ``.`` when idle.  Shared
+    by both Gantt renderers.
+    """
+    cell = (end - start) / width
+    occupancy = [0.0] * width
+    for t0, t1, *_ in spans:
+        if t1 <= start or t0 >= end:
+            continue
+        lo = max(t0, start)
+        hi = min(t1, end)
+        first = int((lo - start) / cell)
+        last = min(width - 1, int((hi - start - 1) / cell))
+        for index in range(first, last + 1):
+            cell_lo = start + index * cell
+            cell_hi = cell_lo + cell
+            overlap = min(hi, cell_hi) - max(lo, cell_lo)
+            if overlap > 0:
+                occupancy[index] += overlap / cell
+    return "".join("#" if o >= 0.5 else ("+" if o > 0 else ".")
+                   for o in occupancy)
+
+
+def time_axis(start: int, end: int, width: int, margin: int) -> str:
+    """The bottom axis line both Gantt charts share."""
+    return "%s  %s%s" % (" " * margin,
+                         ("t=%d" % start).ljust(width - 8),
+                         "t=%d" % end)
+
+
+def gantt_chart(source: Any,
+                threads: Optional[Iterable["SimThread"]] = None,
                 start: int = 0, end: int = 0, width: int = 64,
                 title: str = "") -> str:
     """Render a per-thread occupancy strip over [start, end].
 
-    A cell shows ``#`` when the thread ran for most of that cell's time
-    span, ``+`` when it ran for part of it, and ``.`` when idle.
+    ``source`` is a recorder or an event stream (see
+    :func:`repro.viz.spans.extract_spans`); ``threads`` fixes the row
+    order (and includes idle threads) — when omitted, rows appear in
+    tid order for every thread that ran.
     """
-    threads = list(threads)
-    timeline = merge_timeline(recorder, threads)
+    thread_list = list(threads) if threads is not None else None
+    spans = extract_spans(source, thread_list).spans
     if end <= start:
-        end = max((t1 for __, t1, __ in timeline), default=start + 1)
-    span = end - start
-    cell = span / width
+        end = max((span.t1 for span in spans), default=start + 1)
+
+    if thread_list is not None:
+        rows_spec: List[Tuple[int, str]] = [(t.tid, t.name)
+                                            for t in thread_list]
+    else:
+        seen = {}
+        for span in spans:
+            seen.setdefault(span.tid, span.name)
+        rows_spec = sorted(seen.items())
 
     rows: List[str] = []
     if title:
         rows.append(title)
-    name_width = max((len(t.name) for t in threads), default=4)
-    for thread in threads:
-        occupancy = [0.0] * width
-        for t0, t1, owner in timeline:
-            if owner is not thread or t1 <= start or t0 >= end:
-                continue
-            lo = max(t0, start)
-            hi = min(t1, end)
-            first = int((lo - start) / cell)
-            last = min(width - 1, int((hi - start - 1) / cell))
-            for index in range(first, last + 1):
-                cell_lo = start + index * cell
-                cell_hi = cell_lo + cell
-                overlap = min(hi, cell_hi) - max(lo, cell_lo)
-                if overlap > 0:
-                    occupancy[index] += overlap / cell
-        strip = "".join(
-            "#" if o >= 0.5 else ("+" if o > 0 else ".")
-            for o in occupancy)
-        rows.append("%s |%s|" % (thread.name.rjust(name_width), strip))
-    rows.append("%s  %s%s" % (" " * name_width,
-                              ("t=%d" % start).ljust(width - 8),
-                              "t=%d" % end))
+    name_width = max((len(name) for __, name in rows_spec), default=4)
+    for tid, name in rows_spec:
+        strip = occupancy_strip(
+            (span for span in spans if span.tid == tid), start, end, width)
+        rows.append("%s |%s|" % (name.rjust(name_width), strip))
+    rows.append(time_axis(start, end, width, name_width))
     return "\n".join(rows)

@@ -176,6 +176,44 @@ SCENARIOS: Dict[str, Callable[[], List[str]]] = {
 }
 
 
+def demo_binlog_bytes(duration_ms: int = 500) -> bytes:
+    """The obs-demo workload captured as a sealed binlog.
+
+    Byte-stable for the same reason the text streams are: global
+    counters are pinned, the workload is seeded, and the binlog format
+    has no timestamps or host state.  The committed copy
+    (``obs_demo.binlog``) is the codec's golden fixture — writer-side
+    encoding changes that alter the bytes must be intentional format
+    changes, never silent drift.
+    """
+    import io
+
+    from repro.obs.binlog import BinaryTraceWriter
+    from repro.obs.cli import build_demo
+    from repro.units import MS
+
+    _reset_global_counters()
+    machine, __, ___ = build_demo(duration_ms)
+    buffer = io.BytesIO()
+    writer = BinaryTraceWriter(buffer)
+    with obs.BUS.subscription(writer):
+        machine.run_until(duration_ms * MS)
+    writer.close()
+    return buffer.getvalue()
+
+
+def binlog_fixture_path() -> str:
+    return os.path.join(FIXTURE_DIR, "obs_demo.binlog")
+
+
+def write_binlog_fixture() -> bytes:
+    payload = demo_binlog_bytes()
+    os.makedirs(FIXTURE_DIR, exist_ok=True)
+    with open(binlog_fixture_path(), "wb") as handle:
+        handle.write(payload)
+    return payload
+
+
 def stream_digest(lines: List[str]) -> str:
     """sha256 over the newline-joined canonical event lines."""
     payload = ("\n".join(lines) + "\n").encode("utf-8")

@@ -15,6 +15,9 @@ def main() -> None:
         payload = goldens.write_fixture(name, builder())
         print("%-12s %7d events  sha256=%s" % (
             name, payload["events"], payload["sha256"]))
+    raw = goldens.write_binlog_fixture()
+    print("%-12s %7d bytes  (binary trace fixture)"
+          % ("obs_demo", len(raw)))
 
 
 if __name__ == "__main__":

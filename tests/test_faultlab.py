@@ -215,6 +215,16 @@ class TestSelfValidation:
                               check=False)
         assert proc.returncode == 0, proc.stderr  # 0 = failure reproduced
 
+    def test_failing_cell_records_a_valid_binlog(self, tmp_path):
+        from repro.faultlab.shrink import record_cell_binlog
+        from repro.obs.binlog import BinaryTraceReader
+
+        spec = _selftest_spec()
+        path = Path(record_cell_binlog(spec, str(tmp_path)))
+        assert path.name == reproducer_name(spec)[:-3] + ".binlog"
+        reader = BinaryTraceReader(str(path))
+        assert len(reader) > 0  # sealed and decodable even on failure
+
 
 class TestCli:
     def test_list_names_every_kind_and_cell(self, capsys):

@@ -128,6 +128,8 @@ def test_tree_version_bumps_on_mknod_and_rmnod():
 
 
 def test_chains_rebuilt_after_mknod():
+    if obs.BUS.active:  # REPRO_OBS=1: the traced walk bypasses the cache
+        pytest.skip("chain cache is not exercised while the bus is active")
     driver = Driver()
     driver.spawn("a", driver.leaf1)
     driver.serve(10)

@@ -1,0 +1,295 @@
+"""The binary trace codec: writer, reader, and bus integration."""
+
+import io
+
+import pytest
+
+from repro.obs import events as ev
+from repro.obs.binlog import (
+    BinaryTraceReader,
+    BinaryTraceWriter,
+    BinlogError,
+    read_events,
+    replay,
+    write_events,
+)
+from repro.obs.events import Event, EventBus
+
+MIXED_EVENTS = [
+    Event("dispatch", 10, {"tid": 1, "name": "mpeg", "node": "/a/b",
+                           "cpu": 0, "depth": 2, "switched": True,
+                           "overhead_ns": 200, "quantum_work": 1000}),
+    Event("dispatch", 25, {"tid": 2, "name": "x", "node": "/a", "cpu": 0,
+                           "depth": 1, "switched": False, "overhead_ns": 0,
+                           "quantum_work": 900}),
+    # type drift: switched becomes int -> generic-record fallback
+    Event("dispatch", 30, {"tid": 3, "name": "y", "node": "/a", "cpu": 0,
+                           "depth": 1, "switched": 1, "overhead_ns": 0,
+                           "quantum_work": 900}),
+    # shape drift: extra field -> second schema for the same kind
+    Event("dispatch", 31, {"tid": 3, "name": "y", "node": "/a", "cpu": 0,
+                           "depth": 1, "switched": True, "overhead_ns": 0,
+                           "quantum_work": 900, "extra": None}),
+    # int beyond the fast path's fixed-width field -> generic fallback
+    Event("tag-update", 40, {"node": "/a", "start": 1.5, "finish": 2.5,
+                             "work": 1 << 80}),
+    Event("tag-update", 41, {"node": "/a", "start": 1.5, "finish": 2.5,
+                             "work": 100}),
+    # the fairqueue 5-field tag-update shape
+    Event("tag-update", 42, {"node": "/a", "tid": 7, "start": 1.5,
+                             "finish": 2.5, "work": 100}),
+    # time going backwards (negative delta)
+    Event("vtime-advance", 5, {"node": "/", "v": 0.25}),
+    Event("weird", 5, {"n": None, "t": True, "f": False, "neg": -12345,
+                       "s": "hello", "fl": -0.0}),
+    # first schema again: fast path resumes after the fallbacks
+    Event("dispatch", 50, {"tid": 1, "name": "mpeg", "node": "/a/b",
+                           "cpu": 0, "depth": 2, "switched": False,
+                           "overhead_ns": 0, "quantum_work": 1000}),
+]
+
+
+def sealed_bytes(events, defer=False):
+    buffer = io.BytesIO()
+    writer = BinaryTraceWriter(buffer, defer=defer)
+    for event in events:
+        writer(event)
+    writer.close()
+    return buffer.getvalue()
+
+
+class TestRoundTrip:
+    def test_mixed_stream_roundtrips_losslessly(self):
+        raw = sealed_bytes(MIXED_EVENTS)
+        out = list(read_events(io.BytesIO(raw)))
+        assert len(out) == len(MIXED_EVENTS)
+        for original, decoded in zip(MIXED_EVENTS, out):
+            assert original.kind == decoded.kind
+            assert original.time == decoded.time
+            assert original.data == decoded.data
+
+    def test_value_types_survive_exactly(self):
+        raw = sealed_bytes(MIXED_EVENTS)
+        for original, decoded in zip(MIXED_EVENTS,
+                                     read_events(io.BytesIO(raw))):
+            for key in original.data:
+                assert type(original.data[key]) is type(decoded.data[key]), (
+                    original.kind, key)
+
+    def test_field_insertion_order_is_canonicalized_not_lost(self):
+        # same keys, different dict order -> same schema, equal dicts back
+        first = Event("k", 1, {"a": 1, "b": 2})
+        second = Event("k", 2, {"b": 20, "a": 10})
+        out = list(read_events(io.BytesIO(sealed_bytes([first, second]))))
+        assert out[0].data == {"a": 1, "b": 2}
+        assert out[1].data == {"a": 10, "b": 20}
+
+    def test_empty_log_roundtrips(self):
+        buffer = io.BytesIO()
+        assert write_events([], buffer) == 0
+        assert list(read_events(io.BytesIO(buffer.getvalue()))) == []
+
+    def test_write_events_returns_count(self):
+        buffer = io.BytesIO()
+        assert write_events(MIXED_EVENTS, buffer) == len(MIXED_EVENTS)
+
+    def test_replay_feeds_subscribers_in_order(self):
+        raw = sealed_bytes(MIXED_EVENTS)
+        seen = []
+        count = replay(io.BytesIO(raw),
+                       lambda event: seen.append(event.kind))
+        assert count == len(MIXED_EVENTS)
+        assert seen == [event.kind for event in MIXED_EVENTS]
+
+
+class TestWriterModes:
+    def test_deferred_and_streaming_bytes_are_identical(self):
+        assert sealed_bytes(MIXED_EVENTS, defer=True) == \
+            sealed_bytes(MIXED_EVENTS, defer=False)
+
+    def test_deferred_mode_encodes_nothing_until_close(self):
+        buffer = io.BytesIO()
+        writer = BinaryTraceWriter(buffer, defer=True)
+        for event in MIXED_EVENTS:
+            writer(event)
+        writer._flush()
+        header_only = buffer.getvalue()
+        assert len(header_only) == 5  # magic + version, no event bytes
+        writer.close()
+        assert list(read_events(io.BytesIO(buffer.getvalue())))
+
+    def test_deferred_mode_withholds_the_raw_table(self):
+        assert BinaryTraceWriter(io.BytesIO(), defer=True).raw_encoders \
+            is None
+        writer = BinaryTraceWriter(io.BytesIO())
+        assert writer.raw_encoders is writer._hot
+
+    def test_event_count_tracks_both_modes(self):
+        for defer in (False, True):
+            writer = BinaryTraceWriter(io.BytesIO(), defer=defer)
+            for event in MIXED_EVENTS:
+                writer(event)
+            writer.close()
+            assert writer.event_count == len(MIXED_EVENTS)
+
+    def test_close_is_idempotent(self):
+        buffer = io.BytesIO()
+        writer = BinaryTraceWriter(buffer)
+        writer(MIXED_EVENTS[0])
+        writer.close()
+        sealed = buffer.getvalue()
+        writer.close()
+        assert buffer.getvalue() == sealed
+
+    def test_context_manager_seals(self):
+        buffer = io.BytesIO()
+        with BinaryTraceWriter(buffer) as writer:
+            writer(MIXED_EVENTS[0])
+        assert len(list(read_events(io.BytesIO(buffer.getvalue())))) == 1
+
+    def test_path_open_and_close(self, tmp_path):
+        path = tmp_path / "run.binlog"
+        with BinaryTraceWriter(str(path)) as writer:
+            for event in MIXED_EVENTS:
+                writer(event)
+        reader = BinaryTraceReader(str(path))
+        assert len(reader) == len(MIXED_EVENTS)
+
+    def test_unencodable_value_raises_and_keeps_log_valid(self):
+        buffer = io.BytesIO()
+        writer = BinaryTraceWriter(buffer)
+        writer(MIXED_EVENTS[0])
+        with pytest.raises(TypeError):
+            writer(Event("bad", 60, {"payload": [1, 2, 3]}))
+        writer(MIXED_EVENTS[-1])
+        writer.close()
+        out = list(read_events(io.BytesIO(buffer.getvalue())))
+        assert [event.time for event in out] == [10, 50]
+
+
+class TestRejection:
+    def test_every_truncation_is_rejected(self):
+        raw = sealed_bytes(MIXED_EVENTS)
+        for cut in range(len(raw)):
+            with pytest.raises(BinlogError):
+                BinaryTraceReader(io.BytesIO(raw[:cut]))
+
+    def test_every_single_byte_corruption_is_rejected(self):
+        # the footer hash covers every preceding byte; flips inside the
+        # hash or count fields trip their own checks
+        raw = sealed_bytes(MIXED_EVENTS[:3])
+        for index in range(len(raw)):
+            mutated = bytearray(raw)
+            mutated[index] ^= 0xFF
+            with pytest.raises(BinlogError):
+                BinaryTraceReader(io.BytesIO(bytes(mutated)))
+
+    def test_unsealed_stream_is_rejected(self):
+        buffer = io.BytesIO()
+        writer = BinaryTraceWriter(buffer)
+        writer(MIXED_EVENTS[0])
+        writer._flush()  # bytes on disk, but no footer
+        with pytest.raises(BinlogError):
+            BinaryTraceReader(io.BytesIO(buffer.getvalue()))
+
+    def test_missing_file_raises_oserror(self, tmp_path):
+        with pytest.raises(OSError):
+            BinaryTraceReader(str(tmp_path / "nope.binlog"))
+
+
+class TestInfo:
+    def test_info_summarizes_the_log(self):
+        reader = BinaryTraceReader(io.BytesIO(sealed_bytes(MIXED_EVENTS)))
+        info = reader.info()
+        assert info["format"] == "repro.binlog/1"
+        assert info["events"] == len(MIXED_EVENTS)
+        assert info["kinds"]["dispatch"] == 5
+        assert info["time_first_ns"] == 10
+        assert info["time_last_ns"] == 50
+        assert info["strings"] > 0 and info["schemas"] >= 3
+
+    def test_len_matches_event_count(self):
+        reader = BinaryTraceReader(io.BytesIO(sealed_bytes(MIXED_EVENTS)))
+        assert len(reader) == len(MIXED_EVENTS)
+        assert len(list(reader)) == len(MIXED_EVENTS)
+
+
+class TestBusIntegration:
+    """The raw-consumer protocol must never change what gets written."""
+
+    def emit_all(self, bus):
+        for event in MIXED_EVENTS:
+            bus.emit(event.kind, event.time, **event.data)
+
+    def test_sole_subscriber_uses_raw_table(self):
+        bus = EventBus()
+        writer = BinaryTraceWriter(io.BytesIO())
+        bus.subscribe(writer)
+        assert bus._raw is not None
+        assert bus._raw_table is writer.raw_encoders
+        bus.unsubscribe(bus.subscribe(lambda event: None))
+        assert bus._raw_table is writer.raw_encoders  # refreshed back
+
+    def test_raw_path_and_event_path_write_identical_bytes(self):
+        # sole subscriber: zero-copy raw dispatch
+        bus = EventBus()
+        buffer_raw = io.BytesIO()
+        writer = BinaryTraceWriter(buffer_raw)
+        bus.subscribe(writer)
+        self.emit_all(bus)
+        writer.close()
+        # second subscriber forces Event construction and __call__
+        bus = EventBus()
+        buffer_event = io.BytesIO()
+        writer = BinaryTraceWriter(buffer_event)
+        bus.subscribe(lambda event: None)
+        bus.subscribe(writer)
+        assert bus._raw is None
+        self.emit_all(bus)
+        writer.close()
+        assert buffer_raw.getvalue() == buffer_event.getvalue()
+
+    def test_deferred_writer_on_the_bus(self):
+        bus = EventBus()
+        buffer = io.BytesIO()
+        writer = BinaryTraceWriter(buffer, defer=True)
+        bus.subscribe(writer)
+        assert bus._raw is not None and bus._raw_table is None
+        self.emit_all(bus)
+        writer.close()
+        assert buffer.getvalue() == sealed_bytes(MIXED_EVENTS)
+
+    def test_collector_alongside_writer_sees_every_event(self):
+        bus = EventBus()
+        writer = BinaryTraceWriter(io.BytesIO())
+        seen = []
+        bus.subscribe(writer)
+        bus.subscribe(lambda event: seen.append(event.kind))
+        self.emit_all(bus)
+        assert seen == [event.kind for event in MIXED_EVENTS]
+        assert writer.event_count == len(MIXED_EVENTS)
+
+    def test_emit_raw_handles_unknown_kinds(self):
+        writer = BinaryTraceWriter(buffer := io.BytesIO())
+        writer.emit_raw("fresh", 1, {"x": 1})
+        writer.emit_raw("fresh", 2, {"x": 2})
+        writer.close()
+        out = list(read_events(io.BytesIO(buffer.getvalue())))
+        assert [event.data["x"] for event in out] == [1, 2]
+
+
+def test_machine_capture_matches_event_formatting(harness):
+    """A live machine run captured to binlog replays identically."""
+    buffer = io.BytesIO()
+    writer = BinaryTraceWriter(buffer)
+    live = []
+    with ev.BUS.subscription(writer), ev.BUS.subscription(
+            lambda event: live.append(
+                (event.kind, event.time, dict(event.data)))):
+        harness.spawn_dhrystone("a")
+        harness.spawn_dhrystone("b", weight=2)
+        harness.machine.run_until(200_000_000)
+    writer.close()
+    decoded = [(event.kind, event.time, event.data)
+               for event in read_events(io.BytesIO(buffer.getvalue()))]
+    assert decoded == live

@@ -1,0 +1,120 @@
+"""Lossless capture: binlog replay must equal live observation, byte for byte.
+
+The binlog's whole contract is that recording to disk loses nothing: the
+Chrome trace JSON and schedstat text produced by *replaying* a binlog
+must be identical to what the in-memory collectors produced *live* on
+the same run.  Checked on the Figure-5 workload and on the depth-8
+perfkit hierarchy, plus the committed golden binlog fixture.
+"""
+
+import io
+
+from repro.cpu.machine import Machine
+from repro.experiments import figure5
+from repro.obs import events as ev
+from repro.obs.binlog import BinaryTraceReader, BinaryTraceWriter, replay
+from repro.obs.chrometrace import ChromeTraceBuilder, validate_chrome_trace
+from repro.obs.schedstat import SchedStat, render_schedstat_paths
+from repro.perfkit.scenarios import _deep_tree
+from repro.core.hierarchy import HierarchicalScheduler
+from repro.sim.engine import Simulator
+from repro.sim.rng import make_rng
+from repro.threads.thread import SimThread
+from repro.units import MS, SECOND
+from repro.workloads.dhrystone import DhrystoneWorkload
+from repro.workloads.interactive import InteractiveWorkload
+
+from tests import goldens
+
+
+def capture_live(run):
+    """Run ``run`` once with binlog + live collectors on the bus."""
+    goldens._reset_global_counters()
+    buffer = io.BytesIO()
+    writer = BinaryTraceWriter(buffer)
+    stats = SchedStat()
+    builder = ChromeTraceBuilder()
+    with ev.BUS.subscription(writer), ev.BUS.subscription(stats), \
+            ev.BUS.subscription(builder):
+        run()
+    writer.close()
+    return buffer.getvalue(), builder, stats
+
+
+def replay_collectors(raw):
+    stats = SchedStat()
+    builder = ChromeTraceBuilder()
+    replay(io.BytesIO(raw), builder, stats)
+    return builder, stats
+
+
+def run_figure5():
+    figure5.run(duration=1 * SECOND)
+
+
+def run_deep_hierarchy():
+    """The perfkit deep_hierarchy scenario's depth-8 tree, shortened."""
+    structure, leaves = _deep_tree()
+    engine = Simulator()
+    machine = Machine(engine, HierarchicalScheduler(structure),
+                      capacity_ips=100_000_000, default_quantum=2 * MS)
+    for index, leaf in enumerate(leaves[:16]):
+        rng = make_rng(17, "churn/%d" % index)
+        thread = SimThread(
+            "churn-%d" % index,
+            InteractiveWorkload(burst_work=150_000, think_time=8 * MS,
+                                rng=rng))
+        leaf.attach_thread(thread)
+        machine.spawn(thread)
+        if index % 8 == 0:
+            hog = SimThread("hog-%d" % index, DhrystoneWorkload(300, 5_000))
+            leaf.attach_thread(hog)
+            machine.spawn(hog)
+    machine.run_until(300 * MS)
+
+
+WORKLOADS = {"figure5": run_figure5, "deep_hierarchy": run_deep_hierarchy}
+
+
+class TestByteIdentity:
+    def check(self, run):
+        raw, live_builder, live_stats = capture_live(run)
+        replayed_builder, replayed_stats = replay_collectors(raw)
+        assert live_builder.event_count > 100
+        # Chrome trace: identical JSON at both indents
+        assert replayed_builder.to_json() == live_builder.to_json()
+        assert replayed_builder.to_json(indent=1) == \
+            live_builder.to_json(indent=1)
+        assert validate_chrome_trace(replayed_builder.to_dict()) > 0
+        # schedstat: identical offline rendering
+        assert render_schedstat_paths(replayed_stats) == \
+            render_schedstat_paths(live_stats)
+
+    def test_figure5(self):
+        self.check(run_figure5)
+
+    def test_deep_hierarchy(self):
+        self.check(run_deep_hierarchy)
+
+
+class TestGoldenBinlog:
+    """The committed binlog fixture is the codec's drift detector."""
+
+    def test_current_tree_reproduces_committed_bytes(self):
+        with open(goldens.binlog_fixture_path(), "rb") as handle:
+            committed = handle.read()
+        assert goldens.demo_binlog_bytes() == committed, (
+            "binlog capture of the demo workload diverged from "
+            "tests/fixtures/golden/obs_demo.binlog; if the format or "
+            "scheduling change is intentional, regenerate with "
+            "`python -m tests.regen_goldens`")
+
+    def test_committed_fixture_validates_and_decodes(self):
+        reader = BinaryTraceReader(goldens.binlog_fixture_path())
+        info = reader.info()
+        assert info["events"] == len(reader) > 100
+        kinds = {event.kind for event in reader}
+        assert ev.DISPATCH in kinds and ev.SLICE in kinds
+
+    def test_capture_is_reproducible_in_process(self):
+        assert goldens.demo_binlog_bytes() == goldens.demo_binlog_bytes()

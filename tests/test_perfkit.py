@@ -66,6 +66,15 @@ class TestHarness:
         with pytest.raises(ValueError, match="unknown scenario"):
             run_suite(quick=True, repeats=1, scenario_names=["nope"])
 
+    def test_trace_dir_records_a_valid_binlog(self, tmp_path, capsys):
+        from repro.obs.binlog import BinaryTraceReader
+
+        run_suite(quick=True, repeats=1, scenario_names=[FAST_SCENARIO],
+                  echo=print, trace_dir=str(tmp_path))
+        assert "traced" in capsys.readouterr().out
+        reader = BinaryTraceReader(str(tmp_path / (FAST_SCENARIO + ".binlog")))
+        assert len(reader) > 1000
+
     def test_bad_repeats_rejected(self):
         with pytest.raises(ValueError, match="repeats"):
             run_suite(quick=True, repeats=0)

@@ -1,0 +1,119 @@
+"""Property-based round-trip and rejection tests for the binlog codec."""
+
+import io
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.binlog import (
+    BinaryTraceReader,
+    BinlogError,
+    decode_zigzag,
+    encode_varint,
+    encode_zigzag,
+    read_events,
+    write_events,
+)
+from repro.obs.events import Event
+
+
+def decode_varint(raw):
+    """Reference LEB128 decoder; returns (value, bytes_consumed)."""
+    result = 0
+    shift = 0
+    for index, byte in enumerate(raw):
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, index + 1
+        shift += 7
+    raise ValueError("unterminated varint")
+
+
+# unbounded on purpose: Python ints have no 64-bit ceiling and neither
+# does the wire format
+unsigned_ints = st.integers(min_value=0)
+signed_ints = st.integers()
+
+field_names = st.text(
+    st.characters(blacklist_categories=("Cs",)), min_size=1, max_size=12)
+
+values = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(),
+    st.floats(allow_nan=False),  # NaN != NaN breaks dict equality, not us
+    st.text(st.characters(blacklist_categories=("Cs",)), max_size=24),
+)
+
+events = st.builds(
+    Event,
+    kind=st.text(st.characters(blacklist_categories=("Cs",)),
+                 min_size=1, max_size=16),
+    time=st.integers(min_value=0, max_value=1 << 70),
+    data=st.dictionaries(field_names, values, max_size=8),
+)
+
+streams = st.lists(events, max_size=40)
+
+
+@given(unsigned_ints)
+def test_varint_roundtrip(value):
+    decoded, consumed = decode_varint(encode_varint(value))
+    assert decoded == value
+    assert consumed == len(encode_varint(value))
+
+
+@given(signed_ints)
+def test_zigzag_roundtrip(value):
+    decoded, __ = decode_varint(encode_zigzag(value))
+    assert decode_zigzag(decoded) == value
+
+
+@given(st.integers(min_value=0))
+def test_zigzag_mapping_is_a_bijection_near_zero(magnitude):
+    positive = decode_varint(encode_zigzag(magnitude))[0]
+    negative = decode_varint(encode_zigzag(-magnitude))[0]
+    if magnitude:
+        assert positive != negative
+    assert decode_zigzag(positive) == magnitude
+    assert decode_zigzag(negative) == -magnitude
+
+
+@settings(max_examples=60, deadline=None)
+@given(streams)
+def test_arbitrary_stream_roundtrips_identically(stream):
+    buffer = io.BytesIO()
+    assert write_events(stream, buffer) == len(stream)
+    decoded = list(read_events(io.BytesIO(buffer.getvalue())))
+    assert len(decoded) == len(stream)
+    for original, copy in zip(stream, decoded):
+        assert copy.kind == original.kind
+        assert copy.time == original.time
+        assert copy.data == original.data
+        for key in original.data:
+            assert type(copy.data[key]) is type(original.data[key])
+
+
+@settings(max_examples=40, deadline=None)
+@given(streams, st.data())
+def test_any_truncation_prefix_is_rejected(stream, data):
+    buffer = io.BytesIO()
+    write_events(stream, buffer)
+    raw = buffer.getvalue()
+    cut = data.draw(st.integers(min_value=0, max_value=len(raw) - 1))
+    with pytest.raises(BinlogError):
+        BinaryTraceReader(io.BytesIO(raw[:cut]))
+
+
+@settings(max_examples=40, deadline=None)
+@given(streams, st.data())
+def test_any_single_byte_corruption_is_rejected(stream, data):
+    buffer = io.BytesIO()
+    write_events(stream, buffer)
+    raw = bytearray(buffer.getvalue())
+    index = data.draw(st.integers(min_value=0, max_value=len(raw) - 1))
+    flip = data.draw(st.integers(min_value=1, max_value=255))
+    raw[index] ^= flip
+    with pytest.raises(BinlogError):
+        BinaryTraceReader(io.BytesIO(bytes(raw)))
