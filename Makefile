@@ -1,6 +1,6 @@
 # Convenience targets; plain pytest works too.
 
-.PHONY: install test test-schedsan test-obs test-faultlab lint bench bench-quick bench-compare bench-baseline microbench experiments quick-experiments examples obs-demo obs-record clean
+.PHONY: install test test-schedsan test-obs test-faultlab test-compiled engine enginediff lint bench bench-quick bench-compare bench-baseline microbench experiments quick-experiments examples obs-demo obs-record clean
 
 install:
 	pip install -e .
@@ -18,6 +18,20 @@ test-obs:
 # shrunk reproducers to faultlab-repros/ on failure.
 test-faultlab:
 	python -m repro.faultlab run --quick --workers 2 --repro-dir faultlab-repros
+
+# The same suite on the compiled engine (builds repro/core/_sfqc.c on
+# first use; hard-fails rather than falling back to pure).
+test-compiled:
+	REPRO_ENGINE=compiled pytest tests/ -q
+
+# Build (or reuse) the compiled-engine artifact under build/engine/.
+engine:
+	python -c "from repro.core.engine import build_extension; \
+		print(build_extension(quiet=False))"
+
+# Cross-engine byte-identity gate (see docs/PERFORMANCE.md).
+enginediff:
+	python -m repro.devtools.enginediff
 
 lint:
 	PYTHONPATH=src python -m repro.devtools.schedlint src/

@@ -21,6 +21,9 @@ from repro.core.sfq import (
     build_ancestor_chain,
     charge_chain,
     pick_leaf,
+    queue_charge,
+    queue_pick,
+    queue_set_runnable,
     sleep_chain,
     wake_chain,
 )
@@ -103,10 +106,13 @@ class HierarchicalScheduler(TopScheduler):
         if not root.runnable:
             return None
         if _BUS.active:
+            # Traced walk: per-level emits, but the queue operations still
+            # go through the engine-swappable module functions so the
+            # compiled engine is exercised (and gated) under tracing too.
             node: Node = root
             depth = 1
             while isinstance(node, InternalNode):
-                child = node.queue.pick()
+                child = queue_pick(node.queue)
                 if child is None:
                     raise SchedulingError(
                         "node %r is marked runnable but has no runnable "
@@ -144,7 +150,7 @@ class HierarchicalScheduler(TopScheduler):
             node: Node = leaf
             while node.parent is not None:
                 parent = node.parent
-                parent.queue.charge(node, work)
+                queue_charge(parent.queue, node, work)
                 _BUS.emit(obs.TAG_UPDATE, now, node=node.path,
                           start=float(parent.queue.start_tag(node)),
                           finish=float(parent.queue.finish_tag(node)),
@@ -199,7 +205,7 @@ class HierarchicalScheduler(TopScheduler):
             node: Node = leaf
             while node.parent is not None:
                 parent = node.parent
-                parent.queue.set_runnable(node)
+                queue_set_runnable(parent.queue, node)
                 _BUS.emit(obs.TAG_UPDATE, self.clock(), node=node.path,
                           start=float(parent.queue.start_tag(node)),
                           finish=float(parent.queue.finish_tag(node)),

@@ -20,6 +20,29 @@ the maximum finish tag ever assigned.
 The queue never needs quantum lengths in advance — lengths are supplied at
 :meth:`charge` time, which is the property that makes SFQ usable for CPU
 scheduling (threads may block before exhausting their quantum).
+
+Storage layout (since the columnar-arena refactor)
+--------------------------------------------------
+Per-entity state lives in the flat parallel columns of a
+:class:`~repro.core.arena.SfqArena`, indexed by a dense slot id; the queue
+object is a façade that maps ``id(entity)`` to a slot at the API edge and
+then works purely on lists.  The dispatch heap holds ``(start, seq,
+version, slot)`` tuples; mutable queue scalars (virtual time, max finish
+tag, in-service slot, runnable count) sit in the four-element ``_state``
+list so the compiled engine (``repro.core.engine``) can read and write
+them without attribute protocol.  Queues with a single registered entity
+run in *solo* mode: ordering is trivial, so the heap stays empty and
+stamping skips heap pushes entirely — observable behaviour (picks, tags,
+virtual time) is identical, which the golden-trace suite pins.
+
+Engine seam
+-----------
+The module-level hot functions (:func:`pick_leaf`, :func:`charge_chain`,
+:func:`wake_chain`, :func:`sleep_chain`, and the ``queue_*`` per-queue
+operations) are rebound to their C implementations at import time when
+``REPRO_ENGINE=compiled`` — see ``repro/core/engine.py``.  The pure-python
+definitions below are the always-available fallback and the behavioural
+reference the compiled engine is gated against.
 """
 
 from __future__ import annotations
@@ -28,46 +51,66 @@ import itertools
 from heapq import heappop, heappush
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.core.arena import SfqArena
 from repro.core.tags import EXACT, Tag, TagMath
 from repro.errors import SchedulingError
 
 _arrival_seq = itertools.count()
 
+# Indices into SfqQueue._state (mirrored by the compiled engine).
+_VT = 0    # virtual time v
+_MF = 1    # maximum finish tag ever assigned
+_SRV = 2   # slot currently in service, -1 when none
+_RC = 3    # count of runnable entities
 
-class _Record:
-    """Internal per-entity scheduling state."""
-
-    __slots__ = ("entity", "start", "finish", "runnable", "heap_version", "seq")
-
-    def __init__(self, entity: Any, zero: Tag) -> None:
-        self.entity = entity
-        self.start: Tag = zero
-        self.finish: Tag = zero
-        self.runnable = False
-        self.heap_version = 0
-        self.seq = next(_arrival_seq)
+# Indices into SfqQueue._cview (mirrored by the compiled engine).
+_CV_HEAP = 0
+_CV_STATE = 1
+_CV_ENT = 2
+_CV_START = 3
+_CV_FIN = 4
+_CV_RUN = 5
+_CV_VER = 6
+_CV_SEQ = 7
+_CV_SOLO = 8
+_CV_FLOAT = 9
+_CV_TAGS = 10
+_CV_SLOTS = 11
 
 
 class SfqQueue:
     """A single SFQ scheduling queue over weighted entities."""
 
-    __slots__ = ("tags", "_records", "_heap", "_virtual_time", "_max_finish",
-                 "_in_service", "_runnable_count", "_float_fast")
+    __slots__ = ("tags", "arena", "_slots", "_heap", "_state", "_solo",
+                 "_float_fast", "_cview")
 
     def __init__(self, tag_math: Optional[TagMath] = None) -> None:
         self.tags = tag_math if tag_math is not None else EXACT
-        self._records: Dict[int, _Record] = {}
-        self._heap: List[Tuple[Tag, int, int, _Record]] = []
-        self._virtual_time: Tag = self.tags.zero()
-        self._max_finish: Tag = self.tags.zero()
-        self._in_service: Optional[_Record] = None
-        self._runnable_count = 0
+        self.arena = arena = SfqArena()
+        #: id(entity) -> slot; the only object-keyed structure on the queue
+        self._slots: Dict[int, int] = {}
+        self._heap: List[Tuple[Tag, int, int, int]] = []
+        zero = self.tags.zero()
+        self._state: List[Any] = [zero, zero, -1, 0]
+        #: the single live slot while exactly one entity is registered
+        #: (solo mode: empty heap, no pushes), else -1
+        self._solo = -1
         # Hot-path specialization: stock float-mode tag math is inlined in
         # charge() (`start + length / weight` — the exact expression
         # TagMath.advance computes), skipping two calls per charge per tree
         # level.  Exact mode and custom TagMath objects take the slow path.
         self._float_fast = (type(self.tags) is TagMath
                             and not self.tags.exact)
+        # Column view for the descent/compiled hot paths: stable references
+        # to the heap, state vector and arena columns (none of which are
+        # ever rebound), plus the solo slot mirrored at _CV_SOLO.  The
+        # compiled engine reads *only* this list, so it is the complete
+        # C-visible descriptor of the queue.
+        self._cview: List[Any] = [self._heap, self._state, arena.ent,
+                                  arena.start, arena.fin, arena.run,
+                                  arena.ver, arena.seq, -1,
+                                  1 if self._float_fast else 0,
+                                  self.tags, self._slots]
 
     # --- membership ---------------------------------------------------
 
@@ -79,89 +122,127 @@ class SfqQueue:
         for the time before it arrived.
         """
         key = id(entity)
-        if key in self._records:
+        slots = self._slots
+        if key in slots:
             raise SchedulingError("entity %r already in SFQ queue" % (entity,))
-        self._records[key] = _Record(entity, self.tags.zero())
+        arena = self.arena
+        slot = arena.alloc(entity, self.tags.zero(), next(_arrival_seq))
+        slots[key] = slot
+        count = len(slots)
+        if count == 1:
+            self._solo = slot
+            self._cview[_CV_SOLO] = slot
+        elif count == 2:
+            # Leaving solo mode: restore the invariant that every runnable
+            # entity has a valid heap entry.
+            solo = self._solo
+            self._solo = -1
+            self._cview[_CV_SOLO] = -1
+            if arena.run[solo]:
+                version = arena.ver[solo] + 1
+                arena.ver[solo] = version
+                heappush(self._heap,
+                         (arena.start[solo], arena.seq[solo], version, solo))
 
     def remove(self, entity: Any) -> None:
         """Deregister ``entity``; it must not be runnable."""
-        record = self._lookup(entity)
-        if record.runnable:
+        slot = self._slot_of(entity)
+        arena = self.arena
+        if arena.run[slot]:
             raise SchedulingError(
                 "cannot remove runnable entity %r from SFQ queue" % (entity,))
-        record.heap_version += 1  # invalidate any stale heap entries
-        del self._records[id(entity)]
+        del self._slots[id(entity)]
+        if self._state[_SRV] == slot:
+            self._state[_SRV] = -1
+        arena.release(slot)  # bumps the version: stale heap entries die
+        count = len(self._slots)
+        if count == 1:
+            # Entering solo mode: the heap is no longer consulted, so drop
+            # it in place (the cview/chain references stay valid).
+            remaining = next(iter(self._slots.values()))
+            del self._heap[:]
+            self._solo = remaining
+            self._cview[_CV_SOLO] = remaining
+        elif count == 0:
+            del self._heap[:]
+            self._solo = -1
+            self._cview[_CV_SOLO] = -1
 
     def __contains__(self, entity: Any) -> bool:
-        return id(entity) in self._records
+        return id(entity) in self._slots
 
     def __len__(self) -> int:
-        return len(self._records)
+        return len(self._slots)
 
     # --- introspection --------------------------------------------------
 
     @property
     def virtual_time(self) -> Tag:
         """Current virtual time ``v`` of this queue."""
-        return self._virtual_time
+        return self._state[_VT]
 
     @property
     def runnable_count(self) -> int:
         """Number of entities currently eligible for service."""
-        return self._runnable_count
+        return self._state[_RC]
 
     def has_runnable(self) -> bool:
         """True when at least one entity is eligible for service."""
-        return self._runnable_count > 0
+        return self._state[_RC] > 0
 
     def start_tag(self, entity: Any) -> Tag:
         """Current start tag of ``entity`` (for tests and tracing)."""
-        return self._lookup(entity).start
+        return self.arena.start[self._slot_of(entity)]
 
     def finish_tag(self, entity: Any) -> Tag:
         """Current finish tag of ``entity`` (for tests and tracing)."""
-        return self._lookup(entity).finish
+        return self.arena.fin[self._slot_of(entity)]
 
     def is_runnable(self, entity: Any) -> bool:
         """True if ``entity`` is currently marked runnable in this queue."""
-        return self._lookup(entity).runnable
+        return bool(self.arena.run[self._slot_of(entity)])
 
     # --- the three SFQ rules ---------------------------------------------
 
     def set_runnable(self, entity: Any) -> None:
         """Rule 1: stamp a newly eligible entity with ``S = max(v, F)``."""
-        record = self._records.get(id(entity))
-        if record is None:
-            record = self._lookup(entity)
-        if record.runnable:
+        slot = self._slots.get(id(entity))
+        if slot is None:
+            slot = self._slot_of(entity)
+        arena = self.arena
+        if arena.run[slot]:
             return
-        record.runnable = True
-        self._runnable_count += 1
-        start = record.finish
-        if start < self._virtual_time:
-            start = self._virtual_time
-        record.start = start
-        version = record.heap_version + 1
-        record.heap_version = version
-        heappush(self._heap, (start, record.seq, version, record))
+        arena.run[slot] = 1
+        state = self._state
+        state[_RC] += 1
+        start = arena.fin[slot]
+        if start < state[_VT]:
+            start = state[_VT]
+        arena.start[slot] = start
+        version = arena.ver[slot] + 1
+        arena.ver[slot] = version
+        if self._solo < 0:
+            heappush(self._heap, (start, arena.seq[slot], version, slot))
 
     def set_blocked(self, entity: Any) -> None:
         """Mark an entity ineligible; updates idle virtual time if needed."""
-        record = self._records.get(id(entity))
-        if record is None:
-            record = self._lookup(entity)
-        if not record.runnable:
+        slot = self._slots.get(id(entity))
+        if slot is None:
+            slot = self._slot_of(entity)
+        arena = self.arena
+        if not arena.run[slot]:
             return
-        record.runnable = False
-        record.heap_version += 1  # lazy-remove from heap
-        self._runnable_count -= 1
-        if record is self._in_service:
-            self._in_service = None
-        if self._runnable_count == 0:
+        arena.run[slot] = 0
+        arena.ver[slot] += 1  # lazy-remove from heap
+        state = self._state
+        state[_RC] -= 1
+        if state[_SRV] == slot:
+            state[_SRV] = -1
+        if state[_RC] == 0:
             # Paper rule: when the server goes idle, v jumps to the maximum
             # finish tag assigned to any entity.
-            if self._max_finish > self._virtual_time:
-                self._virtual_time = self._max_finish
+            if state[_MF] > state[_VT]:
+                state[_VT] = state[_MF]
 
     def pick(self) -> Optional[Any]:
         """Rule 3: return the runnable entity with the smallest start tag.
@@ -169,21 +250,35 @@ class SfqQueue:
         The entity stays queued; it is "in service" until the next
         :meth:`charge`.  Returns ``None`` when nothing is runnable.
         """
+        arena = self.arena
+        state = self._state
+        solo = self._solo
+        if solo >= 0:
+            if not arena.run[solo]:
+                return None
+            state[_SRV] = solo
+            start = arena.start[solo]
+            if start > state[_VT]:
+                state[_VT] = start
+            return arena.ent[solo]
         heap = self._heap
-        record = None
+        run = arena.run
+        ver = arena.ver
+        slot = -1
         while heap:
             head = heap[0]
             candidate = head[3]
-            if candidate.runnable and head[2] == candidate.heap_version:
-                record = candidate
+            if run[candidate] and head[2] == ver[candidate]:
+                slot = candidate
                 break
             heappop(heap)
-        if record is None:
+        if slot < 0:
             return None
-        self._in_service = record
-        if record.start > self._virtual_time:
-            self._virtual_time = record.start
-        return record.entity
+        state[_SRV] = slot
+        start = head[0]  # valid entries carry the entity's current start tag
+        if start > state[_VT]:
+            state[_VT] = start
+        return arena.ent[slot]
 
     def charge(self, entity: Any, length: int, weight: Optional[int] = None) -> None:
         """Rule 2: account ``length`` units of completed service.
@@ -193,83 +288,111 @@ class SfqQueue:
         """
         if length < 0:
             raise SchedulingError("negative charge length %d" % length)
-        record = self._records.get(id(entity))
-        if record is None:
-            record = self._lookup(entity)
+        slot = self._slots.get(id(entity))
+        if slot is None:
+            slot = self._slot_of(entity)
         if weight is None:
             weight = entity.weight
+        arena = self.arena
         if self._float_fast:
             if weight <= 0:
                 raise ValueError("weight must be positive, got %r" % (weight,))
             # float-mode TagMath.advance, inlined:
-            finish = record.start + length / weight  # schedlint: disable=SL004
+            finish = arena.start[slot] + length / weight  # schedlint: disable=SL004
         else:
-            finish = self.tags.advance(record.start, length, weight)
-        record.finish = finish
-        if finish > self._max_finish:
-            self._max_finish = finish
-        if record is self._in_service:
-            self._in_service = None
-        if record.runnable:
+            finish = self.tags.advance(arena.start[slot], length, weight)
+        arena.fin[slot] = finish
+        state = self._state
+        if finish > state[_MF]:
+            state[_MF] = finish
+        if state[_SRV] == slot:
+            state[_SRV] = -1
+        if arena.run[slot]:
             # Still hungry: the next quantum is requested immediately, and
             # at this instant v equals this entity's start tag, so the new
             # start tag is simply the finish tag.
-            record.start = finish
-            version = record.heap_version + 1
-            record.heap_version = version
-            heappush(self._heap, (finish, record.seq, version, record))
+            arena.start[slot] = finish
+            version = arena.ver[slot] + 1
+            arena.ver[slot] = version
+            if self._solo < 0:
+                heappush(self._heap, (finish, arena.seq[slot], version, slot))
 
     # --- internals -----------------------------------------------------
 
-    def _lookup(self, entity: Any) -> _Record:
+    def _slot_of(self, entity: Any) -> int:
         try:
-            return self._records[id(entity)]
+            return self._slots[id(entity)]
         except KeyError:
             raise SchedulingError("entity %r not in SFQ queue" % (entity,)) from None
 
-    def _push(self, record: _Record) -> None:
-        record.heap_version += 1
-        heappush(
-            self._heap, (record.start, record.seq, record.heap_version, record))
+    def slot_of(self, entity: Any) -> int:
+        """The live arena slot of ``entity`` (chain-cache support).
 
-    def record_for(self, entity: Any) -> "_Record":
-        """The live internal record for ``entity`` (chain-cache support).
-
-        The record stays valid until the entity is removed from this queue;
+        The slot stays valid until the entity is removed from this queue;
         callers caching it must invalidate on removal (the hierarchy keys
         its caches to the structure's ``tree_version``).
         """
-        return self._lookup(entity)
-
-    def _peek_record(self) -> Optional[_Record]:
-        heap = self._heap
-        while heap:
-            __, __, version, record = heap[0]
-            if record.runnable and version == record.heap_version:
-                return record
-            heappop(heap)
-        return None
+        return self._slot_of(entity)
 
 
-#: one ancestor level of a cached chain: (queue, record, node, parent)
-ChainEntry = Tuple["SfqQueue", _Record, Any, Any]
+# --- module-level per-queue operations (engine-swappable) --------------------
+#
+# The leaf SFQ scheduler and the hierarchy's traced paths go through these
+# module-level names instead of the bound methods, so selecting the
+# compiled engine routes every hot per-queue operation — including the ones
+# exercised while the observability bus is attached — through one seam.
+
+queue_pick = SfqQueue.pick
+queue_set_runnable = SfqQueue.set_runnable
+queue_set_blocked = SfqQueue.set_blocked
+
+
+def queue_charge(queue: SfqQueue, entity: Any, length: int) -> None:
+    """``queue.charge(entity, length)`` with the weight read live."""
+    SfqQueue.charge(queue, entity, length)
+
+
+#: one ancestor level of a cached chain (see :func:`build_ancestor_chain`)
+ChainEntry = Tuple[Any, ...]
+
+# Indices into a chain entry (mirrored by the compiled engine).
+_CH_QUEUE = 0
+_CH_FLOAT = 1
+_CH_SOLO = 2
+_CH_HEAP = 3
+_CH_STATE = 4
+_CH_START = 5
+_CH_FIN = 6
+_CH_RUN = 7
+_CH_VER = 8
+_CH_SEQ = 9
+_CH_SLOT = 10
+_CH_ENTITY = 11
+_CH_PARENT = 12
 
 
 def build_ancestor_chain(leaf: Any) -> List[ChainEntry]:
-    """Precompute ``(queue, record, node, parent)`` per ancestor of ``leaf``.
+    """Precompute one flat entry per ancestor of ``leaf``.
 
-    ``leaf`` is a scheduling-structure node; each entry pairs an ancestor's
-    SFQ queue with its live record for the child node at that level.  The
-    chain mirrors the leaf-to-root walks the hierarchy performs on charge
-    and eligibility changes, and stays valid until the tree shape changes
-    (mknod/rmnod — the hierarchy keys its cache to ``tree_version``).
+    Each entry pre-resolves everything the chain walks touch — the
+    ancestor's queue object, its solo slot, heap, state vector, the arena
+    columns, the child's slot — so the per-level work is pure list
+    indexing.  The chain mirrors the leaf-to-root walks the hierarchy
+    performs on charge and eligibility changes, and stays valid until the
+    tree shape changes (mknod/rmnod — the hierarchy keys its cache to
+    ``tree_version``; solo membership also only changes with the shape, so
+    baking it here is safe).
     """
     chain: List[ChainEntry] = []
     node = leaf
     while node.parent is not None:
         parent = node.parent
         queue = parent.queue
-        chain.append((queue, queue.record_for(node), node, parent))
+        arena = queue.arena
+        chain.append((queue, queue._float_fast, queue._solo, queue._heap,
+                      queue._state, arena.start, arena.fin, arena.run,
+                      arena.ver, arena.seq, queue.slot_of(node), node,
+                      parent))
         node = parent
     return chain
 
@@ -284,22 +407,24 @@ def charge_chain(chain: List[ChainEntry], length: int) -> None:
     by the machine and structure, not re-checked here): ``length >= 0``
     and every entity registered with a positive weight.
     """
-    for queue, record, entity, __ in chain:
+    for (queue, float_fast, solo, heap, state, start_col, fin_col, run_col,
+         ver_col, seq_col, slot, entity, __) in chain:
         weight = entity.weight
-        if queue._float_fast:
-            finish = record.start + length / weight  # schedlint: disable=SL004
+        if float_fast:
+            finish = start_col[slot] + length / weight  # schedlint: disable=SL004
         else:
-            finish = queue.tags.advance(record.start, length, weight)
-        record.finish = finish
-        if finish > queue._max_finish:
-            queue._max_finish = finish
-        if record is queue._in_service:
-            queue._in_service = None
-        if record.runnable:
-            record.start = finish
-            version = record.heap_version + 1
-            record.heap_version = version
-            heappush(queue._heap, (finish, record.seq, version, record))
+            finish = queue.tags.advance(start_col[slot], length, weight)
+        fin_col[slot] = finish
+        if finish > state[_MF]:
+            state[_MF] = finish
+        if state[_SRV] == slot:
+            state[_SRV] = -1
+        if run_col[slot]:
+            start_col[slot] = finish
+            version = ver_col[slot] + 1
+            ver_col[slot] = version
+            if solo < 0:
+                heappush(heap, (finish, seq_col[slot], version, slot))
 
 
 def wake_chain(chain: List[ChainEntry]) -> None:
@@ -309,17 +434,19 @@ def wake_chain(chain: List[ChainEntry]) -> None:
     the first parent that was already runnable — exactly the walk in
     :meth:`HierarchicalScheduler.setrun`.
     """
-    for queue, record, __, parent in chain:
-        if not record.runnable:
-            record.runnable = True
-            queue._runnable_count += 1
-            start = record.finish
-            if start < queue._virtual_time:
-                start = queue._virtual_time
-            record.start = start
-            version = record.heap_version + 1
-            record.heap_version = version
-            heappush(queue._heap, (start, record.seq, version, record))
+    for (__, ___, solo, heap, state, start_col, fin_col, run_col,
+         ver_col, seq_col, slot, ____, parent) in chain:
+        if not run_col[slot]:
+            run_col[slot] = 1
+            state[_RC] += 1
+            start = fin_col[slot]
+            if start < state[_VT]:
+                start = state[_VT]
+            start_col[slot] = start
+            version = ver_col[slot] + 1
+            ver_col[slot] = version
+            if solo < 0:
+                heappush(heap, (start, seq_col[slot], version, slot))
         if parent.runnable:
             return
         parent.runnable = True
@@ -340,22 +467,39 @@ def pick_leaf(root: Any, leaf_type: type) -> Tuple[Optional[Any], int]:
     node = root
     depth = 1
     while type(node) is not leaf_type:
-        queue = node.queue
-        heap = queue._heap
-        record = None
+        cview = node.queue._cview
+        state = cview[_CV_STATE]
+        start_col = cview[_CV_START]
+        run_col = cview[_CV_RUN]
+        ent_col = cview[_CV_ENT]
+        solo = cview[_CV_SOLO]
+        if solo >= 0:
+            if not run_col[solo]:
+                return None, depth
+            state[_SRV] = solo
+            start = start_col[solo]
+            if start > state[_VT]:
+                state[_VT] = start
+            node = ent_col[solo]
+            depth += 1
+            continue
+        heap = cview[_CV_HEAP]
+        ver_col = cview[_CV_VER]
+        slot = -1
         while heap:
             head = heap[0]
             candidate = head[3]
-            if candidate.runnable and head[2] == candidate.heap_version:
-                record = candidate
+            if run_col[candidate] and head[2] == ver_col[candidate]:
+                slot = candidate
                 break
             heappop(heap)
-        if record is None:
+        if slot < 0:
             return None, depth
-        queue._in_service = record
-        if record.start > queue._virtual_time:
-            queue._virtual_time = record.start
-        node = record.entity
+        state[_SRV] = slot
+        start = head[0]
+        if start > state[_VT]:
+            state[_VT] = start
+        node = ent_col[slot]
         depth += 1
     return node, depth
 
@@ -367,16 +511,46 @@ def sleep_chain(chain: List[ChainEntry]) -> None:
     first ancestor queue that still has runnable children — exactly the
     walk in :meth:`HierarchicalScheduler.sleep`.
     """
-    for queue, record, __, parent in chain:
-        if record.runnable:
-            record.runnable = False
-            record.heap_version += 1  # lazy-remove from heap
-            queue._runnable_count -= 1
-            if record is queue._in_service:
-                queue._in_service = None
-            if queue._runnable_count == 0:
-                if queue._max_finish > queue._virtual_time:
-                    queue._virtual_time = queue._max_finish
-        if queue._runnable_count > 0:
+    for (__, ___, ____, _____, state, ______, _______, run_col,
+         ver_col, ________, slot, _________, parent) in chain:
+        if run_col[slot]:
+            run_col[slot] = 0
+            ver_col[slot] += 1  # lazy-remove from heap
+            state[_RC] -= 1
+            if state[_SRV] == slot:
+                state[_SRV] = -1
+            if state[_RC] == 0:
+                if state[_MF] > state[_VT]:
+                    state[_VT] = state[_MF]
+        if state[_RC] > 0:
             return
         parent.runnable = False
+
+
+# --- engine selection --------------------------------------------------------
+#
+# Keep references to the pure implementations (tests and the equivalence
+# gate call them explicitly), then let the selected engine rebind the
+# public hot-path names.  Downstream modules import these names *after*
+# this module body runs, so the rebinding is visible everywhere.
+
+pick_leaf_pure = pick_leaf
+charge_chain_pure = charge_chain
+wake_chain_pure = wake_chain
+sleep_chain_pure = sleep_chain
+queue_pick_pure = queue_pick
+queue_charge_pure = queue_charge
+queue_set_runnable_pure = queue_set_runnable
+queue_set_blocked_pure = queue_set_blocked
+
+from repro.core import engine as _engine  # noqa: E402  (needs SfqQueue defined)
+
+if _engine.OPS is not None:
+    pick_leaf = _engine.OPS.pick_leaf
+    charge_chain = _engine.OPS.charge_chain
+    wake_chain = _engine.OPS.wake_chain
+    sleep_chain = _engine.OPS.sleep_chain
+    queue_pick = _engine.OPS.queue_pick
+    queue_charge = _engine.OPS.queue_charge
+    queue_set_runnable = _engine.OPS.queue_set_runnable
+    queue_set_blocked = _engine.OPS.queue_set_blocked

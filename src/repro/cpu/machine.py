@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from repro.core.engine import OPS as _ENGINE_OPS
 from repro.cpu.costs import SchedulingCostModel
 from repro.cpu.interface import TopScheduler
 from repro.cpu.interrupts import InterruptSource
@@ -45,6 +46,19 @@ from repro.units import MS, SECOND, work_from_time
 #: the per-dispatch hot path, and `_BUS.active` is one attribute lookup
 #: cheaper than `obs.BUS.active`.
 _BUS = obs.BUS
+
+#: the compiled burst-completion tick (``None`` on the pure engine).  The
+#: C function mirrors _on_burst_complete -> _account_burst ->
+#: _finish_dispatch -> _maybe_dispatch for the common case (hierarchical
+#: scheduler, SFQ leaf, zero-cost model, no tracing, no interrupt in
+#: service) and bails to the Python methods for everything else.
+_TURBO_TICK = getattr(_ENGINE_OPS, "machine_tick", None)
+
+#: compiled wakeup entry (None on the pure engine).  Scheduled in place of
+#: ``_on_wakeup`` with a ``(machine, thread)`` pair as the event argument;
+#: like the turbo tick it re-checks tracing at fire time and delegates back
+#: to ``_on_wakeup`` whenever the simplified path does not apply.
+_TURBO_WAKE = getattr(_ENGINE_OPS, "machine_wake", None)
 
 _OUTCOME_RUN = "run"
 _OUTCOME_SLEEP = "sleep"
@@ -126,6 +140,14 @@ class Machine:
         self._burst_handle = None
         self._paused = False
         self._pending_dispatch = None
+        # Compiled completion fast path.  Installed only for a plain
+        # Machine (SmpMachine and subclasses keep the Python cycle); the
+        # C tick re-checks every dynamic condition -- tracing, interrupt
+        # service, cost model, wrapped scheduler -- at fire time and
+        # delegates back to the Python methods, so installation is
+        # unconditional beyond the exact-type check.
+        self._turbo = _TURBO_TICK if type(self) is Machine else None
+        self._turbo_wake = _TURBO_WAKE if type(self) is Machine else None
 
         # --- interrupt state ------------------------------------------------
         self._intr_busy_until = 0
@@ -297,8 +319,14 @@ class Machine:
         if _BUS.active:
             _BUS.emit(obs.BLOCK, self.engine.now, tid=thread.tid,
                          node=_leaf_path(thread), wake=wake_time)
-        thread.wakeup_handle = self.engine.at(
-            wake_time, self._on_wakeup, thread, priority=self.PRIORITY_WAKEUP)
+        if self._turbo_wake is not None:
+            thread.wakeup_handle = self.engine.at(
+                wake_time, self._turbo_wake, (self, thread),
+                priority=self.PRIORITY_WAKEUP)
+        else:
+            thread.wakeup_handle = self.engine.at(
+                wake_time, self._on_wakeup, thread,
+                priority=self.PRIORITY_WAKEUP)
 
     def _on_wakeup(self, thread: SimThread) -> None:
         thread.wakeup_handle = None
@@ -395,9 +423,14 @@ class Machine:
         # time_from_work(planned, capacity) inlined: planned > 0 was just
         # checked and capacity was validated at construction.
         duration = -((-planned * SECOND) // self.capacity_ips)
-        self._burst_handle = self.engine.at(
-            self._burst_compute_start + duration, self._on_burst_complete,
-            priority=self.PRIORITY_COMPLETION)
+        if self._turbo is not None:
+            self._burst_handle = self.engine.at(
+                self._burst_compute_start + duration, self._turbo, self,
+                priority=self.PRIORITY_COMPLETION)
+        else:
+            self._burst_handle = self.engine.at(
+                self._burst_compute_start + duration, self._on_burst_complete,
+                priority=self.PRIORITY_COMPLETION)
 
     def _account_burst(self, executed: int) -> None:
         """Book ``executed`` instructions of the current burst."""

@@ -32,11 +32,12 @@ __all__ = ["SharedStatePass", "OWNED_ATTRS"]
 
 #: field -> module prefixes allowed to store to it directly
 OWNED_ATTRS: Dict[str, Tuple[str, ...]] = {
-    # SfqQueue internals: the queue is the only writer of its tags
-    "_virtual_time": ("repro/core/sfq.py",),
-    "_max_finish": ("repro/core/sfq.py",),
-    "_in_service": ("repro/core/sfq.py",),
-    "_runnable_count": ("repro/core/sfq.py",),
+    # SfqQueue internals: the queue is the only writer of its scheduling
+    # state (the arena columns are mutated element-wise, never rebound,
+    # so the rebindable fields below are the whole story)
+    "_state": ("repro/core/sfq.py",),
+    "_solo": ("repro/core/sfq.py",),
+    "_cview": ("repro/core/sfq.py",),
     "_heap": ("repro/core/sfq.py",),
     # runnable bits: the hierarchy/queue machinery and the per-class
     # schedulers own their respective record flags

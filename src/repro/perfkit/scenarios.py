@@ -283,6 +283,50 @@ def _admission_storm_phases(quick: bool) -> List[Phase]:
     return [Phase("storm", setup)]
 
 
+# --- 100k-entity scale storm -------------------------------------------------
+
+
+def _scale_storm_phases(quick: bool) -> List[Phase]:
+    population = 100_000 if quick else 250_000
+
+    def setup() -> PhaseRun:
+        # 64 groups x 32 SFQ leaves = 2048 leaves; with ~50-120 threads per
+        # leaf every arena column is thousands of entries long, so this is
+        # the scenario where per-entity state layout (columnar arena vs
+        # per-object attributes) dominates the cost.
+        structure = SchedulingStructure(FLOAT)
+        leaves = []
+        for group in range(64):
+            node = structure.mknod("g%d" % group, 1 + group % 4)
+            for leaf in range(32):
+                leaves.append(structure.mknod(
+                    "l%d" % leaf, 1, parent=node,
+                    scheduler=SfqScheduler(FLOAT)))
+        engine = Simulator()
+        machine = Machine(engine, HierarchicalScheduler(structure),
+                          capacity_ips=CAPACITY, default_quantum=1 * MS)
+        # Arrivals spread over ~2 simulated seconds so admission, dispatch,
+        # sleep and exit all overlap instead of running in lockstep phases.
+        spacing = 2 * SECOND // population
+        for index in range(population):
+            thread = SimThread(
+                "scale-%d" % index,
+                SegmentListWorkload([
+                    Compute(20_000), SleepFor(5 * MS), Compute(20_000)]),
+                weight=1 + index % 7)
+            leaves[index % len(leaves)].attach_thread(thread)
+            machine.spawn(thread, at=index * spacing)
+
+        def drive() -> None:
+            # Horizon with slack: all arrivals + total work + sleep time.
+            total_work_ns = population * 40_000 * SECOND // CAPACITY
+            machine.run_until(2 * SECOND + 4 * total_work_ns + SECOND)
+
+        return drive, _machine_counters(machine, engine, population)
+
+    return [Phase("storm", setup)]
+
+
 def scenarios() -> Dict[str, Scenario]:
     """The macro-scenario registry, keyed by name, in reporting order.
 
@@ -311,5 +355,8 @@ SCENARIOS: Dict[str, Scenario] = {
         Scenario("admission_storm",
                  "thread admission storm: staggered spawn-to-exit lifecycles",
                  _admission_storm_phases),
+        Scenario("scale_storm",
+                 "100k-entity storm over 2048 SFQ leaves (arena scale test)",
+                 _scale_storm_phases),
     )
 }

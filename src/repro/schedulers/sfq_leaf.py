@@ -9,7 +9,13 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Optional
 
-from repro.core.sfq import SfqQueue
+from repro.core.sfq import (
+    SfqQueue,
+    queue_charge,
+    queue_pick,
+    queue_set_blocked,
+    queue_set_runnable,
+)
 from repro.core.tags import TagMath
 from repro.schedulers.base import LeafScheduler
 
@@ -18,7 +24,12 @@ if TYPE_CHECKING:  # pragma: no cover
 
 
 class SfqScheduler(LeafScheduler):
-    """Start-time Fair Queuing over the threads of one class."""
+    """Start-time Fair Queuing over the threads of one class.
+
+    The per-thread queue operations route through the module-level
+    functions of :mod:`repro.core.sfq`, so the selected engine
+    (``REPRO_ENGINE``) covers leaf dispatch as well as the tree walks.
+    """
 
     algorithm = "sfq"
 
@@ -32,20 +43,20 @@ class SfqScheduler(LeafScheduler):
 
     def remove_thread(self, thread: "SimThread") -> None:
         if self.queue.is_runnable(thread):
-            self.queue.set_blocked(thread)
+            queue_set_blocked(self.queue, thread)
         self.queue.remove(thread)
 
     def on_runnable(self, thread: "SimThread", now: int) -> None:
-        self.queue.set_runnable(thread)
+        queue_set_runnable(self.queue, thread)
 
     def on_block(self, thread: "SimThread", now: int) -> None:
-        self.queue.set_blocked(thread)
+        queue_set_blocked(self.queue, thread)
 
     def pick_next(self, now: int) -> Optional["SimThread"]:
-        return self.queue.pick()
+        return queue_pick(self.queue)
 
     def charge(self, thread: "SimThread", work: int, now: int) -> None:
-        self.queue.charge(thread, work)
+        queue_charge(self.queue, thread, work)
 
     def has_runnable(self) -> bool:
         return self.queue.has_runnable()

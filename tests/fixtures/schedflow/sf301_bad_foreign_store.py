@@ -4,5 +4,5 @@ state — ownership *is* the lockset on the SMP machine (SF301)."""
 
 
 def hard_reset(queue):
-    queue._virtual_time = 0   # SF301: owned by repro/core/sfq.py
-    queue._max_finish = 0     # SF301: owned by repro/core/sfq.py
+    queue._state = [0, 0, -1, 0]  # SF301: owned by repro/core/sfq.py
+    queue._solo = -1              # SF301: owned by repro/core/sfq.py

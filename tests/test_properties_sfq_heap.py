@@ -27,13 +27,14 @@ class Entity:
 
 def linear_scan_winner(queue):
     """The dispatch winner by definition: min (start, arrival_seq) scan."""
+    arena = queue.arena
     best = None
-    for record in queue._records.values():
-        if not record.runnable:
+    for slot in arena.live_slots():
+        if not arena.run[slot]:
             continue
-        key = (record.start, record.seq)
+        key = (arena.start[slot], arena.seq[slot])
         if best is None or key < best[0]:
-            best = (key, record.entity)
+            best = (key, arena.ent[slot])
     return None if best is None else best[1]
 
 
@@ -94,7 +95,8 @@ def test_runnable_count_matches_records(script, weights, exact):
             picked = queue.pick()
             if picked is not None:
                 queue.charge(picked, length)
-        live = sum(1 for record in queue._records.values() if record.runnable)
+        live = sum(1 for slot in queue.arena.live_slots()
+                   if queue.arena.run[slot])
         assert queue.runnable_count == live
         assert queue.has_runnable() == (live > 0)
 

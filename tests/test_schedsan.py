@@ -186,10 +186,11 @@ class TestDormantWeightInvariant:
         # a buggy implementation stores the weight directly and eagerly
         # recomputes the dormant node's finish tag from it
         root_queue = h.structure.root.queue
-        record = root_queue.record_for(media)
-        assert not record.runnable, "test premise: leaf must be dormant"
+        slot = root_queue.slot_of(media)
+        arena = root_queue.arena
+        assert not arena.run[slot], "test premise: leaf must be dormant"
         media.weight = 7  # schedflow: disable=SF204
-        record.finish = root_queue.tags.advance(record.start, 50_000, 7)
+        arena.fin[slot] = root_queue.tags.advance(arena.start[slot], 50_000, 7)
         with pytest.raises(SchedsanError) as excinfo:
             h.machine.run_until(100 * MS)
         message = str(excinfo.value)
