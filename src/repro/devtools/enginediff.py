@@ -39,7 +39,7 @@ import itertools
 import os
 import subprocess
 import sys
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.hierarchy import HierarchicalScheduler
 from repro.core.structure import SchedulingStructure
@@ -239,7 +239,7 @@ def run_gate(out_dir: str, scenarios: List[str]) -> int:
     return mismatches
 
 
-def main(argv=None) -> int:
+def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit status (1 = diverged)."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.devtools.enginediff",

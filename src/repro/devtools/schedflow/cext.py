@@ -1,0 +1,704 @@
+"""Dependency-free C tokenizer/extractor for the compiled-engine seam.
+
+The SF5xx seam rules (:mod:`repro.devtools.schedflow.seamrules`) need a
+*structural* view of ``src/repro/core/_sfqc.c`` — enum layouts, function
+bodies, call sites, declared variable types, format strings, suppression
+comments — without depending on a real C frontend.  This module provides
+exactly that: a lossy-but-robust tokenizer plus an extractor tuned to the
+dialect the compiled engine is written in (C89-ish CPython extension
+code: no typedef metaprogramming, no token-pasting macros in the hot
+structures).
+
+Design contract, locked in by the property suite
+(``tests/test_seamcheck_props.py``):
+
+* :func:`tokenize` never raises, whatever bytes it is fed — unknown
+  characters become ``other`` tokens, unterminated literals degrade to
+  punctuation, line numbers stay exact.
+* :func:`extract` either returns a :class:`CModule` or raises
+  :class:`CParseError` (never anything else) — the CLI maps that to its
+  usual exit status 2, same as a Python syntax error.
+
+The extractor is deliberately *not* a preprocessor: ``#`` directives are
+blanked (preserving line numbers) after harvesting ``#define`` bodies
+into :attr:`CModule.macros`, so rules can classify one level of
+function-like macro (``COL`` expanding to ``PyList_GET_ITEM``) without a
+full expansion pass.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "CParseError", "Token", "CEnumMember", "CEnum", "CStructField",
+    "CStruct", "CCall", "CStatement", "CFunction", "CModule",
+    "tokenize", "extract",
+]
+
+
+class CParseError(Exception):
+    """The C source is too malformed for structural extraction."""
+
+
+class Token:
+    """One lexical token: ``kind`` in id/num/str/char/punct/other."""
+
+    __slots__ = ("kind", "text", "line")
+
+    def __init__(self, kind: str, text: str, line: int) -> None:
+        self.kind = kind
+        self.text = text
+        self.line = line
+
+    def __repr__(self) -> str:
+        return "Token(%s, %r, %d)" % (self.kind, self.text, self.line)
+
+
+_TOKEN_RE = re.compile(
+    r"""
+      (?P<comment>/\*.*?\*/|//[^\n]*)
+    | (?P<str>"(?:\\.|[^"\\\n])*")
+    | (?P<char>'(?:\\.|[^'\\\n])*')
+    | (?P<num>(?:0[xX][0-9a-fA-F]+|\d+(?:\.\d*)?(?:[eE][+-]?\d+)?)
+              [uUlLfF]*)
+    | (?P<id>[A-Za-z_]\w*)
+    | (?P<punct>->|\+\+|--|<<=|>>=|<<|>>|<=|>=|==|!=|&&|\|\|
+                |[-+*/%&|^!~<>=?:;,.(){}\[\]])
+    | (?P<nl>\n)
+    | (?P<ws>[^\S\n]+)
+    | (?P<other>.)
+    """,
+    re.VERBOSE | re.DOTALL)
+
+#: C keywords that look like call sites when followed by ``(``
+_NOT_A_CALL = frozenset((
+    "if", "while", "for", "switch", "return", "sizeof", "do", "else",
+    "case", "goto",
+))
+
+#: tokens that can start a declaration's type
+_TYPE_HEADS = frozenset((
+    "void", "char", "short", "int", "long", "float", "double", "signed",
+    "unsigned", "const", "static", "struct", "union", "enum", "_Bool",
+))
+
+_SUPPRESS_C_RE = re.compile(
+    r"(?:seamcheck|schedflow|schedlint)\s*:\s*disable=([A-Za-z0-9_,\s]+)")
+
+_DEFINE_RE = re.compile(
+    r"#\s*define\s+([A-Za-z_]\w*)(\([^)]*\))?\s*(.*)", re.DOTALL)
+
+
+def _strip_preprocessor(text: str) -> Tuple[str, Dict[str, str]]:
+    """Blank ``#`` directives (line numbers preserved); harvest defines."""
+    macros: Dict[str, str] = {}
+    out_lines: List[str] = []
+    lines = text.split("\n")
+    index = 0
+    while index < len(lines):
+        line = lines[index]
+        if line.lstrip().startswith("#"):
+            directive = [line]
+            blank = [""]
+            while directive[-1].rstrip().endswith("\\") and \
+                    index + 1 < len(lines):
+                index += 1
+                directive.append(lines[index])
+                blank.append("")
+            whole = "\n".join(directive).replace("\\\n", " ")
+            match = _DEFINE_RE.match(whole.lstrip())
+            if match is not None:
+                macros[match.group(1)] = match.group(3).strip()
+            out_lines.extend(blank)
+        else:
+            out_lines.append(line)
+        index += 1
+    return "\n".join(out_lines), macros
+
+
+def tokenize(text: str) -> List[Token]:
+    """Lex ``text`` into tokens; comments/whitespace are dropped.
+
+    Total and crash-free by construction: the token alternation ends in
+    a catch-all single-character class, so every input position is
+    consumed by exactly one match.
+    """
+    tokens: List[Token] = []
+    line = 1
+    for match in _TOKEN_RE.finditer(text):
+        kind = match.lastgroup or "other"
+        value = match.group()
+        if kind in ("ws",):
+            continue
+        if kind == "nl":
+            line += 1
+            continue
+        if kind == "comment":
+            line += value.count("\n")
+            continue
+        tokens.append(Token(kind, value, line))
+        line += value.count("\n")
+    return tokens
+
+
+def scan_comments(text: str) -> List[Tuple[int, str]]:
+    """All comments as ``(start_line, text)`` pairs, in order."""
+    comments: List[Tuple[int, str]] = []
+    line = 1
+    for match in _TOKEN_RE.finditer(text):
+        if match.lastgroup == "comment":
+            comments.append((line, match.group()))
+        line += match.group().count("\n")
+    return comments
+
+
+class CEnumMember:
+    """One enumerator: resolved ``value`` is None for non-literal exprs."""
+
+    __slots__ = ("name", "value", "line")
+
+    def __init__(self, name: str, value: Optional[int], line: int) -> None:
+        self.name = name
+        self.value = value
+        self.line = line
+
+
+class CEnum:
+    """One ``enum { ... }`` block (``name`` may be empty for anonymous)."""
+
+    __slots__ = ("name", "members", "line")
+
+    def __init__(self, name: str, members: List[CEnumMember],
+                 line: int) -> None:
+        self.name = name
+        self.members = members
+        self.line = line
+
+
+class CStructField:
+    """One struct field: normalized type text plus the declarator name."""
+
+    __slots__ = ("type", "name", "line")
+
+    def __init__(self, type_text: str, name: str, line: int) -> None:
+        self.type = type_text
+        self.name = name
+        self.line = line
+
+
+class CStruct:
+    """One ``struct { ... }`` definition with its ordered fields."""
+
+    __slots__ = ("name", "fields", "line")
+
+    def __init__(self, name: str, fields: List[CStructField],
+                 line: int) -> None:
+        self.name = name
+        self.fields = fields
+        self.line = line
+
+
+class CCall:
+    """One call site: ``name(args...)`` with top-level-comma-split args."""
+
+    __slots__ = ("name", "args", "line")
+
+    def __init__(self, name: str, args: List[List[Token]], line: int) -> None:
+        self.name = name
+        self.args = args
+        self.line = line
+
+    def arg_ids(self) -> List[Optional[str]]:
+        """Per argument: the identifier if the arg is a single id."""
+        out: List[Optional[str]] = []
+        for arg in self.args:
+            if len(arg) == 1 and arg[0].kind == "id":
+                out.append(arg[0].text)
+            else:
+                out.append(None)
+        return out
+
+
+class CStatement:
+    """One statement-ish token run inside a function body."""
+
+    __slots__ = ("tokens", "line", "depth")
+
+    def __init__(self, tokens: List[Token], line: int, depth: int) -> None:
+        self.tokens = tokens
+        self.line = line
+        self.depth = depth
+
+    def text(self) -> str:
+        """Space-joined token text (diagnostics only)."""
+        return " ".join(t.text for t in self.tokens)
+
+
+class CFunction:
+    """One function definition, pre-digested for the seam rules."""
+
+    __slots__ = ("name", "ret_type", "params", "body", "statements",
+                 "calls", "locals", "labels", "line", "end_line")
+
+    def __init__(self, name: str, ret_type: str,
+                 params: List[Tuple[str, str]], body: List[Token],
+                 line: int, end_line: int) -> None:
+        self.name = name
+        self.ret_type = ret_type
+        #: ordered ``(type_text, name)`` pairs
+        self.params = params
+        self.body = body
+        self.line = line
+        self.end_line = end_line
+        self.statements: List[CStatement] = _split_statements(body)
+        self.calls: List[CCall] = list(_iter_calls(body))
+        #: declared local variables: name -> normalized type text
+        self.locals: Dict[str, str] = _collect_locals(self.statements)
+        for ptype, pname in params:
+            self.locals.setdefault(pname, ptype)
+        #: goto label -> index into ``statements``
+        self.labels: Dict[str, int] = _collect_labels(self.statements)
+
+    def var_type(self, name: str) -> Optional[str]:
+        """Declared type of a local or parameter, if known."""
+        return self.locals.get(name)
+
+
+class CModule:
+    """The extracted structural view of one C translation unit."""
+
+    __slots__ = ("path", "enums", "structs", "functions", "macros",
+                 "suppressions", "method_table", "intern_strings")
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.enums: List[CEnum] = []
+        self.structs: List[CStruct] = []
+        #: definition order preserved (dicts are ordered)
+        self.functions: Dict[str, CFunction] = {}
+        self.macros: Dict[str, str] = {}
+        #: line -> set of disabled codes ("*" disables all)
+        self.suppressions: Dict[int, Set[str]] = {}
+        #: PyMethodDef rows: (exported_name, c_function, line)
+        self.method_table: List[Tuple[str, str, int]] = []
+        #: interned-string variable -> attribute literal ("str_active" ->
+        #: "active"), from ``{ &str_x, "x" }`` initializer rows
+        self.intern_strings: Dict[str, str] = {}
+
+    def macro_expands_to(self, name: str, target: str) -> bool:
+        """True when macro ``name``'s body mentions ``target``."""
+        body = self.macros.get(name)
+        return body is not None and target in body
+
+    def suppressed(self, line: int, code: str) -> bool:
+        """True when a disable comment covers ``line`` for ``code``."""
+        codes = self.suppressions.get(line)
+        return codes is not None and (code in codes or "*" in codes)
+
+
+def _string_value(token: Token) -> str:
+    """Best-effort unescaped value of a string literal token."""
+    body = token.text[1:-1]
+    try:
+        return bytes(body, "utf-8").decode("unicode_escape")
+    except UnicodeDecodeError:
+        return body
+
+
+def _match_paren(tokens: Sequence[Token], start: int) -> int:
+    """Index of the ``)`` matching the ``(`` at ``start`` (or -1)."""
+    depth = 0
+    for index in range(start, len(tokens)):
+        text = tokens[index].text
+        if text == "(":
+            depth += 1
+        elif text == ")":
+            depth -= 1
+            if depth == 0:
+                return index
+    return -1
+
+
+def _match_brace(tokens: Sequence[Token], start: int) -> int:
+    """Index of the ``}`` matching the ``{`` at ``start`` (or -1)."""
+    depth = 0
+    for index in range(start, len(tokens)):
+        text = tokens[index].text
+        if text == "{":
+            depth += 1
+        elif text == "}":
+            depth -= 1
+            if depth == 0:
+                return index
+    return -1
+
+
+def _split_commas(tokens: Sequence[Token]) -> List[List[Token]]:
+    """Split on commas at paren/brace/bracket depth zero."""
+    parts: List[List[Token]] = []
+    current: List[Token] = []
+    depth = 0
+    for token in tokens:
+        if token.text in "([{":
+            depth += 1
+        elif token.text in ")]}":
+            depth -= 1
+        if token.text == "," and depth == 0:
+            parts.append(current)
+            current = []
+        else:
+            current.append(token)
+    if current or parts:
+        parts.append(current)
+    return parts
+
+
+def _type_text(tokens: Sequence[Token]) -> str:
+    """Normalize declaration-type tokens: one space, stars attached."""
+    words = [t.text for t in tokens if t.text not in ("const", "static",
+                                                      "register", "volatile")]
+    text = " ".join(words)
+    return text.replace(" *", " *").strip()
+
+
+def _split_statements(body: Sequence[Token]) -> List[CStatement]:
+    """Split a body token stream into statement-ish runs.
+
+    ``;`` ends a statement; ``{`` ends the preceding header (so an
+    ``if (...)`` header is its own record) and bumps the depth; ``}``
+    closes it.  Parenthesized ``;`` (for-loop headers) do not split.
+    """
+    statements: List[CStatement] = []
+    current: List[Token] = []
+    depth = 0
+    paren = 0
+    line = 0
+    for token in body:
+        if not current:
+            line = token.line
+        if token.text == "(":
+            paren += 1
+        elif token.text == ")":
+            paren = max(0, paren - 1)
+        if token.text == ";" and paren == 0:
+            current.append(token)
+            statements.append(CStatement(current, line, depth))
+            current = []
+        elif token.text == "{":
+            if current:
+                statements.append(CStatement(current, line, depth))
+                current = []
+            depth += 1
+        elif token.text == "}":
+            if current:
+                statements.append(CStatement(current, line, depth))
+                current = []
+            depth = max(0, depth - 1)
+        else:
+            current.append(token)
+    if current:
+        statements.append(CStatement(current, line, depth))
+    return statements
+
+
+def _iter_calls(tokens: Sequence[Token]) -> Iterator[CCall]:
+    """Every ``ident(...)`` site in ``tokens``, including nested ones."""
+    for index, token in enumerate(tokens):
+        if token.kind != "id" or token.text in _NOT_A_CALL:
+            continue
+        if index + 1 >= len(tokens) or tokens[index + 1].text != "(":
+            continue
+        close = _match_paren(tokens, index + 1)
+        if close < 0:
+            continue
+        inner = list(tokens[index + 2:close])
+        args = _split_commas(inner) if inner else []
+        yield CCall(token.text, args, token.line)
+
+
+def _collect_locals(statements: Sequence[CStatement]) -> Dict[str, str]:
+    """Map declared local variables to normalized type text."""
+    out: Dict[str, str] = {}
+    for stmt in statements:
+        tokens = stmt.tokens
+        if not tokens or tokens[0].kind != "id":
+            continue
+        head = tokens[0].text
+        if head not in _TYPE_HEADS and not (
+                head[0].isupper() or head.startswith("Py")):
+            continue
+        if head in ("return", "goto", "typedef"):
+            continue
+        # consume the type: leading ids (+ one struct/union tag) and stars
+        index = 0
+        type_tokens: List[Token] = []
+        while index < len(tokens) and tokens[index].kind == "id" and (
+                tokens[index].text in _TYPE_HEADS
+                or index == 0
+                or (index == 1 and tokens[0].text in ("struct", "union",
+                                                      "enum"))):
+            type_tokens.append(tokens[index])
+            index += 1
+        stars = 0
+        while index < len(tokens) and tokens[index].text == "*":
+            stars += 1
+            index += 1
+        if not type_tokens or index >= len(tokens):
+            continue
+        if tokens[index].kind != "id":
+            continue
+        name = tokens[index].text
+        after = tokens[index + 1].text if index + 1 < len(tokens) else ";"
+        if after not in ("=", ";", ",", "["):
+            continue  # a function call/definition, not a declaration
+        type_text = _type_text(type_tokens) + (" " + "*" * stars if stars
+                                               else "")
+        out[name] = type_text
+        # further declarators in `int a, b;` (same type, no initializers)
+        if after == ",":
+            for part in _split_commas(tokens[index + 1:]):
+                if len(part) >= 1 and part and part[0].kind == "id":
+                    out[part[0].text] = type_text
+    return out
+
+
+def _collect_labels(statements: Sequence[CStatement]) -> Dict[str, int]:
+    """Goto labels (``name:`` statement heads) -> statement index."""
+    labels: Dict[str, int] = {}
+    for index, stmt in enumerate(statements):
+        tokens = stmt.tokens
+        if (len(tokens) >= 2 and tokens[0].kind == "id"
+                and tokens[1].text == ":"
+                and tokens[0].text not in ("default", "case")):
+            labels[tokens[0].text] = index
+    return labels
+
+
+def _extract_enums(module: CModule, tokens: Sequence[Token]) -> None:
+    index = 0
+    while index < len(tokens):
+        token = tokens[index]
+        if token.kind == "id" and token.text == "enum":
+            name = ""
+            look = index + 1
+            if look < len(tokens) and tokens[look].kind == "id":
+                name = tokens[look].text
+                look += 1
+            if look < len(tokens) and tokens[look].text == "{":
+                close = _match_brace(tokens, look)
+                if close < 0:
+                    raise CParseError(
+                        "%s:%d: unterminated enum block"
+                        % (module.path, token.line))
+                members: List[CEnumMember] = []
+                next_value: Optional[int] = 0
+                for part in _split_commas(tokens[look + 1:close]):
+                    if not part or part[0].kind != "id":
+                        continue
+                    member_name = part[0].text
+                    value = next_value
+                    if len(part) >= 3 and part[1].text == "=":
+                        if len(part) == 3 and part[2].kind == "num":
+                            try:
+                                value = int(part[2].text.rstrip("uUlL"), 0)
+                            except ValueError:
+                                value = None
+                        else:
+                            value = None  # expression: order-only member
+                    members.append(
+                        CEnumMember(member_name, value, part[0].line))
+                    next_value = None if value is None else value + 1
+                module.enums.append(CEnum(name, members, token.line))
+                index = close
+        index += 1
+
+
+def _extract_structs(module: CModule, tokens: Sequence[Token]) -> None:
+    index = 0
+    while index < len(tokens):
+        token = tokens[index]
+        if token.kind == "id" and token.text in ("struct", "union"):
+            name = ""
+            look = index + 1
+            if look < len(tokens) and tokens[look].kind == "id":
+                name = tokens[look].text
+                look += 1
+            if look < len(tokens) and tokens[look].text == "{":
+                close = _match_brace(tokens, look)
+                if close < 0:
+                    raise CParseError(
+                        "%s:%d: unterminated struct block"
+                        % (module.path, token.line))
+                fields: List[CStructField] = []
+                inner = tokens[look + 1:close]
+                run: List[Token] = []
+                for tok in inner:
+                    if tok.text == ";":
+                        if len(run) >= 2:
+                            fname = None
+                            for candidate in reversed(run):
+                                if candidate.kind == "id":
+                                    fname = candidate
+                                    break
+                            if fname is not None:
+                                cut = run.index(fname)
+                                fields.append(CStructField(
+                                    _type_text(run[:cut]) + "".join(
+                                        t.text for t in run[cut:]
+                                        if t.text == "*"),
+                                    fname.text, fname.line))
+                        run = []
+                    else:
+                        run.append(tok)
+                module.structs.append(CStruct(name, fields, token.line))
+                index = close
+        index += 1
+
+
+def _extract_functions(module: CModule, tokens: Sequence[Token]) -> None:
+    index = 0
+    depth = 0
+    last_boundary = 0
+    while index < len(tokens):
+        text = tokens[index].text
+        if text == "{":
+            depth += 1
+        elif text == "}":
+            depth -= 1
+            if depth < 0:
+                raise CParseError(
+                    "%s:%d: unbalanced '}'"
+                    % (module.path, tokens[index].line))
+        elif text == ";" and depth == 0:
+            last_boundary = index + 1
+        elif (depth == 0 and tokens[index].kind == "id"
+                and index + 1 < len(tokens)
+                and tokens[index + 1].text == "("):
+            close = _match_paren(tokens, index + 1)
+            if close >= 0 and close + 1 < len(tokens) \
+                    and tokens[close + 1].text == "{":
+                body_close = _match_brace(tokens, close + 1)
+                if body_close < 0:
+                    raise CParseError(
+                        "%s:%d: unterminated function body for %r"
+                        % (module.path, tokens[index].line,
+                           tokens[index].text))
+                name = tokens[index].text
+                ret_type = _type_text(tokens[last_boundary:index])
+                params: List[Tuple[str, str]] = []
+                for part in _split_commas(tokens[index + 2:close]):
+                    ids = [t for t in part if t.kind == "id"]
+                    if not ids or (len(ids) == 1 and ids[0].text == "void"):
+                        continue
+                    ptokens = part[:-1] if part[-1] is ids[-1] else \
+                        [t for t in part if t is not ids[-1]]
+                    stars = sum(1 for t in part if t.text == "*")
+                    ptype = _type_text(
+                        [t for t in ptokens if t.kind == "id"])
+                    if stars:
+                        ptype += " " + "*" * stars
+                    params.append((ptype, ids[-1].text))
+                body = list(tokens[close + 2:body_close])
+                module.functions[name] = CFunction(
+                    name, ret_type, params, body,
+                    tokens[index].line, tokens[body_close].line)
+                index = body_close
+                last_boundary = index + 1
+        index += 1
+    if depth != 0:
+        raise CParseError("%s: unbalanced braces at end of file"
+                          % module.path)
+
+
+def _extract_method_table(module: CModule, tokens: Sequence[Token]) -> None:
+    """Rows of a ``PyMethodDef`` initializer: exported name -> C symbol."""
+    for index, token in enumerate(tokens):
+        if token.kind != "id" or token.text != "PyMethodDef":
+            continue
+        open_brace = next(
+            (i for i in range(index, min(index + 8, len(tokens)))
+             if tokens[i].text == "{"), -1)
+        if open_brace < 0:
+            continue
+        close = _match_brace(tokens, open_brace)
+        if close < 0:
+            continue
+        inner = tokens[open_brace + 1:close]
+        run = 0
+        while run < len(inner):
+            if inner[run].text == "{":
+                row_close = _match_brace(inner, run)
+                if row_close < 0:
+                    break
+                row = inner[run + 1:row_close]
+                exported = next(
+                    (t for t in row if t.kind == "str"), None)
+                symbol = next(
+                    (t for t in row if t.kind == "id"
+                     and t.text in module.functions), None)
+                if exported is not None and symbol is not None:
+                    module.method_table.append(
+                        (_string_value(exported), symbol.text,
+                         exported.line))
+                run = row_close
+            run += 1
+
+
+def _extract_intern_strings(module: CModule,
+                            tokens: Sequence[Token]) -> None:
+    """``{ &str_x, "x" }`` initializer rows -> ``str_x`` -> ``"x"``."""
+    for index in range(len(tokens) - 3):
+        if (tokens[index].text == "&" and tokens[index + 1].kind == "id"
+                and tokens[index + 2].text == ","
+                and tokens[index + 3].kind == "str"):
+            module.intern_strings[tokens[index + 1].text] = \
+                _string_value(tokens[index + 3])
+
+
+def _extract_suppressions(module: CModule, text: str) -> None:
+    lines = text.split("\n")
+    for start_line, comment in scan_comments(text):
+        match = _SUPPRESS_C_RE.search(comment)
+        if match is None:
+            continue
+        codes = {code.strip().upper()
+                 for code in match.group(1).split(",") if code.strip()}
+        codes = {"*" if code == "ALL" else code for code in codes}
+        target = start_line
+        line_text = lines[start_line - 1] if start_line <= len(lines) else ""
+        before = line_text.split("/*")[0].split("//")[0]
+        if not before.strip():
+            # comment on its own line: covers the next non-blank line
+            probe = start_line + comment.count("\n")
+            while probe < len(lines) and not lines[probe].strip():
+                probe += 1
+            target = probe + 1
+        module.suppressions.setdefault(target, set()).update(codes)
+        if target != start_line:
+            module.suppressions.setdefault(start_line, set()).update(codes)
+
+
+def extract(text: str, path: str = "<c>") -> CModule:
+    """Extract the structural view of one C file.
+
+    Raises :class:`CParseError` when the brace structure is too broken
+    to delimit functions/enums — the analyzable-at-all gate.
+    """
+    try:
+        stripped, macros = _strip_preprocessor(text)
+        module = CModule(path)
+        module.macros = macros
+        tokens = tokenize(stripped)
+        _extract_enums(module, tokens)
+        _extract_structs(module, tokens)
+        _extract_functions(module, tokens)
+        _extract_method_table(module, tokens)
+        _extract_intern_strings(module, tokens)
+        _extract_suppressions(module, text)
+        return module
+    except CParseError:
+        raise
+    except RecursionError as exc:  # pathological nesting: still "unparseable"
+        raise CParseError("%s: %s" % (path, exc)) from exc

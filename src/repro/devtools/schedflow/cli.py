@@ -77,6 +77,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         unknown = []
         for token in options.select.split(","):
             token = token.strip().upper()
+            if not token:
+                continue  # `SF5,` / `SF5,,SF204`: blanks select nothing
             matched = {code for code in RULES
                        if code == token or code.startswith(token)}
             if not matched:
@@ -84,6 +86,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             select.update(matched)
         if unknown:
             print("error: unknown rule codes: %s" % ", ".join(sorted(unknown)),
+                  file=sys.stderr)
+            return 2
+        if not select:
+            print("error: --select %r selects no rules" % options.select,
                   file=sys.stderr)
             return 2
 
@@ -98,6 +104,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             source_lines = {
                 entry.path: entry.source.splitlines()
                 for entry in index.entries}
+            source_lines.update(
+                (centry.path, centry.source.splitlines())
+                for centry in index.centries)
         if options.baseline:
             findings = apply_baseline(
                 findings, load_baseline(options.baseline), source_lines)

@@ -36,6 +36,9 @@ __all__ = ["analyze_paths_jobs", "bucketize"]
 #: one finding, flattened for the trip back through the pool
 _Row = Tuple[str, int, int, str, str, int]
 
+#: (all sources, this worker's bucket, sorted rule selection)
+_Payload = Tuple[List[Tuple[str, str]], List[str], Optional[List[str]]]
+
 
 def bucketize(files: Iterable[str], jobs: int) -> List[List[str]]:
     """Deal the name-sorted ``files`` round-robin into ``jobs`` buckets.
@@ -60,7 +63,7 @@ def _sources_digest(sources: List[Tuple[str, str]]) -> str:
     return digest.hexdigest()
 
 
-def _analyze_bucket(payload):
+def _analyze_bucket(payload: _Payload) -> Tuple[str, List[_Row]]:
     """Pool entrypoint: analyze the full project, report one bucket.
 
     ``payload`` is ``(sources, bucket, select)`` with ``sources`` the
@@ -91,8 +94,10 @@ def analyze_paths_jobs(paths: Iterable[str], jobs: int,
     """
     index = ProjectIndex.load(paths)
     sources = [(entry.path, entry.source) for entry in index.entries]
-    source_lines = {
-        entry.path: entry.source.splitlines() for entry in index.entries}
+    sources.extend(
+        (centry.path, centry.source) for centry in index.centries)
+    sources.sort()  # digest and bucketing are order-sensitive
+    source_lines = {path: source.splitlines() for path, source in sources}
     expected = _sources_digest(sources)
     select_list = sorted(select) if select is not None else None
 

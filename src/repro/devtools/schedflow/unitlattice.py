@@ -26,7 +26,7 @@ mixes two values the analysis genuinely knows to be different dimensions.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Iterable, Optional, Tuple
 
 __all__ = [
     "Unit", "BOTTOM", "TOP", "DIMENSIONLESS",
@@ -128,7 +128,7 @@ class Unit:
         return None
 
 
-def _dim(exps) -> Unit:
+def _dim(exps: Iterable[int]) -> Unit:
     exps = tuple(exps)
     if exps == (0, 0, 0):
         return DIMENSIONLESS

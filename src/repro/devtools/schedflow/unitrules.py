@@ -131,7 +131,9 @@ class UnitsPass:
         solve_forward(cfg, init, walker.transfer,
                       join=lambda a, b: a.join(b), top=U.TOP)
 
-    def signature_for(self, info: FunctionInfo):
+    def signature_for(
+            self, info: FunctionInfo,
+    ) -> Tuple[Tuple[Optional[Unit], ...], Unit]:
         """``(declared param units, return unit)`` for a callee: the
         signature table first, then naming conventions plus the
         inferred return summary."""

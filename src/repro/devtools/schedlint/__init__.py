@@ -47,7 +47,16 @@ from __future__ import annotations
 
 import ast
 import re
-from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 __all__ = [
     "Finding",
@@ -183,9 +192,9 @@ def _parse_codes(raw: str) -> List[str]:
     return [code.strip().upper() for code in raw.split(",") if code.strip()]
 
 
-def _suppressions(source: str):
+def _suppressions(source: str) -> Tuple[Dict[int, List[str]], List[str]]:
     """Return (per-line, whole-file) suppression maps for ``source``."""
-    per_line = {}
+    per_line: Dict[int, List[str]] = {}
     whole_file: List[str] = []
     for lineno, line in enumerate(source.splitlines(), start=1):
         match = _SUPPRESS_RE.search(line)
@@ -234,7 +243,8 @@ def _span_for(line: int, spans: Sequence[Tuple[int, int]]) -> Optional[Tuple[int
     return best
 
 
-def _suppressed(finding: Finding, per_line, whole_file,
+def _suppressed(finding: Finding, per_line: Dict[int, List[str]],
+                whole_file: List[str],
                 span: Optional[Tuple[int, int]] = None) -> bool:
     if finding.code in whole_file or "ALL" in whole_file:
         return True

@@ -120,7 +120,9 @@ class LeafContractRule(Rule):
             seen.add(name)
             return any(is_leaf_subclass(base, seen) for base in info.bases)
 
-        def resolve(name: str, seen: Optional[set] = None):
+        def resolve(
+                name: str, seen: Optional[set] = None,
+        ) -> Tuple[Dict[str, ast.FunctionDef], Optional[str]]:
             """Depth-first, left-to-right method/attribute resolution over
             the in-file class graph (an MRO approximation sufficient for
             this codebase's single-file hierarchies)."""

@@ -57,7 +57,7 @@ from __future__ import annotations
 import hashlib
 import os
 import random
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
 
 from repro.cpu.interface import TopScheduler
 from repro.errors import SchedulingError
@@ -162,7 +162,7 @@ class SchedsanScheduler(TopScheduler):
         if hasattr(self._inner, "clock"):
             self._inner.clock = fn  # type: ignore[attr-defined]
 
-    def __getattr__(self, name: str):
+    def __getattr__(self, name: str) -> Any:
         # Delegate anything beyond the TopScheduler protocol (e.g.
         # ``structure``, ``preempt_policy``, ``leaf_scheduler``).
         return getattr(self._inner, name)
@@ -181,10 +181,10 @@ class SchedsanScheduler(TopScheduler):
 
     # --- tree helpers ------------------------------------------------------
 
-    def _structure(self):
+    def _structure(self) -> Any:
         return getattr(self._inner, "structure", None)
 
-    def _leaf_of(self, thread: "SimThread"):
+    def _leaf_of(self, thread: "SimThread") -> Any:
         """The leaf scheduler serving ``thread``, when discoverable."""
         leaf = getattr(thread, "leaf", None)
         if leaf is not None:
@@ -197,7 +197,9 @@ class SchedsanScheduler(TopScheduler):
             return leaf.path
         return "/"
 
-    def _ancestry(self, thread: "SimThread"):
+    def _ancestry(
+            self, thread: "SimThread",
+    ) -> List[Tuple["Node", "InternalNode"]]:
         """(node, parent) pairs from the thread's leaf up to the root."""
         pairs: List[Tuple["Node", "InternalNode"]] = []
         node = getattr(thread, "leaf", None)

@@ -1,0 +1,16 @@
+/* SF501 fixture: the C layout enum drifted from the Python constants
+ * in sf501_py.py (_QQ_FIN/_QQ_START swapped, sentinel off by one). */
+
+enum {
+    QQ_HEAP,
+    QQ_STATE,
+    QQ_FIN,      /* EXPECT-SF501 */
+    QQ_START,    /* EXPECT-SF501 */
+    QQ_LEN = 5   /* EXPECT-SF501 */
+};
+
+static int
+touch(void)
+{
+    return QQ_HEAP + QQ_STATE + QQ_FIN + QQ_START + QQ_LEN;
+}

@@ -1,0 +1,15 @@
+/* SF501 fixture (clean): layout agrees with sf501_py.py exactly. */
+
+enum {
+    QQ_HEAP,
+    QQ_STATE,
+    QQ_START,
+    QQ_FIN,
+    QQ_LEN
+};
+
+static int
+touch(void)
+{
+    return QQ_HEAP + QQ_STATE + QQ_START + QQ_FIN + QQ_LEN;
+}

@@ -1,0 +1,6 @@
+"""Python side of the SF501 seam fixtures: the index constants."""
+
+_QQ_HEAP = 0
+_QQ_STATE = 1
+_QQ_START = 2
+_QQ_FIN = 3

@@ -1,0 +1,20 @@
+/* SF502 fixture: the compiled twin of poke_chain (sf502_py.py) writes
+ * the start column but skips the version bump the pure path performs. */
+
+static PyObject *
+sfqc_poke_chain(PyObject *self, PyObject *args)
+{
+    PyObject *start_col = PyTuple_GET_ITEM(args, 0);
+    Py_ssize_t slot = 0;
+    PyObject *zero = PyLong_FromLong(0);
+    if (zero == NULL)
+        return NULL;
+    if (PyList_SetItem(start_col, slot, zero) < 0)
+        return NULL;
+    Py_RETURN_NONE;
+}
+
+static PyMethodDef seam_methods[] = {
+    {"poke_chain", (PyCFunction)sfqc_poke_chain, METH_VARARGS, "poke"},
+    {NULL, NULL, 0, NULL}
+};

@@ -1,0 +1,26 @@
+/* SF502 fixture (clean): the compiled twin mirrors every column write
+ * the pure poke_chain in sf502_py.py performs. */
+
+static PyObject *
+sfqc_poke_chain(PyObject *self, PyObject *args)
+{
+    PyObject *start_col = PyTuple_GET_ITEM(args, 0);
+    PyObject *ver_col = PyTuple_GET_ITEM(args, 1);
+    Py_ssize_t slot = 0;
+    PyObject *zero = PyLong_FromLong(0);
+    if (zero == NULL)
+        return NULL;
+    if (PyList_SetItem(start_col, slot, zero) < 0)
+        return NULL;
+    PyObject *bumped = PyLong_FromLong(1);
+    if (bumped == NULL)
+        return NULL;
+    if (PyList_SetItem(ver_col, slot, bumped) < 0)
+        return NULL;
+    Py_RETURN_NONE;
+}
+
+static PyMethodDef seam_methods[] = {
+    {"poke_chain", (PyCFunction)sfqc_poke_chain, METH_VARARGS, "poke"},
+    {NULL, NULL, 0, NULL}
+};

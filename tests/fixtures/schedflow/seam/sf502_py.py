@@ -1,0 +1,9 @@
+# schedlint-fixture-module: repro/core/seam_fixture.py
+"""Python side of the SF502 seam fixtures: the pure twin."""
+
+
+def poke_chain(chain):
+    """Write the start tag and bump the slot version per level."""
+    for (start_col, ver_col, slot) in chain:
+        start_col[slot] = 0
+        ver_col[slot] = ver_col[slot] + 1  # EXPECT-SF502

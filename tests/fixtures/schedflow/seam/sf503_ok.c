@@ -1,0 +1,42 @@
+/* SF503 fixture (clean): the turbo entry re-checks both gates its
+ * Python bailout target checks before taking the fast path. */
+
+static PyObject *bus_obj;
+static PyObject *str_active;
+static PyObject *str_tracer;
+static PyObject *str_on_poke;
+
+static struct {
+    PyObject **slot;
+    const char *name;
+} interns[] = {
+    { &str_active, "active" },
+    { &str_tracer, "tracer" },
+    { &str_on_poke, "on_poke" },
+};
+
+static PyObject *
+sfqc_fast_poke(PyObject *self, PyObject *args)
+{
+    PyObject *machine = PyTuple_GET_ITEM(args, 0);
+    PyObject *hot = PyObject_GetAttr(bus_obj, str_active);
+    if (hot == NULL)
+        return NULL;
+    int bail = PyObject_IsTrue(hot);
+    Py_DECREF(hot);
+    if (!bail) {
+        PyObject *tracer = PyObject_GetAttr(machine, str_tracer);
+        if (tracer == NULL)
+            return NULL;
+        bail = tracer != Py_None;
+        Py_DECREF(tracer);
+    }
+    if (bail)
+        return PyObject_CallMethodObjArgs(machine, str_on_poke, NULL);
+    Py_RETURN_NONE;
+}
+
+static PyMethodDef seam_methods[] = {
+    {"fast_poke", (PyCFunction)sfqc_fast_poke, METH_VARARGS, "poke"},
+    {NULL, NULL, 0, NULL}
+};

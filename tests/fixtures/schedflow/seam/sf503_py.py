@@ -1,0 +1,14 @@
+"""Python side of the SF503 seam fixtures: the gated bailout target."""
+
+_BUS = None
+
+
+class PokeMachine:
+    """A machine whose slow path is gated on the bus and the tracer."""
+
+    def on_poke(self):
+        """Bailout target: observes both runtime gates."""
+        if _BUS.active:
+            _BUS.emit("poke")
+        if self.tracer is not None:
+            self.tracer.on_poke(self)

@@ -1,0 +1,32 @@
+/* SF504 fixture: a leak on an early-error return, an unchecked NULL
+ * from an allocating call, and a borrowed reference escaping into a
+ * reference-stealing sink in a *different* container. */
+
+static PyObject *
+leaky(PyObject *self, PyObject *args)
+{
+    PyObject *first = PyLong_FromLong(1);
+    if (first == NULL)
+        return NULL;
+    PyObject *second = PyLong_FromLong(2);
+    if (second == NULL) return NULL;  /* EXPECT-SF504 */
+    Py_DECREF(first);
+    Py_DECREF(second);
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+unchecked(PyObject *self, PyObject *obj)
+{
+    PyObject *value = PyObject_GetAttrString(obj, "weight");
+    PyObject *doubled = PyNumber_Add(value, value);  /* EXPECT-SF504 */
+    Py_XDECREF(value);
+    return doubled;
+}
+
+static int
+stash(PyObject *items, PyObject *sink, Py_ssize_t at)
+{
+    PyObject *item = PyList_GET_ITEM(items, at);
+    return PyList_SetItem(sink, at, item);  /* EXPECT-SF504 */
+}

@@ -1,0 +1,47 @@
+/* SF504 fixture (clean): balanced error paths, NULL checks before
+ * first use, an INCREF before the cross-container steal, and the one
+ * sanctioned borrowed idiom — a move within the same container. */
+
+static PyObject *
+leaky(PyObject *self, PyObject *args)
+{
+    PyObject *first = PyLong_FromLong(1);
+    if (first == NULL)
+        return NULL;
+    PyObject *second = PyLong_FromLong(2);
+    if (second == NULL) {
+        Py_DECREF(first);
+        return NULL;
+    }
+    Py_DECREF(first);
+    Py_DECREF(second);
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+unchecked(PyObject *self, PyObject *obj)
+{
+    PyObject *value = PyObject_GetAttrString(obj, "weight");
+    if (value == NULL)
+        return NULL;
+    PyObject *doubled = PyNumber_Add(value, value);
+    Py_DECREF(value);
+    return doubled;
+}
+
+static int
+stash(PyObject *items, PyObject *sink, Py_ssize_t at)
+{
+    PyObject *item = PyList_GET_ITEM(items, at);
+    Py_INCREF(item);
+    return PyList_SetItem(sink, at, item);
+}
+
+static void
+sift(PyObject *heap, Py_ssize_t pos, Py_ssize_t child)
+{
+    PyObject *a = PyList_GET_ITEM(heap, pos);
+    PyObject *b = PyList_GET_ITEM(heap, child);
+    PyList_SET_ITEM(heap, pos, b);
+    PyList_SET_ITEM(heap, child, a);
+}

@@ -1,0 +1,12 @@
+/* SF505 fixture: a format string consuming fewer arguments than are
+ * passed, and a build unit narrower than the C variable it reads. */
+
+static PyObject *
+pack(PyObject *self, PyObject *args)
+{
+    PyObject *obj = NULL;
+    Py_ssize_t count = 0;
+    if (!PyArg_ParseTuple(args, "On", &obj, &count, &count))  /* EXPECT-SF505 */
+        return NULL;
+    return Py_BuildValue("ni", count, count);  /* EXPECT-SF505 */
+}

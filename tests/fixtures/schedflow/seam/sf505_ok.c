@@ -1,0 +1,11 @@
+/* SF505 fixture (clean): arity and C types agree with the units. */
+
+static PyObject *
+pack(PyObject *self, PyObject *args)
+{
+    PyObject *obj = NULL;
+    Py_ssize_t count = 0;
+    if (!PyArg_ParseTuple(args, "On", &obj, &count))
+        return NULL;
+    return Py_BuildValue("nn", count, count);
+}

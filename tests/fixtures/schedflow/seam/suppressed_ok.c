@@ -1,0 +1,11 @@
+/* Suppression fixture: the borrowed-escape below is reviewed and
+ * disabled in place, so the file must analyze clean. */
+
+static int
+stash(PyObject *items, PyObject *sink, Py_ssize_t at)
+{
+    PyObject *item = PyList_GET_ITEM(items, at);
+    /* seamcheck: disable=SF504 -- sink holds a weak mirror; the owner
+     * of `items` outlives it by contract */
+    return PyList_SetItem(sink, at, item);
+}

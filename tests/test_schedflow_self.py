@@ -62,8 +62,11 @@ class TestFixtures:
         ok = {m.group(1).upper()
               for p in OK_FIXTURES
               for m in [re.match(r"(sf\d+)_ok", p.stem)] if m}
-        assert bad == set(RULES)
-        assert ok == set(RULES)
+        # SF5xx seam rules need paired C + Python fixtures, which live
+        # in seam/ and are inventoried by tests/test_seamcheck.py.
+        expected = {code for code in RULES if not code.startswith("SF5")}
+        assert bad == expected
+        assert ok == expected
 
     @pytest.mark.parametrize("path", BAD_FIXTURES, ids=lambda p: p.stem)
     def test_bad_fixture_triggers_exactly_its_rule(self, path):

@@ -1,0 +1,165 @@
+"""Property tests for the seamcheck C tokenizer/extractor.
+
+The extractor is total by design: ``tokenize`` must never raise on any
+string, and ``extract`` may raise only :class:`CParseError`. On well-
+formed generated corpora (enums, structs, format strings) extraction
+must round-trip exactly.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.devtools.schedflow import analyze_project
+from repro.devtools.schedflow.cext import (
+    CModule,
+    CParseError,
+    extract,
+    scan_comments,
+    tokenize,
+)
+from repro.devtools.schedflow.project import ProjectIndex
+from repro.devtools.schedflow.seamrules import _parse_format
+
+IDENT = st.from_regex(r"[A-Za-z_][A-Za-z0-9_]{0,11}", fullmatch=True)
+
+
+# --- totality ------------------------------------------------------------
+
+
+@given(st.text(max_size=400))
+@settings(max_examples=200, deadline=None)
+def test_tokenize_never_raises(text):
+    tokens = tokenize(text)
+    assert all(token.line >= 1 for token in tokens)
+
+
+@given(st.text(max_size=400))
+@settings(max_examples=200, deadline=None)
+def test_extract_returns_module_or_parse_error(text):
+    try:
+        module = extract(text)
+    except CParseError:
+        return
+    assert isinstance(module, CModule)
+
+
+@given(st.text(alphabet="{}();=#/*\n aZ_09\"'\\", max_size=300))
+@settings(max_examples=200, deadline=None)
+def test_extract_survives_c_punctuation_soup(text):
+    try:
+        extract(text)
+    except CParseError:
+        pass
+
+
+@given(st.text(max_size=300))
+@settings(max_examples=100, deadline=None)
+def test_scan_comments_never_raises(text):
+    for line, comment in scan_comments(text):
+        assert line >= 1
+        assert isinstance(comment, str)
+
+
+# --- tokenizer invariants -------------------------------------------------
+
+
+@given(st.lists(st.sampled_from(
+    ["int x;", "/* a */", "{", "}", "y = f(a, b);", '"str \\" lit"',
+     "// line", "#define K 1", ""]), max_size=20))
+@settings(max_examples=100, deadline=None)
+def test_token_lines_are_monotonic(lines):
+    text = "\n".join(lines)
+    tokens = tokenize(text)
+    numbers = [token.line for token in tokens]
+    assert numbers == sorted(numbers)
+    if numbers:
+        assert numbers[-1] <= text.count("\n") + 1
+
+
+@given(st.text(alphabet="{}();=+-\n aZ_09", max_size=300))
+@settings(max_examples=100, deadline=None)
+def test_tokenize_drops_only_whitespace(text):
+    """Without comments or string literals, joining the token texts
+    reproduces the input minus its whitespace."""
+    joined = "".join(token.text for token in tokenize(text))
+    assert joined == "".join(text.split())
+
+
+# --- round trips over generated corpora -----------------------------------
+
+
+@given(st.lists(IDENT, min_size=2, max_size=8, unique=True))
+@settings(max_examples=100, deadline=None)
+def test_enum_members_round_trip(names):
+    body = ",\n    ".join(names)
+    module = extract("enum {\n    %s\n};\n" % body)
+    assert len(module.enums) == 1
+    members = module.enums[0].members
+    assert [member.name for member in members] == names
+    assert [member.value for member in members] == list(range(len(names)))
+
+
+@given(st.lists(IDENT, min_size=2, max_size=8, unique=True),
+       st.integers(min_value=0, max_value=40))
+@settings(max_examples=100, deadline=None)
+def test_enum_explicit_start_round_trips(names, start):
+    body = ("%s = %d,\n    " % (names[0], start)) + ",\n    ".join(names[1:])
+    module = extract("enum {\n    %s\n};\n" % body)
+    values = [member.value for member in module.enums[0].members]
+    assert values == list(range(start, start + len(names)))
+
+
+@given(st.lists(st.tuples(st.sampled_from(
+    ["int", "long", "Py_ssize_t", "PyObject *", "double"]), IDENT),
+    min_size=1, max_size=6, unique_by=lambda field: field[1]))
+@settings(max_examples=100, deadline=None)
+def test_struct_fields_round_trip(fields):
+    body = "\n".join("    %s%s;" % (ctype if ctype.endswith("*")
+                                    else ctype + " ", name)
+                     for ctype, name in fields)
+    module = extract("struct probe {\n%s\n};\n" % body)
+    assert len(module.structs) == 1
+    got = [field.name for field in module.structs[0].fields]
+    assert got == [name for _ctype, name in fields]
+
+
+@given(st.lists(st.sampled_from("OnisdlkK"), min_size=1, max_size=8))
+@settings(max_examples=100, deadline=None)
+def test_simple_format_units_round_trip(units):
+    fmt = "".join(units)
+    assert _parse_format(fmt, build=False) == list(units)
+    assert _parse_format(fmt, build=True) == list(units)
+
+
+@given(st.lists(st.sampled_from("Onis"), min_size=0, max_size=5),
+       st.sampled_from(["()", "[]", "{}", "|", ",", " "]))
+@settings(max_examples=100, deadline=None)
+def test_format_grouping_punctuation_is_transparent(units, noise):
+    fmt = noise[:1] + "".join(units) + noise[1:] if len(noise) == 2 \
+        else "".join(units) + noise
+    assert _parse_format(fmt, build=False) == list(units)
+
+
+def test_unbalanced_function_brace_is_parse_error():
+    try:
+        extract("static PyObject *\nbroken(void)\n{\n    if (x) {\n")
+    except CParseError:
+        return
+    raise AssertionError("unbalanced braces must raise CParseError")
+
+
+# --- analysis never crashes on arbitrary C --------------------------------
+
+
+@given(st.text(alphabet="{}();=#/*\n aZ_09\"'\\", max_size=200))
+@settings(max_examples=50, deadline=None)
+def test_analyze_project_is_total_on_arbitrary_c(text):
+    from repro.devtools.schedlint import LintError
+
+    index = ProjectIndex()
+    index.add_source(text, "fuzz.c")
+    try:
+        findings = analyze_project(index)
+    except LintError:
+        return
+    assert isinstance(findings, list)
