@@ -1,6 +1,6 @@
 # Convenience targets; plain pytest works too.
 
-.PHONY: install test test-schedsan test-obs test-faultlab test-compiled engine enginediff lint bench bench-quick bench-compare bench-baseline microbench experiments quick-experiments examples obs-demo obs-record clean
+.PHONY: install test test-schedsan test-obs test-faultlab test-compiled test-cluster engine enginediff lint bench bench-quick bench-compare bench-baseline microbench experiments quick-experiments examples obs-demo obs-record cluster-demo cluster-gate clean
 
 install:
 	pip install -e .
@@ -84,6 +84,20 @@ obs-record:
 	python -m repro.obs record obs-demo.binlog
 	python -m repro.obs info obs-demo.binlog
 	python -m repro.obs convert obs-demo.binlog --schedstat --depth-gantt
+
+# Cluster tier (see docs/CLUSTER.md): unit + property suite, a small
+# sharded demo run with per-host binlogs, and the shard determinism gate
+# CI enforces on cluster_storm.
+test-cluster:
+	pytest tests/test_cluster.py tests/test_cluster_determinism.py -q
+
+cluster-demo:
+	python -m repro.cluster run --scenario cluster_mini --quick \
+		--shards 2 --trace
+	python -m repro.cluster report clusterlab/cluster_mini
+
+cluster-gate:
+	python -m repro.cluster gate --scenario cluster_storm --quick --shards 4
 
 clean:
 	rm -rf build dist src/repro.egg-info .pytest_cache

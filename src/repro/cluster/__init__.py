@@ -1,0 +1,43 @@
+"""``repro.cluster``: sharded multi-host simulation with a placement tier.
+
+The paper composes schedulers per node *within one host*; this package
+models the next tier up (OS -> cluster in the scheduler-taxonomy survey):
+a fleet of per-host simulators — each running its own HSFQ hierarchy on a
+``cpu`` or ``smp`` machine — fed by a top-level **placement scheduler**
+that admits tenants, balances load, migrates tenants between hosts, and
+reacts to host churn.
+
+Determinism is the design center, lifted from faultlab's worker-pool
+discipline:
+
+* hosts are partitioned across worker processes by **name-sorted
+  round-robin buckets** (:func:`repro.cluster.shards.partition_hosts`);
+* every stochastic input draws from :func:`repro.sim.rng.derive_seed`
+  substreams keyed by *names*, never by process or shard state;
+* cross-host events (tenant placement, migration, host join/leave) are
+  exchanged **only at epoch barriers** through a sort-key-merged message
+  log (:mod:`repro.cluster.messages`);
+
+so ``--shards 1`` and ``--shards N`` produce byte-identical merged
+traces, placement logs, and cluster schedstats — asserted by
+``python -m repro.cluster gate`` and the cluster-mode CI job.
+
+See ``docs/CLUSTER.md`` for the epoch/barrier model and a worked example.
+"""
+
+from repro.cluster.placement import PLACEMENTS, PlacementPolicy
+from repro.cluster.runner import ClusterResult, run_cluster
+from repro.cluster.scenario import CLUSTER_SCENARIOS, cluster_scenarios
+from repro.cluster.spec import ClusterSpec, HostSpec, TenantSpec
+
+__all__ = [
+    "CLUSTER_SCENARIOS",
+    "ClusterResult",
+    "ClusterSpec",
+    "HostSpec",
+    "PLACEMENTS",
+    "PlacementPolicy",
+    "TenantSpec",
+    "cluster_scenarios",
+    "run_cluster",
+]

@@ -1,0 +1,8 @@
+"""``python -m repro.cluster`` — see :mod:`repro.cluster.cli`."""
+
+import sys
+
+from repro.cluster.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

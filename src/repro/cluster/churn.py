@@ -1,0 +1,71 @@
+"""Arming faultlab injectors against a cluster instead of a machine.
+
+:class:`ClusterFaultContext` duck-types the single-host
+:class:`~repro.faultlab.faults.FaultContext` — same ``stream``,
+``record``, ``log``, and ``for_fault`` surface — but exposes a
+``cluster`` spec instead of a live machine.  Cluster-level injectors
+(the ``host-churn`` family) detect the cluster attribute and translate
+their seeded draws into a **churn schedule**: ``(epoch, action, host)``
+tuples the control tier executes at barriers.  Machine-level injectors
+armed against this context find no machine and skip with a log record,
+exactly like structural faults skip on flat cells.
+
+Everything happens at arm time — before the first epoch runs — so the
+schedule is a pure function of ``(spec, seed)`` and identical across
+shard layouts by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.cluster.spec import ClusterSpec
+from repro.faultlab.faults import build_fault
+from repro.sim.rng import Stream
+
+
+class ClusterFaultContext:
+    """A :class:`~repro.faultlab.faults.FaultContext` stand-in for clusters."""
+
+    def __init__(self, cluster: ClusterSpec, stream: Stream) -> None:
+        self.cluster = cluster
+        self.stream = stream
+        #: no live machine/engine/structure at cluster arm time
+        self.machine = None
+        self.engine = None
+        self.structure = None
+        self.horizon = cluster.horizon_ns
+        #: JSON-able injection records (arm-time; ``time`` is always 0)
+        self.log: List[Dict[str, object]] = []
+        #: the armed schedule: (epoch, "down"|"up", host name)
+        self.churn: List[Tuple[int, str, str]] = []
+
+    def record(self, fault: str, action: str, **fields: object) -> None:
+        """Append one arm-time injection record to the shared log."""
+        entry: Dict[str, object] = {"time": 0, "fault": fault,
+                                    "action": action}
+        entry.update(fields)
+        self.log.append(entry)
+
+    def for_fault(self, index: int, kind: str) -> "ClusterFaultContext":
+        """Per-injector view: own RNG substream, shared log and schedule."""
+        child = ClusterFaultContext(
+            self.cluster, self.stream.substream("%d/%s" % (index, kind)))
+        child.log = self.log
+        child.churn = self.churn
+        return child
+
+
+def build_churn(spec: ClusterSpec, seed: int) -> ClusterFaultContext:
+    """Arm the spec's fault schedule and return the populated context.
+
+    The context's ``churn`` list feeds the control tier; its ``log``
+    lands in the run report so churn decisions are auditable.
+    """
+    ctx = ClusterFaultContext(
+        spec, Stream(seed, "cluster/%s" % spec.name).substream("faults"))
+    for index, fault_spec in enumerate(spec.faults):
+        injector = build_fault(fault_spec)
+        injector.arm(ctx.for_fault(index, injector.kind))  # type: ignore[arg-type]
+    ctx.churn.sort()
+    return ctx

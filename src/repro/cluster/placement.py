@@ -1,0 +1,144 @@
+"""Placement policies: the cluster's top-level scheduler.
+
+A placement policy is the cluster analogue of a leaf scheduler — small,
+pluggable, and registered by name in :data:`PLACEMENTS` (the same
+decorator-registry shape as ``repro.faultlab.faults.FAULTS``).  The
+control tier calls :meth:`PlacementPolicy.choose` once per pending
+tenant at each epoch barrier with a :class:`PlacementView` of the live
+fleet; the policy returns the chosen host key.
+
+Policies must be *deterministic pure functions of the view*: integer
+arithmetic only (load comparisons cross-multiply rather than divide) and
+name-order tie-breaks, so a placement decision can never depend on shard
+count, dict order, or float rounding.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Type
+
+
+class HostView:
+    """The placement-relevant state of one live host."""
+
+    __slots__ = ("key", "capacity_weight", "load", "group_counts")
+
+    def __init__(self, key: str, capacity_weight: int, load: int,
+                 group_counts: Dict[str, int]) -> None:
+        self.key = key
+        self.capacity_weight = max(1, capacity_weight)
+        #: total weight of tenants currently believed on the host
+        self.load = load
+        #: affinity group -> live tenant count on this host
+        self.group_counts = group_counts
+
+
+class PlacementView:
+    """Everything a policy may look at: the name-sorted live fleet."""
+
+    __slots__ = ("hosts",)
+
+    def __init__(self, hosts: List[HostView]) -> None:
+        self.hosts = sorted(hosts, key=lambda host: host.key)
+
+    def least_loaded(self, candidates: Optional[List[HostView]] = None
+                     ) -> HostView:
+        """The candidate with the smallest load-per-capacity, name tie-break.
+
+        Compares ``load_a / cap_a`` against ``load_b / cap_b`` by
+        cross-multiplication so the decision is exact integer math.
+        """
+        pool = self.hosts if candidates is None else candidates
+        if not pool:
+            raise ValueError("no live hosts to place on")
+        best = pool[0]
+        for host in pool[1:]:
+            if (host.load * best.capacity_weight
+                    < best.load * host.capacity_weight):
+                best = host
+        return best
+
+
+#: policy name -> policy class; see ``register_placement``
+PLACEMENTS: Dict[str, Type["PlacementPolicy"]] = {}
+
+
+def register_placement(cls: Type["PlacementPolicy"]
+                       ) -> Type["PlacementPolicy"]:
+    """Class decorator adding a policy to the :data:`PLACEMENTS` registry."""
+    if not cls.name:
+        raise ValueError("placement class %r has no name" % (cls,))
+    if cls.name in PLACEMENTS:
+        raise ValueError("duplicate placement policy %r" % (cls.name,))
+    PLACEMENTS[cls.name] = cls
+    return cls
+
+
+def build_placement(name: str) -> "PlacementPolicy":
+    """Instantiate the registered policy called ``name``."""
+    try:
+        cls = PLACEMENTS[name]
+    except KeyError:
+        raise ValueError("unknown placement policy %r (have: %s)"
+                         % (name, ", ".join(sorted(PLACEMENTS)))) from None
+    return cls()
+
+
+class PlacementPolicy:
+    """Base class: choose a host key for one tenant given the fleet view."""
+
+    name = ""
+
+    def choose(self, group: str, weight: int, view: PlacementView) -> str:
+        """Return the key of the host this tenant should be placed on."""
+        raise NotImplementedError
+
+
+@register_placement
+class LeastLoadedPolicy(PlacementPolicy):
+    """Weighted least-loaded: minimize load per capacity weight.
+
+    The cluster reading of SFQ's "serve the smallest virtual tag": each
+    host's ``load / capacity_weight`` plays the role of a virtual time,
+    and the next tenant goes wherever it is smallest.
+    """
+
+    name = "least-loaded"
+
+    def choose(self, group: str, weight: int, view: PlacementView) -> str:
+        """Pick the least-loaded host outright."""
+        return view.least_loaded().key
+
+
+@register_placement
+class AffinityPolicy(PlacementPolicy):
+    """Tenant-affinity consolidation with a least-loaded escape hatch.
+
+    Prefers the host already carrying the most tenants of the same
+    affinity group (consolidating co-operating tenants), unless that
+    host is more than twice as loaded per capacity as the least-loaded
+    host — then the tenant spills to the least-loaded host instead.
+    """
+
+    name = "affinity"
+
+    def choose(self, group: str, weight: int, view: PlacementView) -> str:
+        """Pick the strongest same-group host unless badly overloaded."""
+        coldest = view.least_loaded()
+        peers: List[Tuple[int, str]] = [
+            (host.group_counts.get(group, 0), host.key)
+            for host in view.hosts if host.group_counts.get(group, 0) > 0]
+        if not peers:
+            return coldest.key
+        best_count = max(count for count, __ in peers)
+        preferred_key = min(key for count, key in peers
+                            if count == best_count)
+        preferred = next(host for host in view.hosts
+                         if host.key == preferred_key)
+        # Spill when preferred.load/cap > 2 * coldest.load/cap (and the
+        # preferred host is non-trivially loaded) — integer cross-multiply.
+        if (preferred.load * coldest.capacity_weight
+                > 2 * coldest.load * preferred.capacity_weight
+                and preferred.load > 2 * weight):
+            return coldest.key
+        return preferred_key

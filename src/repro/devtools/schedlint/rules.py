@@ -382,6 +382,8 @@ _MUTABLE_EXEMPT_SCOPE = "repro/devtools/"
 #: sanctioned registries: populated by decorators/imports, never per-run
 _MUTABLE_ALLOWLIST = frozenset([
     ("repro/hsfq.py", "_SCHEDULER_FACTORIES"),
+    ("repro/cluster/placement.py", "PLACEMENTS"),
+    ("repro/cluster/scenario.py", "CLUSTER_SCENARIOS"),
     ("repro/experiments/__main__.py", "EXPERIMENTS"),
     ("repro/faultlab/faults.py", "FAULTS"),
     ("repro/faultlab/workloads.py", "WORKLOADS"),

@@ -45,3 +45,7 @@ class AdmissionError(ReproError):
 
 class WorkloadError(ReproError):
     """A workload produced an invalid segment sequence."""
+
+
+class ClusterError(ReproError):
+    """A determinism or protocol violation in the cluster simulation tier."""

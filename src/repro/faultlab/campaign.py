@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.devtools import schedsan
 from repro.faultlab.faults import (
+    CLUSTER_FAULT_KINDS,
     FAULTS,
     FaultContext,
     build_fault,
@@ -69,9 +70,11 @@ class CellSpec:
 
 
 def default_fault_kinds() -> List[str]:
-    """Grid fault kinds: everything registered except self-test faults."""
+    """Grid fault kinds: everything registered except self-test and
+    cluster-only faults (``host-churn`` needs a cluster context)."""
     return sorted(kind for kind in FAULTS
-                  if not kind.startswith("selftest-"))
+                  if not kind.startswith("selftest-")
+                  and kind not in CLUSTER_FAULT_KINDS)
 
 
 def default_grid(seed: int, quick: bool = True,

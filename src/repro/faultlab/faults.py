@@ -576,6 +576,65 @@ class NodeChurnFault(FaultInjector):
         return rounds * interval
 
 
+@register_fault
+class HostChurnFault(FaultInjector):
+    """Whole-host churn: take hosts down (and back up) at epoch barriers.
+
+    The cluster analogue of :class:`NodeChurnFault`, one tier up — where
+    node churn drives ``hsfq_mknod``/``hsfq_rmnod`` under load, host
+    churn drives the placement tier's drain/fail-over/rejoin path.  Only
+    meaningful when armed against a
+    :class:`~repro.cluster.churn.ClusterFaultContext`; on a single-host
+    cell (no ``cluster`` attribute) it skips with a log record, exactly
+    like node churn skips on flat cells.
+
+    The schedule is drawn entirely at arm time from the context's seeded
+    stream: ``downs`` distinct hosts (never the whole fleet) each get a
+    down epoch in ``[first_epoch, last_epoch]`` (``last_epoch`` 0 means
+    ``epochs - 3``) and come back up ``min_down_epochs..max_down_epochs``
+    epochs after their drain barrier — or stay down if that lands past
+    the horizon.
+    """
+
+    kind = "host-churn"
+    DEFAULTS = {"downs": 1, "first_epoch": 2, "last_epoch": 0,
+                "min_down_epochs": 2, "max_down_epochs": 4}
+    SHRINKABLE = {"downs": 1, "max_down_epochs": 1}
+
+    def arm(self, ctx: FaultContext) -> None:
+        cluster = getattr(ctx, "cluster", None)
+        if cluster is None:
+            ctx.record(self.kind, "skipped")
+            return
+        rng = ctx.stream.substream(self.kind).rng("schedule")
+        hosts = cluster.host_names()
+        downs = min(int(self.params["downs"]), max(0, len(hosts) - 1))  # type: ignore[arg-type]
+        if downs <= 0 or cluster.epochs < 5:
+            ctx.record(self.kind, "skipped", reason="cluster-too-small")
+            return
+        min_down = max(1, int(self.params["min_down_epochs"]))  # type: ignore[arg-type]
+        max_down = max(min_down, int(self.params["max_down_epochs"]))  # type: ignore[arg-type]
+        latest_down = cluster.epochs - 3
+        last = int(self.params["last_epoch"])  # type: ignore[arg-type]
+        if last > 0:
+            latest_down = min(latest_down, last)
+        first = min(int(self.params["first_epoch"]), latest_down)  # type: ignore[arg-type]
+        schedule = getattr(ctx, "churn")
+        for host in sorted(rng.sample(hosts, downs)):
+            down = rng.randrange(first, latest_down + 1)
+            up = down + 1 + rng.randrange(min_down, max_down + 1)
+            schedule.append((down, "down", host))
+            ctx.record(self.kind, "host-down", host=host, epoch=down)
+            if up < cluster.epochs:
+                schedule.append((up, "up", host))
+                ctx.record(self.kind, "host-up", host=host, epoch=up)
+
+
+#: fault kinds that only act on a cluster context (excluded from the
+#: single-host campaign grid, like self-test faults)
+CLUSTER_FAULT_KINDS = ("host-churn",)
+
+
 def _selftest_faults() -> None:
     """Import the self-test injectors (registered but not in default grids)."""
     import repro.faultlab.selftest  # noqa: F401  (import registers)

@@ -67,6 +67,42 @@ class NodeStats:
         """Plain-dict view (for JSON export and tests)."""
         return {slot: getattr(self, slot) for slot in self.__slots__}
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "NodeStats":
+        """Rebuild a record from :meth:`as_dict` output."""
+        stats = cls()
+        for slot in cls.__slots__:
+            if slot in data:
+                setattr(stats, slot, data[slot])
+        return stats
+
+    def merge(self, other: "NodeStats") -> None:
+        """Fold ``other`` into this record (cluster roll-up semantics).
+
+        Counters add; tag extrema widen.  ``vtime`` keeps the largest
+        non-``None`` value — per-host virtual times are not mutually
+        ordered, so for cross-host roll-up nodes this is a deterministic
+        convention, not a physical clock.
+        """
+        self.dispatches += other.dispatches
+        self.preemptions += other.preemptions
+        self.blocks += other.blocks
+        self.wakes += other.wakes
+        self.charges += other.charges
+        self.service_work += other.service_work
+        self.overhead_ns += other.overhead_ns
+        self.violations += other.violations
+        self.tag_updates += other.tag_updates
+        if other.min_start is not None and (self.min_start is None
+                                            or other.min_start < self.min_start):
+            self.min_start = other.min_start
+        if other.max_finish is not None and (self.max_finish is None
+                                             or other.max_finish > self.max_finish):
+            self.max_finish = other.max_finish
+        if other.vtime is not None and (self.vtime is None
+                                        or other.vtime > self.vtime):
+            self.vtime = other.vtime
+
 
 class SchedStat:
     """Event-bus subscriber accumulating per-node scheduling statistics.
@@ -136,6 +172,61 @@ class SchedStat:
         elif kind == ev.INTERRUPT:
             self.interrupts += 1
             self.interrupt_ns += data.get("service", 0)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-able snapshot of the whole collector (node table included)."""
+        return {
+            "nodes": {path: record.as_dict()
+                      for path, record in sorted(self.nodes.items())},
+            "interrupts": self.interrupts,
+            "interrupt_ns": self.interrupt_ns,
+            "events_seen": self.events_seen,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SchedStat":
+        """Rebuild a collector from :meth:`to_dict` output.
+
+        This is how cluster shard workers ship per-host statistics back
+        to the runner: the collector crosses the process boundary as a
+        plain dict, never as a pickled object graph.
+        """
+        stats = cls()
+        for path, record in data.get("nodes", {}).items():
+            stats.nodes[path] = NodeStats.from_dict(record)
+        stats.interrupts = int(data.get("interrupts", 0))
+        stats.interrupt_ns = int(data.get("interrupt_ns", 0))
+        stats.events_seen = int(data.get("events_seen", 0))
+        return stats
+
+
+def merge_schedstats(per_host: Dict[str, SchedStat],
+                     prefix: str = "/host") -> SchedStat:
+    """Aggregate per-host collectors into one cluster-wide view.
+
+    Every node path of host ``key`` reappears under ``<prefix>/<key>``
+    (the host's root ``/`` becomes the ``<prefix>/<key>`` node itself),
+    and each host's root counters also roll up into the cluster ``/``
+    and ``<prefix>`` nodes — the same ancestor-attribution rule
+    :class:`SchedStat` applies within one hierarchy, lifted one tier.
+    ``repro.cluster report`` renders the result with
+    :func:`render_schedstat_paths`.
+    """
+    merged = SchedStat()
+    for key in sorted(per_host):
+        stats = per_host[key]
+        merged.interrupts += stats.interrupts
+        merged.interrupt_ns += stats.interrupt_ns
+        merged.events_seen += stats.events_seen
+        base = "%s/%s" % (prefix, key)
+        root = stats.nodes.get("/")
+        if root is not None:
+            merged.node("/").merge(root)
+            merged.node(prefix).merge(root)
+        for path, record in stats.nodes.items():
+            mapped = base if path == "/" else base + path
+            merged.node(mapped).merge(record)
+    return merged
 
 
 def _format_tag(value: Optional[float]) -> str:

@@ -16,7 +16,7 @@ suite is guarding.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Tuple, Union
+from typing import Any, Callable, Dict, List, Tuple, Union
 
 from repro.core.hierarchy import HierarchicalScheduler
 from repro.core.structure import SchedulingStructure
@@ -327,6 +327,56 @@ def _scale_storm_phases(quick: bool) -> List[Phase]:
     return [Phase("storm", setup)]
 
 
+# --- cluster-tier scenarios --------------------------------------------------
+
+
+def _cluster_phase(name: str, build_spec: Callable[[], Any]) -> Phase:
+    """One phase that drives a whole cluster simulation (serial shards).
+
+    Shard workers would add process wall-clock noise, so perfkit always
+    times the serial execution — the same event sequence the gate's
+    ``--shards N`` run must reproduce byte-for-byte.
+    """
+
+    def setup() -> PhaseRun:
+        from repro.cluster.runner import run_cluster
+        spec = build_spec()
+        holder: List[Any] = []
+
+        def drive() -> None:
+            holder.append(run_cluster(spec, seed=42, shards=1))
+
+        def counters() -> Counters:
+            result = holder[0]
+            return {
+                "events": sum(int(host["events"]) for host in result.hosts),
+                "dispatches": sum(int(host["dispatches"])
+                                  for host in result.hosts),
+                "sim_ns": spec.horizon_ns,
+                "threads": int(result.control["counters"]["placements"]),
+            }
+
+        return drive, counters
+
+    return Phase(name, setup)
+
+
+def _cluster_storm_phases(quick: bool) -> List[Phase]:
+    from repro.cluster.scenario import storm_spec
+    if quick:
+        return [_cluster_phase("storm",
+                               lambda: storm_spec(4, 4, 4_000, 16))]
+    return [_cluster_phase("storm", lambda: storm_spec(8, 8, 50_000, 24))]
+
+
+def _tenant_rebalance_phases(quick: bool) -> List[Phase]:
+    from repro.cluster.scenario import rebalance_spec
+    if quick:
+        return [_cluster_phase("rebalance",
+                               lambda: rebalance_spec(6, 600, 16))]
+    return [_cluster_phase("rebalance", lambda: rebalance_spec(6, 2_400, 24))]
+
+
 def scenarios() -> Dict[str, Scenario]:
     """The macro-scenario registry, keyed by name, in reporting order.
 
@@ -358,5 +408,11 @@ SCENARIOS: Dict[str, Scenario] = {
         Scenario("scale_storm",
                  "100k-entity storm over 2048 SFQ leaves (arena scale test)",
                  _scale_storm_phases),
+        Scenario("cluster_storm",
+                 "multi-host placement storm through the cluster tier",
+                 _cluster_storm_phases),
+        Scenario("tenant_rebalance",
+                 "affinity placement vs rebalancer under host churn",
+                 _tenant_rebalance_phases),
     )
 }

@@ -13,11 +13,18 @@ instants are preserved)::
 
     from repro.obs.binlog import BinaryTraceReader
     print(depth_gantt(BinaryTraceReader("run.binlog")))
+
+Cluster runs capture one binlog per host; the ``hosts`` mapping renders
+them as host-prefixed lane blocks on one shared time axis::
+
+    print(depth_gantt(hosts={
+        "h0": BinaryTraceReader("binlogs/host-h0.binlog"),
+        "h1": BinaryTraceReader("binlogs/host-h1.binlog")}))
 """
 
 from __future__ import annotations
 
-from typing import Any, List
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.viz.gantt import occupancy_strip, time_axis
 from repro.viz.spans import SpanSet, extract_spans, node_depth
@@ -36,35 +43,64 @@ def _overlay(strip: str, instants: List[int], start: int, end: int,
     return "".join(cells)
 
 
-def depth_gantt(source: Any, start: int = 0, end: int = 0,
-                width: int = 64, title: str = "") -> str:
+def _block_labels(spanset: SpanSet, prefix: str) -> List[Tuple[str, str]]:
+    """``(label, node)`` lane rows for one span source; irq lane first."""
+    rows = [("%sirq" % prefix, "")]
+    for node in spanset.nodes():
+        rows.append(("%s%d %s" % (prefix, node_depth(node), node), node))
+    return rows
+
+
+def _block_rows(spanset: SpanSet, labels: List[Tuple[str, str]],
+                margin: int, start: int, end: int, width: int,
+                rows: List[str]) -> None:
+    """Append one block's rendered lanes (irq lane, then node lanes)."""
+    for label, node in labels:
+        if not node:
+            strip = occupancy_strip(spanset.interrupts, start, end, width)
+        else:
+            strip = occupancy_strip(
+                (span for span in spanset.spans if span.node == node),
+                start, end, width)
+            strip = _overlay(strip,
+                             [t for t, __, where in spanset.preempts
+                              if where == node],
+                             start, end, width)
+        rows.append("%s |%s|" % (label.rjust(margin), strip))
+
+
+def depth_gantt(source: Any = None, start: int = 0, end: int = 0,
+                width: int = 64, title: str = "",
+                hosts: Optional[Dict[str, Any]] = None) -> str:
     """Render per-node occupancy lanes ordered by hierarchy depth.
 
     ``source`` is a recorder, a :class:`~repro.obs.binlog.BinaryTraceReader`,
     or any event iterable; ``[start, end]`` defaults to the whole trace.
-    """
-    spanset: SpanSet = extract_spans(source)
-    if end <= start:
-        end = max(spanset.end(), start + 1)
 
-    nodes = spanset.nodes()
-    labels = ["irq"] + ["%d %s" % (node_depth(node), node) for node in nodes]
-    margin = max(len(label) for label in labels)
+    ``hosts`` renders a *cluster* view instead: a mapping of host key to
+    span source (one per-host binlog each, typically), drawn as one lane
+    block per host — name-sorted, every lane label prefixed with its
+    host key — on a single shared time axis, so cross-host placement and
+    migration line up visually.
+    """
+    if hosts:
+        blocks = [(key + " ", extract_spans(hosts[key]))
+                  for key in sorted(hosts)]
+    elif source is None:
+        raise ValueError("depth_gantt needs a source or a hosts mapping")
+    else:
+        blocks = [("", extract_spans(source))]
+    if end <= start:
+        end = max(max(spanset.end() for __, spanset in blocks), start + 1)
+
+    labeled = [(spanset, _block_labels(spanset, prefix))
+               for prefix, spanset in blocks]
+    margin = max(len(label) for __, labels in labeled for label, __ in labels)
 
     rows: List[str] = []
     if title:
         rows.append(title)
-    rows.append("%s |%s|" % (
-        "irq".rjust(margin),
-        occupancy_strip(spanset.interrupts, start, end, width)))
-    for node, label in zip(nodes, labels[1:]):
-        strip = occupancy_strip(
-            (span for span in spanset.spans if span.node == node),
-            start, end, width)
-        strip = _overlay(strip,
-                         [t for t, __, where in spanset.preempts
-                          if where == node],
-                         start, end, width)
-        rows.append("%s |%s|" % (label.rjust(margin), strip))
+    for spanset, labels in labeled:
+        _block_rows(spanset, labels, margin, start, end, width, rows)
     rows.append(time_axis(start, end, width, margin))
     return "\n".join(rows)
